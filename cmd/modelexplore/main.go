@@ -1,0 +1,118 @@
+// Command modelexplore evaluates the Section 4 analytic model over
+// user-chosen parameters and prints sweeps, optima, crossovers, and
+// cost-function trade-offs as aligned text or CSV — the "tuning knob for
+// users to adapt to resource availabilities" the paper concludes with.
+//
+// Examples:
+//
+//	modelexplore -n 128 -work 46m -mtbf 6h -c 120s -restart 500s
+//	modelexplore -n 100000 -work 128h -mtbf 5y -c 10m -crossover
+//	modelexplore -n 4096 -work 24h -mtbf 5y -c 5m -wtime 1 -wnodes 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/model"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "modelexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("modelexplore", flag.ContinueOnError)
+	var (
+		n         = fs.Int("n", 128, "virtual process count N")
+		workS     = fs.String("work", "46m", "base execution time t (accepts h/m/s, d, y)")
+		mtbfS     = fs.String("mtbf", "6h", "per-node MTBF θ")
+		cS        = fs.String("c", "120s", "checkpoint cost c")
+		restartS  = fs.String("restart", "500s", "restart cost R")
+		alpha     = fs.Float64("alpha", 0.2, "communication/computation ratio α")
+		step      = fs.Float64("step", 0.25, "degree sweep step")
+		rmax      = fs.Float64("rmax", 3, "degree sweep upper bound")
+		crossover = fs.Bool("crossover", false, "also report redundancy crossover process counts")
+		wTime     = fs.Float64("wtime", 0, "weighted-cost time weight (with -wnodes)")
+		wNodes    = fs.Float64("wnodes", 0, "weighted-cost node weight")
+		useYoung  = fs.Bool("young", false, "use Young's interval instead of Daly's")
+		csv       = fs.Bool("csv", false, "CSV output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	work, err := cliutil.ParseSeconds(*workS)
+	if err != nil {
+		return fmt.Errorf("bad -work: %w", err)
+	}
+	mtbf, err := cliutil.ParseSeconds(*mtbfS)
+	if err != nil {
+		return fmt.Errorf("bad -mtbf: %w", err)
+	}
+	c, err := cliutil.ParseSeconds(*cS)
+	if err != nil {
+		return fmt.Errorf("bad -c: %w", err)
+	}
+	restart, err := cliutil.ParseSeconds(*restartS)
+	if err != nil {
+		return fmt.Errorf("bad -restart: %w", err)
+	}
+	p := model.Params{
+		N: *n, Work: work, Alpha: *alpha,
+		NodeMTBF: mtbf, CheckpointCost: c, RestartCost: restart,
+	}
+	opts := model.Options{UseYoung: *useYoung}
+
+	curve, err := model.Sweep(p, 1, *rmax, *step, opts)
+	if err != nil {
+		return err
+	}
+	sep := "  "
+	if *csv {
+		sep = ","
+	}
+	fmt.Printf("degree%snodes%sT_total_h%sMTBF_sys_s%sdelta_s%schkpts%sfailures%snode_hours\n",
+		sep, sep, sep, sep, sep, sep, sep)
+	best := curve[0]
+	for _, ev := range curve {
+		fmt.Printf("%.2f%s%d%s%s%s%.1f%s%.1f%s%.1f%s%.2f%s%.1f\n",
+			ev.Degree, sep, ev.NodesUsed, sep, cliutil.FormatHours(ev.Total), sep, ev.MTBF, sep,
+			ev.Interval, sep, ev.Checkpoints, sep, ev.Failures, sep, ev.NodeHours())
+		if ev.Total < best.Total {
+			best = ev
+		}
+	}
+	fmt.Printf("\noptimal degree %.2f: T = %s h on %d nodes (δ = %.0f s, %.1f expected failures)\n",
+		best.Degree, cliutil.FormatHours(best.Total), best.NodesUsed, best.Interval, best.Failures)
+
+	if *wTime > 0 || *wNodes > 0 {
+		opt, err := model.OptimizeCost(p, 1, *rmax, *step, opts, model.WeightedCost(p, *wTime, *wNodes))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("weighted cost (wtime=%.2f, wnodes=%.2f) optimum: r = %.2f, T = %s h, %d nodes\n",
+			*wTime, *wNodes, opt.Best.Degree, cliutil.FormatHours(opt.Best.Total), opt.Best.NodesUsed)
+	}
+	if *crossover {
+		n12, err := model.Crossover(p, 1, 2, 2, 4_000_000, opts)
+		if err != nil {
+			return err
+		}
+		n13, err := model.Crossover(p, 1, 3, 2, 4_000_000, opts)
+		if err != nil {
+			return err
+		}
+		twoForOne, err := model.ThroughputBreakEven(p, 2, 2, 2, 4_000_000, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("crossovers: 2x beats 1x from N=%d; 3x beats 1x from N=%d; two-2x-jobs-for-one from N=%d\n",
+			n12, n13, twoForOne)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	paperbench -all                 # everything (table4 runs Monte Carlo)
+//	paperbench -exp table4 -runs 400
+//	paperbench -exp fig13 -csv
+//	paperbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paperbench:", err)
+		os.Exit(1)
+	}
+}
+
+type generator struct {
+	describe string
+	emit     func(opts options) (string, error)
+}
+
+type options struct {
+	runs int
+	seed int64
+	csv  bool
+	live bool
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	var (
+		all  = fs.Bool("all", false, "regenerate every experiment")
+		exp  = fs.String("exp", "", "experiment id (see -list)")
+		list = fs.Bool("list", false, "list experiment ids")
+		runs = fs.Int("runs", 200, "Monte-Carlo runs per cell for table4/fig8/fig9/fig12")
+		seed = fs.Int64("seed", 1, "Monte-Carlo seed")
+		csv  = fs.Bool("csv", false, "emit CSV instead of aligned text where applicable")
+		live = fs.Bool("live", false, "run table5 live on the functional stack (slower)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := options{runs: *runs, seed: *seed, csv: *csv, live: *live}
+	gens := generators()
+
+	if *list {
+		ids := make([]string, 0, len(gens))
+		for id := range gens {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("%-8s %s\n", id, gens[id].describe)
+		}
+		return nil
+	}
+	if *all {
+		ids := make([]string, 0, len(gens))
+		for id := range gens {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			out, err := gens[id].emit(opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			fmt.Println(out)
+		}
+		return nil
+	}
+	if *exp == "" {
+		fs.Usage()
+		return fmt.Errorf("need -all, -list or -exp <id>")
+	}
+	g, ok := gens[strings.ToLower(*exp)]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
+	}
+	out, err := g.emit(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func renderTable(t *expt.Table, csv bool) string {
+	if csv {
+		return t.CSV()
+	}
+	return t.Format()
+}
+
+// table4Cache shares one Monte-Carlo matrix between table4/fig8/fig9/
+// fig12 within a -all invocation.
+var table4Cache *expt.Table4Result
+
+func table4Result(opts options) (*expt.Table4Result, error) {
+	if table4Cache != nil {
+		return table4Cache, nil
+	}
+	p := expt.DefaultTable4Params()
+	p.Runs = opts.runs
+	p.Seed = opts.seed
+	res, err := expt.Table4(p)
+	if err != nil {
+		return nil, err
+	}
+	table4Cache = res
+	return res, nil
+}
+
+func generators() map[string]generator {
+	return map[string]generator{
+		"table1": {"HPC cluster reliability survey (static)", func(o options) (string, error) {
+			return renderTable(expt.Table1(), o.csv), nil
+		}},
+		"table2": {"168h job, 5yr MTBF: work breakdown vs nodes", func(o options) (string, error) {
+			t, _, err := expt.Table2(expt.DefaultBreakdownParams())
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
+		}},
+		"table3": {"100k-node job, varied MTBF: work breakdown", func(o options) (string, error) {
+			t, _, err := expt.Table3(expt.DefaultBreakdownParams())
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
+		}},
+		"fig2": {"system reliability vs redundancy degree", func(o options) (string, error) {
+			f, err := expt.Figure2()
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		}},
+		"fig4": {"T_total vs degree, configuration 1 (c=600s)", figureCurve(0)},
+		"fig5": {"T_total vs degree, configuration 2 (θ=2.5y)", figureCurve(1)},
+		"fig6": {"T_total vs degree, configuration 3 (c=60s)", figureCurve(2)},
+		"table4": {"combined C/R+redundancy experiment matrix (Monte Carlo)", func(o options) (string, error) {
+			res, err := table4Result(o)
+			if err != nil {
+				return "", err
+			}
+			return renderTable(res.Table, o.csv), nil
+		}},
+		"table5": {"failure-free runtime vs degree (observed vs Eq. 1)", func(o options) (string, error) {
+			t, _ := expt.Table5()
+			out := renderTable(t, o.csv)
+			if o.live {
+				live, _, err := expt.Table5Live(expt.DefaultTable5LiveParams())
+				if err != nil {
+					return "", err
+				}
+				out += "\n" + renderTable(live, o.csv)
+			}
+			return out, nil
+		}},
+		"fig8": {"line graph of table4", func(o options) (string, error) {
+			res, err := table4Result(o)
+			if err != nil {
+				return "", err
+			}
+			return expt.Figure8(res).Format(), nil
+		}},
+		"fig9": {"surface data of table4", func(o options) (string, error) {
+			res, err := table4Result(o)
+			if err != nil {
+				return "", err
+			}
+			return renderTable(expt.Figure9(res), o.csv), nil
+		}},
+		"fig10": {"runtime increase with redundancy", func(o options) (string, error) {
+			_, f := expt.Table5()
+			return f.Format(), nil
+		}},
+		"fig11": {"simplified §6 model performance", func(o options) (string, error) {
+			f, _, err := expt.Figure11()
+			if err != nil {
+				return "", err
+			}
+			return f.Format(), nil
+		}},
+		"fig12": {"observed vs modeled overlay + Q-Q fit", func(o options) (string, error) {
+			t4, err := table4Result(o)
+			if err != nil {
+				return "", err
+			}
+			_, mins, err := expt.Figure11()
+			if err != nil {
+				return "", err
+			}
+			res, err := expt.Figure12(t4, mins, nil)
+			if err != nil {
+				return "", err
+			}
+			return res.Figure.Format(), nil
+		}},
+		"fig13": {"weak-scaling wallclock to 30k processes + crossovers", func(o options) (string, error) {
+			res, err := expt.Scaling(expt.DefaultScalingParams(), 30000, "fig13")
+			if err != nil {
+				return "", err
+			}
+			return res.Figure.Format(), nil
+		}},
+		"fig14": {"weak-scaling wallclock to 200k processes + throughput", func(o options) (string, error) {
+			res, err := expt.Scaling(expt.DefaultScalingParams(), 200000, "fig14")
+			if err != nil {
+				return "", err
+			}
+			return res.Figure.Format(), nil
+		}},
+	}
+}
+
+func figureCurve(idx int) func(options) (string, error) {
+	return func(options) (string, error) {
+		curves, err := expt.Figures4to6()
+		if err != nil {
+			return "", err
+		}
+		return curves[idx].Figure.Format(), nil
+	}
+}

@@ -1,0 +1,143 @@
+// Command redmpirun launches one of the bundled applications under the
+// combined redundancy + checkpoint/restart runtime with failure
+// injection — the in-process analogue of `mpirun` with the RedMPI
+// library, BLCR checkpointing, and the paper's failure injector attached.
+//
+// Examples:
+//
+//	redmpirun -app cg -np 8 -r 2 -mtbf 5s -interval 10 -max-restarts 5
+//	redmpirun -app stencil -np 4 -r 1.5
+//	redmpirun -app taskfarm -np 6 -r 3 -mode hash
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/redundancy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "redmpirun:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("redmpirun", flag.ContinueOnError)
+	var (
+		appName  = fs.String("app", "cg", "application: cg, stencil, taskfarm")
+		np       = fs.Int("np", 8, "virtual process count N")
+		degree   = fs.Float64("r", 2, "redundancy degree (1, 1.5, 2, 2.5, 3, ...)")
+		mode     = fs.String("mode", "all", "replica comparison mode: all | hash")
+		mtbf     = fs.Duration("mtbf", 0, "per-node MTBF for Poisson failure injection (0 = none)")
+		interval = fs.Int("interval", 0, "checkpoint every N steps (0 = no checkpointing)")
+		restarts = fs.Int("max-restarts", 10, "restart budget")
+		seed     = fs.Int64("seed", 1, "failure-injection seed")
+		ckptDir  = fs.String("ckpt-dir", "", "persist checkpoints to this directory (default: in-memory)")
+		grid     = fs.Int("grid", 10, "cg: Laplacian grid (grid^2 unknowns); stencil: width")
+		iters    = fs.Int("iters", 100, "iterations (cg/stencil) or tasks (taskfarm)")
+		compute  = fs.Duration("compute", time.Millisecond, "emulated per-step compute time")
+		sendLat  = fs.Duration("send-latency", 0, "emulated per-message wire latency")
+		timeout  = fs.Duration("timeout", 2*time.Minute, "per-attempt watchdog")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	factory, describe, err := buildApp(*appName, *grid, *iters)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Ranks:          *np,
+		Degree:         *degree,
+		StepInterval:   *interval,
+		NodeMTBF:       *mtbf,
+		Seed:           *seed,
+		MaxRestarts:    *restarts,
+		AttemptTimeout: *timeout,
+		ComputeDelay:   *compute,
+		SendDelay:      *sendLat,
+	}
+	switch *mode {
+	case "all":
+		cfg.Mode = redundancy.AllToAll
+	case "hash":
+		cfg.Mode = redundancy.MsgPlusHash
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if *ckptDir != "" {
+		store, err := checkpoint.NewFileStorage(*ckptDir)
+		if err != nil {
+			return err
+		}
+		cfg.Storage = store
+	}
+
+	fmt.Printf("launching %s: N=%d r=%g (%d physical ranks under Eq. 8)\n",
+		*appName, *np, *degree, mustPhysical(*np, *degree))
+	start := time.Now()
+	res, runErr := core.Run(cfg, factory)
+	fmt.Printf("completed=%v wallclock=%v attempts=%d failures=%d checkpoints=%d\n",
+		res.Completed, time.Since(start).Round(time.Millisecond),
+		len(res.Attempts), res.TotalFailures, res.TotalCheckpoints)
+	for _, at := range res.Attempts {
+		fmt.Printf("  attempt %d: elapsed=%v failures=%d jobFailed=%v restored=%v checkpoints=%d\n",
+			at.Index, at.Elapsed.Round(time.Millisecond), at.Failures, at.JobFailed, at.Restored, at.Checkpoints)
+	}
+	fmt.Printf("redundancy layer: %d physical sends, %d deliveries, %d mismatches, %d corrections\n",
+		res.Redundancy.PhysicalSends, res.Redundancy.Deliveries,
+		res.Redundancy.Mismatches, res.Redundancy.Corrections)
+	if runErr != nil {
+		return runErr
+	}
+	if len(res.CompletedApps) > 0 {
+		fmt.Println("result:", describe(res.CompletedApps[0]))
+	}
+	return nil
+}
+
+func mustPhysical(n int, degree float64) int {
+	m, err := redundancy.NewRankMap(n, degree)
+	if err != nil {
+		return -1
+	}
+	return m.PhysicalSize()
+}
+
+func buildApp(name string, grid, iters int) (func() apps.App, func(apps.App) string, error) {
+	switch name {
+	case "cg":
+		m, err := apps.Laplacian2D(grid)
+		if err != nil {
+			return nil, nil, err
+		}
+		return func() apps.App { return &apps.CG{Matrix: m, Iterations: iters} },
+			func(a apps.App) string {
+				cg := a.(*apps.CG)
+				return fmt.Sprintf("residual=%.3e checksum=%.6f", cg.ResidualNorm, cg.Checksum)
+			}, nil
+	case "stencil":
+		return func() apps.App {
+				return &apps.Stencil{Width: grid, Height: 3 * grid, Iterations: iters, HotBoundary: 100}
+			},
+			func(a apps.App) string {
+				return fmt.Sprintf("heat=%.6f", a.(*apps.Stencil).Heat)
+			}, nil
+	case "taskfarm":
+		return func() apps.App { return &apps.TaskFarm{Tasks: iters} },
+			func(a apps.App) string {
+				return fmt.Sprintf("total=%d", a.(*apps.TaskFarm).Total)
+			}, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown app %q (cg, stencil, taskfarm)", name)
+	}
+}

@@ -1,0 +1,115 @@
+// Command simexplore runs the Monte-Carlo cluster simulator over a
+// redundancy-degree sweep for arbitrary job parameters — the empirical
+// companion to modelexplore (which evaluates the closed-form model).
+//
+// Examples:
+//
+//	simexplore -n 128 -work 46m -mtbf 6h -c 120s -restart 500s -runs 400
+//	simexplore -n 1024 -work 12h -mtbf 2.5y -c 5m -law sphere
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "simexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("simexplore", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 128, "virtual process count N")
+		workS    = fs.String("work", "46m", "base execution time t")
+		mtbfS    = fs.String("mtbf", "6h", "per-node MTBF θ")
+		cS       = fs.String("c", "120s", "checkpoint cost c")
+		restartS = fs.String("restart", "500s", "restart cost R")
+		alpha    = fs.Float64("alpha", 0.2, "communication/computation ratio α")
+		step     = fs.Float64("step", 0.25, "degree sweep step")
+		rmax     = fs.Float64("rmax", 3, "degree sweep upper bound")
+		runs     = fs.Int("runs", 200, "Monte-Carlo runs per degree")
+		seed     = fs.Int64("seed", 1, "seed")
+		lawS     = fs.String("law", "model", "failure law: model (Eq. 10 rate) | sphere (exact renewal)")
+		full     = fs.Bool("full-exposure", false, "expose checkpoint and restart phases to failures (§4 model regime)")
+		csv      = fs.Bool("csv", false, "CSV output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	work, err := cliutil.ParseSeconds(*workS)
+	if err != nil {
+		return fmt.Errorf("bad -work: %w", err)
+	}
+	mtbf, err := cliutil.ParseSeconds(*mtbfS)
+	if err != nil {
+		return fmt.Errorf("bad -mtbf: %w", err)
+	}
+	c, err := cliutil.ParseSeconds(*cS)
+	if err != nil {
+		return fmt.Errorf("bad -c: %w", err)
+	}
+	restart, err := cliutil.ParseSeconds(*restartS)
+	if err != nil {
+		return fmt.Errorf("bad -restart: %w", err)
+	}
+	var law sim.FailureLaw
+	switch *lawS {
+	case "model":
+		law = sim.LawModelRate
+	case "sphere":
+		law = sim.LawSphere
+	default:
+		return fmt.Errorf("unknown law %q", *lawS)
+	}
+
+	sep := "  "
+	if *csv {
+		sep = ","
+	}
+	fmt.Printf("degree%smean_h%sstddev_h%smin_h%smax_h%sfailures%scheckpoints%slost_work_h\n",
+		sep, sep, sep, sep, sep, sep, sep)
+	bestDegree, bestMean := 0.0, -1.0
+	for r := 1.0; r <= *rmax+1e-9; r += *step {
+		cfg := sim.Config{
+			N:                    *n,
+			Degree:               r,
+			Work:                 work,
+			Alpha:                *alpha,
+			NodeMTBF:             mtbf,
+			CheckpointCost:       c,
+			RestartCost:          restart,
+			Law:                  law,
+			FailDuringCheckpoint: *full,
+			FailDuringRestart:    *full,
+		}
+		est, err := sim.Run(cfg, *runs, *seed)
+		if err != nil {
+			return fmt.Errorf("r=%v: %w", r, err)
+		}
+		fmt.Printf("%.2f%s%.2f%s%.2f%s%.2f%s%.2f%s%.2f%s%.1f%s%.2f\n",
+			r, sep,
+			est.Total.Mean/model.Hour, sep,
+			est.Total.StdDev/model.Hour, sep,
+			est.Total.Min/model.Hour, sep,
+			est.Total.Max/model.Hour, sep,
+			est.MeanFailures, sep,
+			est.MeanCheckpoints, sep,
+			est.MeanLostWork/model.Hour)
+		if bestMean < 0 || est.Total.Mean < bestMean {
+			bestMean = est.Total.Mean
+			bestDegree = r
+		}
+	}
+	fmt.Printf("\nbest degree %.2f with mean completion %.2f h (%d runs per point, %s law)\n",
+		bestDegree, bestMean/model.Hour, *runs, *lawS)
+	return nil
+}

@@ -1,0 +1,14 @@
+// Package repro is a from-scratch Go reproduction of Elliott et al.,
+// "Combining Partial Redundancy and Checkpointing for HPC" (ICDCS 2012):
+// a partial-redundancy message-passing layer (RedMPI equivalent) over an
+// in-process MPI runtime, coordinated checkpoint/restart, Poisson failure
+// injection, the paper's full analytic model, a Monte-Carlo cluster
+// simulator, and a harness regenerating every table and figure of the
+// evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-versus-measured results.
+// The benchmarks in bench_test.go regenerate each published artefact:
+//
+//	go test -bench=. -benchmem
+package repro

@@ -1,0 +1,86 @@
+// Capacity planning: use the Section 4 analytic model as the paper's
+// "tuning knob" — given a job and a machine, find the redundancy degree
+// and checkpoint interval that minimise wallclock, minimise node-hours,
+// or optimise a weighted blend; then locate the scale at which redundancy
+// starts paying for itself (the Figure 13/14 crossovers).
+//
+//	go run ./examples/capacityplanning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/model"
+)
+
+func main() {
+	// A 24-hour, 16k-process job on a machine with 5-year node MTBF,
+	// 3-minute coordinated checkpoints and a 5-minute restart.
+	job := model.Params{
+		N:              16384,
+		Work:           24 * model.Hour,
+		Alpha:          0.2,
+		NodeMTBF:       5 * model.Year,
+		CheckpointCost: 3 * model.Minute,
+		RestartCost:    5 * model.Minute,
+	}
+
+	fmt.Println("degree sweep (Daly-optimal checkpoint interval at each point):")
+	fmt.Printf("%8s %10s %12s %12s %10s\n", "degree", "nodes", "T_total[h]", "node-hours", "E[failures]")
+	sweep, err := model.Sweep(job, 1, 3, 0.25, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, ev := range sweep {
+		fmt.Printf("%8.2f %10d %12.2f %12.0f %10.2f\n",
+			ev.Degree, ev.NodesUsed, ev.Total/model.Hour, ev.NodeHours(), ev.Failures)
+	}
+
+	fastest, err := model.OptimizeDegree(job, 1, 3, 0.25, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfastest completion:   r = %.2f → %.2f h on %d nodes\n",
+		fastest.Best.Degree, fastest.Best.Total/model.Hour, fastest.Best.NodesUsed)
+
+	cheapest, err := model.OptimizeCost(job, 1, 3, 0.25, model.Options{}, model.NodeHoursCost)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cheapest node-hours:  r = %.2f → %.0f node-hours\n",
+		cheapest.Best.Degree, cheapest.Best.NodeHours())
+
+	balanced, err := model.OptimizeCost(job, 1, 3, 0.25, model.Options{},
+		model.WeightedCost(job, 1.0, 0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("balanced (1.0/0.5):   r = %.2f\n", balanced.Best.Degree)
+
+	// Where does redundancy start to win as this job weak-scales?
+	n12, err := model.Crossover(job, 1, 2, 2, 4_000_000, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	n13, err := model.Crossover(job, 1, 3, 2, 4_000_000, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	twoForOne, err := model.ThroughputBreakEven(job, 2, 2, 2, 4_000_000, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nweak-scaling crossovers for this machine:\n")
+	fmt.Printf("  2x beats 1x from N = %d processes\n", n12)
+	fmt.Printf("  3x beats 1x from N = %d processes\n", n13)
+	fmt.Printf("  two dual-redundant jobs finish within one plain job from N = %d\n", twoForOne)
+
+	// Sanity anchor from the model: Daly vs direct numerical optimum.
+	delta, total, err := model.OptimizeInterval(job, fastest.Best.Degree, model.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheckpoint interval at the optimum: Daly δ = %.0f s; numerical δ* = %.0f s (T %.2f h)\n",
+		fastest.Best.Interval, delta, total/model.Hour)
+}

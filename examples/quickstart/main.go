@@ -1,0 +1,59 @@
+// Quickstart: run a conjugate-gradient solve at dual redundancy with
+// coordinated checkpointing and injected node failures, and watch the job
+// survive what would kill an unreplicated run.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+func main() {
+	// The application: CG on a 2-D Laplacian (100 unknowns), written once
+	// against the mpi.Comm interface — the redundancy degree is purely a
+	// launch-time knob, as with RedMPI.
+	matrix, err := apps.Laplacian2D(10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	factory := func() apps.App {
+		return &apps.CG{Matrix: matrix, Iterations: 200}
+	}
+
+	// Kill two physical ranks mid-run. At 2x redundancy these are
+	// replicas; their partners carry on and no restart is needed unless
+	// both replicas of one rank die.
+	schedule := []failure.Kill{
+		{Rank: 3, After: 50 * time.Millisecond},
+		{Rank: 6, After: 120 * time.Millisecond},
+	}
+
+	res, err := core.Run(core.Config{
+		Ranks:           8,  // N virtual processes
+		Degree:          2,  // dual redundancy: 16 physical processes
+		StepInterval:    25, // coordinated checkpoint every 25 CG iterations
+		FailureSchedule: schedule,
+		MaxRestarts:     5,
+		ComputeDelay:    2 * time.Millisecond,
+		AttemptTimeout:  time.Minute,
+	}, factory)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("completed: %v after %d attempt(s), %d injected failure(s), %d checkpoint(s)\n",
+		res.Completed, len(res.Attempts), res.TotalFailures, res.TotalCheckpoints)
+	fmt.Printf("physical ranks used: %d (Eq. 8 for N=8, r=2)\n", res.PhysicalRanks)
+	fmt.Printf("redundant messaging: %d physical sends for %d virtual deliveries\n",
+		res.Redundancy.PhysicalSends, res.Redundancy.Deliveries)
+	cg := res.CompletedApps[0].(*apps.CG)
+	fmt.Printf("solution: residual %.3e, checksum %.6f (exact answer: 100)\n",
+		cg.ResidualNorm, cg.Checksum)
+}

@@ -1,0 +1,221 @@
+package apps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/redundancy"
+	"repro/internal/simmpi"
+)
+
+// smallestEigenvalueLaplacian2D returns the exact smallest eigenvalue of
+// the g×g 5-point Laplacian with Dirichlet boundary:
+// λ_min = 4 - 2cos(π/(g+1)) - 2cos(π/(g+1)).
+func smallestEigenvalueLaplacian2D(g int) float64 {
+	c := math.Cos(math.Pi / float64(g+1))
+	return 4 - 4*c
+}
+
+func runEigen(t *testing.T, ranks int, mk func() *Eigen) []*Eigen {
+	t.Helper()
+	w, err := simmpi.NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Eigen, ranks)
+	appErr, failures := w.Run(func(c *simmpi.Comm) error {
+		app := mk()
+		out[c.Rank()] = app
+		return app.Run(&Context{Comm: c})
+	})
+	if appErr != nil {
+		t.Fatalf("app error: %v", appErr)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	return out
+}
+
+func TestEigenConvergesToAnalyticValue(t *testing.T) {
+	const g = 6
+	m, err := Laplacian2D(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := runEigen(t, 3, func() *Eigen {
+		return &Eigen{Matrix: m, OuterIterations: 12, InnerIterations: 80}
+	})
+	want := smallestEigenvalueLaplacian2D(g)
+	for rank, app := range apps {
+		if math.Abs(app.Eigenvalue-want)/want > 1e-6 {
+			t.Fatalf("rank %d: λ_min = %v, want %v", rank, app.Eigenvalue, want)
+		}
+	}
+}
+
+func TestEigenDeterministicAcrossRankCounts(t *testing.T) {
+	m, err := Laplacian2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := smallestEigenvalueLaplacian2D(5)
+	for _, ranks := range []int{1, 2, 4} {
+		apps := runEigen(t, ranks, func() *Eigen {
+			return &Eigen{Matrix: m, OuterIterations: 10, InnerIterations: 60}
+		})
+		if math.Abs(apps[0].Eigenvalue-want)/want > 1e-5 {
+			t.Fatalf("ranks=%d: λ = %v, want %v", ranks, apps[0].Eigenvalue, want)
+		}
+	}
+}
+
+func TestEigenValidation(t *testing.T) {
+	w, err := simmpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		return (&Eigen{}).Run(&Context{Comm: c})
+	})
+	if appErr == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestEigenCheckpointRestart(t *testing.T) {
+	const g = 5
+	m, err := Laplacian2D(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted := runEigen(t, 2, func() *Eigen {
+		return &Eigen{Matrix: m, OuterIterations: 8, InnerIterations: 50}
+	})[0].Eigenvalue
+
+	store := checkpoint.NewMemStorage()
+	// Phase 1: four outer iterations, checkpoint at 4.
+	w1, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w1.Run(func(c *simmpi.Comm) error {
+		cl, err := checkpoint.NewClient(c, checkpoint.Config{Storage: store, StepInterval: 4})
+		if err != nil {
+			return err
+		}
+		return (&Eigen{Matrix: m, OuterIterations: 4, InnerIterations: 50}).
+			Run(&Context{Comm: c, Ckpt: cl})
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	// Phase 2: resume to 8.
+	w2, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float64, 2)
+	appErr, _ = w2.Run(func(c *simmpi.Comm) error {
+		cl, err := checkpoint.NewClient(c, checkpoint.Config{Storage: store})
+		if err != nil {
+			return err
+		}
+		app := &Eigen{Matrix: m, OuterIterations: 8, InnerIterations: 50}
+		if err := app.Run(&Context{Comm: c, Ckpt: cl}); err != nil {
+			return err
+		}
+		vals[c.Rank()] = app.Eigenvalue
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	if vals[0] != uninterrupted {
+		t.Fatalf("resumed λ = %v, uninterrupted %v", vals[0], uninterrupted)
+	}
+}
+
+func TestEigenUnderRedundancy(t *testing.T) {
+	m, err := Laplacian2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runEigen(t, 2, func() *Eigen {
+		return &Eigen{Matrix: m, OuterIterations: 6, InnerIterations: 40}
+	})[0].Eigenvalue
+
+	rm, err := redundancy.NewRankMap(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := simmpi.NewWorld(rm.PhysicalSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var vals []float64
+	appErr, failures := w.Run(func(pc *simmpi.Comm) error {
+		rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+		if err != nil {
+			return err
+		}
+		app := &Eigen{Matrix: m, OuterIterations: 6, InnerIterations: 40}
+		if err := app.Run(&Context{Comm: rc}); err != nil {
+			return err
+		}
+		mu.Lock()
+		vals = append(vals, app.Eigenvalue)
+		mu.Unlock()
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	for _, v := range vals {
+		if v != want {
+			t.Fatalf("redundant λ = %v, plain %v", v, want)
+		}
+	}
+}
+
+func TestEigenStateCodec(t *testing.T) {
+	s := &eigenState{outer: 3, estimate: 0.5, x: []float64{1, 2}}
+	got, err := decodeEigenState(s.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.outer != 3 || got.estimate != 0.5 || got.x[1] != 2 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := decodeEigenState([]byte{1, 2, 3}); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestEigenRandomSPD(t *testing.T) {
+	// Smallest eigenvalue of a diagonally dominant matrix with
+	// diag = 1 + Σ|off| is ≥ 1 (Gershgorin); inverse power iteration must
+	// land inside the Gershgorin band and match across rank counts.
+	m, err := RandomSPD(40, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := runEigen(t, 2, func() *Eigen {
+		return &Eigen{Matrix: m, OuterIterations: 15, InnerIterations: 80}
+	})[0].Eigenvalue
+	if a < 0.5 {
+		t.Fatalf("λ_min = %v below Gershgorin floor", a)
+	}
+	b := runEigen(t, 4, func() *Eigen {
+		return &Eigen{Matrix: m, OuterIterations: 15, InnerIterations: 80}
+	})[0].Eigenvalue
+	if math.Abs(a-b)/a > 1e-8 {
+		t.Fatalf("rank-count dependence: %v vs %v", a, b)
+	}
+}

@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLaplacian2DStructure(t *testing.T) {
+	m, err := Laplacian2D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 9 {
+		t.Fatalf("N = %d", m.N)
+	}
+	d := m.Dense()
+	// Symmetry and diagonal.
+	for i := 0; i < m.N; i++ {
+		if d[i][i] != 4 {
+			t.Fatalf("diag[%d] = %v", i, d[i][i])
+		}
+		for j := 0; j < m.N; j++ {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("asymmetric at (%d,%d)", i, j)
+			}
+			if i != j && d[i][j] != 0 && d[i][j] != -1 {
+				t.Fatalf("off-diagonal (%d,%d) = %v", i, j, d[i][j])
+			}
+		}
+	}
+	// Center point (1,1) has 4 neighbours.
+	center := 4
+	count := 0
+	for j := 0; j < m.N; j++ {
+		if j != center && d[center][j] == -1 {
+			count++
+		}
+	}
+	if count != 4 {
+		t.Fatalf("center has %d neighbours", count)
+	}
+}
+
+func TestLaplacianRejectsBadSize(t *testing.T) {
+	if _, err := Laplacian2D(0); err == nil {
+		t.Fatal("g=0 accepted")
+	}
+}
+
+func TestRandomSPDProperties(t *testing.T) {
+	m, err := RandomSPD(40, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := m.Dense()
+	for i := 0; i < m.N; i++ {
+		var off float64
+		for j := 0; j < m.N; j++ {
+			if d[i][j] != d[j][i] {
+				t.Fatalf("asymmetric at (%d,%d): %v vs %v", i, j, d[i][j], d[j][i])
+			}
+			if i != j {
+				off += math.Abs(d[i][j])
+			}
+		}
+		if d[i][i] <= off {
+			t.Fatalf("row %d not diagonally dominant: %v <= %v", i, d[i][i], off)
+		}
+	}
+	// CSR columns strictly ascending per row.
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i] + 1; k < m.RowPtr[i+1]; k++ {
+			if m.ColIdx[k] <= m.ColIdx[k-1] {
+				t.Fatalf("row %d columns not ascending", i)
+			}
+		}
+	}
+}
+
+func TestRandomSPDReproducible(t *testing.T) {
+	a, err := RandomSPD(20, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomSPD(20, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Values) != len(b.Values) {
+		t.Fatal("nnz differ")
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.ColIdx[i] != b.ColIdx[i] {
+			t.Fatal("same seed produced different matrices")
+		}
+	}
+}
+
+func TestRandomSPDValidation(t *testing.T) {
+	if _, err := RandomSPD(0, 1, 1); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := RandomSPD(4, 4, 1); err == nil {
+		t.Error("nnzPerRow=n accepted")
+	}
+}
+
+func TestRowRangeCoversExactly(t *testing.T) {
+	f := func(nRaw, ranksRaw uint8) bool {
+		n := int(nRaw) + 1
+		ranks := int(ranksRaw%16) + 1
+		covered := 0
+		prevHi := 0
+		for r := 0; r < ranks; r++ {
+			lo, hi := RowRange(n, r, ranks)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowRangeBalance(t *testing.T) {
+	// Block sizes differ by at most one.
+	lo0, hi0 := RowRange(10, 0, 3)
+	lo1, hi1 := RowRange(10, 1, 3)
+	lo2, hi2 := RowRange(10, 2, 3)
+	sizes := []int{hi0 - lo0, hi1 - lo1, hi2 - lo2}
+	if sizes[0] != 4 || sizes[1] != 3 || sizes[2] != 3 {
+		t.Fatalf("sizes %v", sizes)
+	}
+}
+
+func TestMulRowsMatchesDense(t *testing.T) {
+	m, err := Laplacian2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = float64(i%5) - 2
+	}
+	d := m.Dense()
+	want := make([]float64, m.N)
+	for i := range want {
+		for j := range x {
+			want[i] += d[i][j] * x[j]
+		}
+	}
+	got := make([]float64, m.N)
+	if err := m.MulRows(0, m.N, x, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	// Partial row block agrees too.
+	part := make([]float64, 5)
+	if err := m.MulRows(3, 8, x, part); err != nil {
+		t.Fatal(err)
+	}
+	for i := range part {
+		if part[i] != got[3+i] {
+			t.Fatalf("block row %d differs", i)
+		}
+	}
+}
+
+func TestMulRowsValidation(t *testing.T) {
+	m, err := Laplacian2D(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MulRows(0, 5, make([]float64, 4), make([]float64, 5)); err == nil {
+		t.Error("hi > N accepted")
+	}
+	if err := m.MulRows(0, 2, make([]float64, 3), make([]float64, 2)); err == nil {
+		t.Error("short x accepted")
+	}
+	if err := m.MulRows(0, 2, make([]float64, 4), make([]float64, 1)); err == nil {
+		t.Error("short y accepted")
+	}
+}

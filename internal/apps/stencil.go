@@ -1,0 +1,187 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mpi"
+)
+
+// Stencil is a 2-D Jacobi heat-diffusion kernel: the grid is partitioned
+// into horizontal slabs, and each iteration exchanges halo rows with the
+// two neighbouring ranks then relaxes every interior point. It is the
+// nearest-neighbour communication pattern complementing CG's global
+// reductions.
+type Stencil struct {
+	// Width and Height are the global grid dimensions (including the
+	// fixed boundary).
+	Width, Height int
+	// Iterations is the relaxation count.
+	Iterations int
+	// HotBoundary is the temperature applied along the top edge; the
+	// other edges are held at zero.
+	HotBoundary float64
+
+	// Heat is the global heat sum after Run (identical on all ranks).
+	Heat float64
+}
+
+var _ App = (*Stencil)(nil)
+
+// Name implements App.
+func (st *Stencil) Name() string { return "stencil" }
+
+const (
+	tagHaloUp   = 101
+	tagHaloDown = 102
+)
+
+// stencilState is the checkpointable state: the owned slab (with halo
+// rows) and the iteration counter.
+type stencilState struct {
+	iter int
+	grid []float64 // (rows+2) × width, including halo rows
+}
+
+func (s *stencilState) encode() []byte {
+	var w stateWriter
+	w.int(s.iter)
+	w.float64s(s.grid)
+	return w.bytes()
+}
+
+func decodeStencilState(buf []byte) (*stencilState, error) {
+	r := stateReader{buf: buf}
+	var s stencilState
+	var err error
+	if s.iter, err = r.int(); err != nil {
+		return nil, err
+	}
+	if s.grid, err = r.float64s(); err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Run implements App.
+func (st *Stencil) Run(ctx *Context) error {
+	if st.Width < 3 || st.Height < 3 || st.Iterations <= 0 {
+		return fmt.Errorf("stencil: need ≥3×3 grid and positive iterations")
+	}
+	c := ctx.Comm
+	lo, hi := RowRange(st.Height, c.Rank(), c.Size())
+	rows := hi - lo
+	if rows == 0 {
+		return fmt.Errorf("stencil: rank %d owns no rows (height %d, ranks %d)",
+			c.Rank(), st.Height, c.Size())
+	}
+	w := st.Width
+
+	state := &stencilState{grid: make([]float64, (rows+2)*w)}
+	// Apply the hot top boundary if this rank owns global row 0.
+	if lo == 0 {
+		for x := 0; x < w; x++ {
+			state.grid[1*w+x] = st.HotBoundary
+		}
+	}
+
+	if snap, ok, err := ctx.restore(); err != nil {
+		return err
+	} else if ok {
+		restored, derr := decodeStencilState(snap)
+		if derr != nil {
+			return fmt.Errorf("stencil: restoring: %w", derr)
+		}
+		if len(restored.grid) != len(state.grid) {
+			return fmt.Errorf("stencil: checkpoint grid %d cells, want %d",
+				len(restored.grid), len(state.grid))
+		}
+		state = restored
+	}
+
+	up := c.Rank() - 1
+	down := c.Rank() + 1
+	next := make([]float64, len(state.grid))
+	for ; state.iter < st.Iterations; state.iter++ {
+		// Halo exchange: send my first owned row up, last owned row down.
+		if up >= 0 {
+			if err := c.Send(up, tagHaloUp, encodeVec(state.grid[w:2*w])); err != nil {
+				return err
+			}
+		}
+		if down < c.Size() {
+			if err := c.Send(down, tagHaloDown, encodeVec(state.grid[rows*w:(rows+1)*w])); err != nil {
+				return err
+			}
+		}
+		if down < c.Size() {
+			msg, err := c.Recv(down, tagHaloUp)
+			if err != nil {
+				return err
+			}
+			halo, derr := decodeVec(msg.Data)
+			if derr != nil {
+				return derr
+			}
+			copy(state.grid[(rows+1)*w:], halo)
+		}
+		if up >= 0 {
+			msg, err := c.Recv(up, tagHaloDown)
+			if err != nil {
+				return err
+			}
+			halo, derr := decodeVec(msg.Data)
+			if derr != nil {
+				return derr
+			}
+			copy(state.grid[:w], halo)
+		}
+
+		// Relax interior points; global boundary rows/columns stay fixed.
+		for r := 1; r <= rows; r++ {
+			globalRow := lo + r - 1
+			if globalRow == 0 || globalRow == st.Height-1 {
+				copy(next[r*w:(r+1)*w], state.grid[r*w:(r+1)*w])
+				continue
+			}
+			next[r*w] = state.grid[r*w]
+			next[r*w+w-1] = state.grid[r*w+w-1]
+			for x := 1; x < w-1; x++ {
+				idx := r*w + x
+				next[idx] = 0.25 * (state.grid[idx-w] + state.grid[idx+w] +
+					state.grid[idx-1] + state.grid[idx+1])
+			}
+		}
+		copy(state.grid[w:(rows+1)*w], next[w:(rows+1)*w])
+		ctx.compute()
+
+		if _, err := ctx.maybeCheckpoint(state.iter+1, snapshotStencil(state)); err != nil {
+			return err
+		}
+	}
+
+	// Global heat: sum of owned cells, allreduced.
+	var local float64
+	for r := 1; r <= rows; r++ {
+		for x := 0; x < w; x++ {
+			local += state.grid[r*w+x]
+		}
+	}
+	out, err := mpi.AllreduceFloat64s(c, []float64{local}, mpi.OpSum)
+	if err != nil {
+		return err
+	}
+	st.Heat = out[0]
+	if math.IsNaN(st.Heat) {
+		return fmt.Errorf("stencil: heat diverged to NaN")
+	}
+	return nil
+}
+
+func snapshotStencil(s *stencilState) []byte {
+	snap := stencilState{iter: s.iter + 1, grid: s.grid}
+	return snap.encode()
+}

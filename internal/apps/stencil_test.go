@@ -1,0 +1,208 @@
+package apps
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/redundancy"
+	"repro/internal/simmpi"
+)
+
+// serialJacobi is an independent single-threaded reference implementation.
+func serialJacobi(width, height, iters int, hot float64) []float64 {
+	grid := make([]float64, width*height)
+	for x := 0; x < width; x++ {
+		grid[x] = hot
+	}
+	next := make([]float64, len(grid))
+	for it := 0; it < iters; it++ {
+		copy(next, grid)
+		for y := 1; y < height-1; y++ {
+			for x := 1; x < width-1; x++ {
+				idx := y*width + x
+				next[idx] = 0.25 * (grid[idx-width] + grid[idx+width] + grid[idx-1] + grid[idx+1])
+			}
+		}
+		grid, next = next, grid
+	}
+	return grid
+}
+
+func runStencil(t *testing.T, n int, mk func() *Stencil) []*Stencil {
+	t.Helper()
+	w, err := simmpi.NewWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apps := make([]*Stencil, n)
+	appErr, failures := w.Run(func(c *simmpi.Comm) error {
+		app := mk()
+		apps[c.Rank()] = app
+		return app.Run(&Context{Comm: c})
+	})
+	if appErr != nil {
+		t.Fatalf("app error: %v", appErr)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	return apps
+}
+
+func TestStencilMatchesSerialReference(t *testing.T) {
+	const (
+		width, height = 8, 12
+		iters         = 25
+		hot           = 100.0
+	)
+	ref := serialJacobi(width, height, iters, hot)
+	var wantHeat float64
+	for _, v := range ref {
+		wantHeat += v
+	}
+	for _, ranks := range []int{1, 2, 3, 4} {
+		apps := runStencil(t, ranks, func() *Stencil {
+			return &Stencil{Width: width, Height: height, Iterations: iters, HotBoundary: hot}
+		})
+		for rank, app := range apps {
+			if math.Abs(app.Heat-wantHeat) > 1e-9*math.Abs(wantHeat) {
+				t.Fatalf("ranks=%d rank=%d heat %v, want %v", ranks, rank, app.Heat, wantHeat)
+			}
+		}
+	}
+}
+
+func TestStencilHeatPositiveAndBounded(t *testing.T) {
+	apps := runStencil(t, 2, func() *Stencil {
+		return &Stencil{Width: 6, Height: 6, Iterations: 50, HotBoundary: 10}
+	})
+	maxPossible := 10.0 * 6 * 6
+	if apps[0].Heat <= 0 || apps[0].Heat > maxPossible {
+		t.Fatalf("heat %v out of (0, %v]", apps[0].Heat, maxPossible)
+	}
+}
+
+func TestStencilValidation(t *testing.T) {
+	w, err := simmpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		return (&Stencil{Width: 2, Height: 2, Iterations: 1}).Run(&Context{Comm: c})
+	})
+	if appErr == nil {
+		t.Fatal("2x2 grid accepted")
+	}
+}
+
+func TestStencilCheckpointRestartEquivalence(t *testing.T) {
+	const (
+		width, height = 6, 9
+		iters         = 20
+		hot           = 50.0
+	)
+	want := runStencil(t, 3, func() *Stencil {
+		return &Stencil{Width: width, Height: height, Iterations: iters, HotBoundary: hot}
+	})[0].Heat
+
+	store := checkpoint.NewMemStorage()
+	// Phase 1: first 10 iterations with a checkpoint at 10.
+	w1, err := simmpi.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w1.Run(func(c *simmpi.Comm) error {
+		cl, err := checkpoint.NewClient(c, checkpoint.Config{Storage: store, StepInterval: 10})
+		if err != nil {
+			return err
+		}
+		app := &Stencil{Width: width, Height: height, Iterations: 10, HotBoundary: hot}
+		return app.Run(&Context{Comm: c, Ckpt: cl})
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	// Phase 2: resume to the full 20.
+	w2, err := simmpi.NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heats := make([]float64, 3)
+	appErr, _ = w2.Run(func(c *simmpi.Comm) error {
+		cl, err := checkpoint.NewClient(c, checkpoint.Config{Storage: store})
+		if err != nil {
+			return err
+		}
+		app := &Stencil{Width: width, Height: height, Iterations: iters, HotBoundary: hot}
+		if err := app.Run(&Context{Comm: c, Ckpt: cl}); err != nil {
+			return err
+		}
+		heats[c.Rank()] = app.Heat
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	if heats[0] != want {
+		t.Fatalf("resumed heat %v, want %v", heats[0], want)
+	}
+}
+
+func TestStencilUnderRedundancy(t *testing.T) {
+	const n = 3
+	plain := runStencil(t, n, func() *Stencil {
+		return &Stencil{Width: 7, Height: 9, Iterations: 15, HotBoundary: 5}
+	})[0].Heat
+
+	rm, err := redundancy.NewRankMap(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := simmpi.NewWorld(rm.PhysicalSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var heats []float64
+	appErr, failures := w.Run(func(pc *simmpi.Comm) error {
+		rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+		if err != nil {
+			return err
+		}
+		app := &Stencil{Width: 7, Height: 9, Iterations: 15, HotBoundary: 5}
+		if err := app.Run(&Context{Comm: rc}); err != nil {
+			return err
+		}
+		mu.Lock()
+		heats = append(heats, app.Heat)
+		mu.Unlock()
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	for _, h := range heats {
+		if h != plain {
+			t.Fatalf("redundant heat %v != plain %v", h, plain)
+		}
+	}
+}
+
+func TestStencilStateCodec(t *testing.T) {
+	s := &stencilState{iter: 7, grid: []float64{1, 2, 3}}
+	got, err := decodeStencilState(s.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.iter != 7 || len(got.grid) != 3 || got.grid[2] != 3 {
+		t.Fatalf("round trip %+v", got)
+	}
+	if _, err := decodeStencilState([]byte{1}); err == nil {
+		t.Error("garbage accepted")
+	}
+}

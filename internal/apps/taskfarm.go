@@ -1,0 +1,174 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// TaskFarm is a master/worker application: rank 0 hands out task indices
+// and collects results with wildcard receives (MPI_ANY_SOURCE), the
+// pattern whose replica-consistent handling needs the paper's §3
+// envelope-forwarding protocol. Workers compute f(task) for a simple
+// integer function, so the aggregate is exact and order-independent.
+//
+// The farm runs to completion in one attempt (its wildcard-driven state
+// is not checkpointed); it exists to exercise wildcard receives under
+// redundancy and as the paper's master/slave ABFT-style example workload.
+type TaskFarm struct {
+	// Tasks is the number of work items.
+	Tasks int
+
+	// Total is the aggregated result on every rank after Run.
+	Total int64
+}
+
+var _ App = (*TaskFarm)(nil)
+
+// Name implements App.
+func (tf *TaskFarm) Name() string { return "taskfarm" }
+
+const (
+	tagWork   = 201 // master → worker: task index, or stop sentinel
+	tagResult = 202 // worker → master: task result
+	tagTotal  = 203 // master → workers: final aggregate
+)
+
+// taskValue is the work function: a small deterministic computation.
+func taskValue(task int) int64 {
+	v := int64(task)
+	return v*v%9973 + v
+}
+
+// Run implements App.
+func (tf *TaskFarm) Run(ctx *Context) error {
+	if tf.Tasks <= 0 {
+		return fmt.Errorf("taskfarm: need positive Tasks")
+	}
+	c := ctx.Comm
+	if c.Size() < 2 {
+		return fmt.Errorf("taskfarm: need at least 2 ranks")
+	}
+	if c.Rank() == 0 {
+		return tf.master(ctx)
+	}
+	return tf.worker(ctx)
+}
+
+func (tf *TaskFarm) master(ctx *Context) error {
+	c := ctx.Comm
+	workers := c.Size() - 1
+	next := 0
+	outstanding := 0
+	var total int64
+
+	// Prime every worker with one task (or stop it immediately).
+	for w := 1; w <= workers; w++ {
+		if next < tf.Tasks {
+			if err := c.Send(w, tagWork, encodeTask(next)); err != nil {
+				return err
+			}
+			next++
+			outstanding++
+		} else {
+			if err := c.Send(w, tagWork, encodeTask(-1)); err != nil {
+				return err
+			}
+		}
+	}
+	// Collect results with wildcard receives, handing out work until
+	// exhausted.
+	for outstanding > 0 {
+		msg, err := c.Recv(mpi.AnySource, tagResult)
+		if err != nil {
+			return err
+		}
+		task, value, err := decodeResult(msg.Data)
+		if err != nil {
+			return err
+		}
+		if want := taskValue(task); value != want {
+			return fmt.Errorf("taskfarm: task %d returned %d, want %d", task, value, want)
+		}
+		total += value
+		outstanding--
+		reply := -1
+		if next < tf.Tasks {
+			reply = next
+			next++
+			outstanding++
+		}
+		if err := c.Send(msg.Source, tagWork, encodeTask(reply)); err != nil {
+			return err
+		}
+	}
+	// Publish the aggregate so every rank (and test) can check it.
+	if _, err := mpi.Bcast(c, 0, encodeTask64(total)); err != nil {
+		return err
+	}
+	tf.Total = total
+	return nil
+}
+
+func (tf *TaskFarm) worker(ctx *Context) error {
+	c := ctx.Comm
+	for {
+		msg, err := c.Recv(0, tagWork)
+		if err != nil {
+			return err
+		}
+		task, err := decodeTask(msg.Data)
+		if err != nil {
+			return err
+		}
+		if task < 0 {
+			break
+		}
+		ctx.compute()
+		if err := c.Send(0, tagResult, encodeResult(task, taskValue(task))); err != nil {
+			return err
+		}
+	}
+	buf, err := mpi.Bcast(c, 0, nil)
+	if err != nil {
+		return err
+	}
+	tf.Total, err = decodeTask64(buf)
+	return err
+}
+
+func encodeTask(task int) []byte { return encodeTask64(int64(task)) }
+
+func encodeTask64(v int64) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	return buf[:]
+}
+
+func decodeTask(buf []byte) (int, error) {
+	v, err := decodeTask64(buf)
+	return int(v), err
+}
+
+func decodeTask64(buf []byte) (int64, error) {
+	if len(buf) != 8 {
+		return 0, fmt.Errorf("taskfarm: %d-byte task message", len(buf))
+	}
+	return int64(binary.LittleEndian.Uint64(buf)), nil
+}
+
+func encodeResult(task int, value int64) []byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint64(buf[:8], uint64(int64(task)))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(value))
+	return buf[:]
+}
+
+func decodeResult(buf []byte) (task int, value int64, err error) {
+	if len(buf) != 16 {
+		return 0, 0, fmt.Errorf("taskfarm: %d-byte result message", len(buf))
+	}
+	return int(int64(binary.LittleEndian.Uint64(buf[:8]))),
+		int64(binary.LittleEndian.Uint64(buf[8:])), nil
+}

@@ -1,0 +1,151 @@
+package apps
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/redundancy"
+	"repro/internal/simmpi"
+)
+
+func expectedFarmTotal(tasks int) int64 {
+	var total int64
+	for t := 0; t < tasks; t++ {
+		total += taskValue(t)
+	}
+	return total
+}
+
+func TestTaskFarmPlain(t *testing.T) {
+	const ranks, tasks = 4, 37
+	w, err := simmpi.NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]int64, ranks)
+	appErr, failures := w.Run(func(c *simmpi.Comm) error {
+		app := &TaskFarm{Tasks: tasks}
+		if err := app.Run(&Context{Comm: c}); err != nil {
+			return err
+		}
+		totals[c.Rank()] = app.Total
+		return nil
+	})
+	if appErr != nil {
+		t.Fatalf("app error: %v", appErr)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("failures: %v", failures)
+	}
+	want := expectedFarmTotal(tasks)
+	for rank, got := range totals {
+		if got != want {
+			t.Fatalf("rank %d total %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestTaskFarmMoreWorkersThanTasks(t *testing.T) {
+	const ranks, tasks = 6, 3
+	w, err := simmpi.NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		app := &TaskFarm{Tasks: tasks}
+		if err := app.Run(&Context{Comm: c}); err != nil {
+			return err
+		}
+		if app.Total != expectedFarmTotal(tasks) {
+			t.Errorf("rank %d total %d", c.Rank(), app.Total)
+		}
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+}
+
+func TestTaskFarmUnderRedundancy(t *testing.T) {
+	// The master's wildcard receives must behave identically on both of
+	// its replicas — the full §3 protocol in a realistic workload.
+	for _, degree := range []float64{1.5, 2, 3} {
+		degree := degree
+		const n, tasks = 4, 25
+		rm, err := redundancy.NewRankMap(n, degree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := simmpi.NewWorld(rm.PhysicalSize())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var totals []int64
+		appErr, failures := w.Run(func(pc *simmpi.Comm) error {
+			rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+			if err != nil {
+				return err
+			}
+			app := &TaskFarm{Tasks: tasks}
+			if err := app.Run(&Context{Comm: rc}); err != nil {
+				return err
+			}
+			mu.Lock()
+			totals = append(totals, app.Total)
+			mu.Unlock()
+			return nil
+		})
+		if appErr != nil {
+			t.Fatalf("degree %v: %v", degree, appErr)
+		}
+		if len(failures) != 0 {
+			t.Fatalf("degree %v failures: %v", degree, failures)
+		}
+		want := expectedFarmTotal(tasks)
+		for i, got := range totals {
+			if got != want {
+				t.Fatalf("degree %v replica %d total %d, want %d", degree, i, got, want)
+			}
+		}
+	}
+}
+
+func TestTaskFarmValidation(t *testing.T) {
+	w, err := simmpi.NewWorld(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		return (&TaskFarm{Tasks: 5}).Run(&Context{Comm: c})
+	})
+	if appErr == nil {
+		t.Fatal("single-rank farm accepted")
+	}
+	w2, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ = w2.Run(func(c *simmpi.Comm) error {
+		return (&TaskFarm{}).Run(&Context{Comm: c})
+	})
+	if appErr == nil {
+		t.Fatal("zero tasks accepted")
+	}
+}
+
+func TestTaskCodecs(t *testing.T) {
+	if v, err := decodeTask(encodeTask(-1)); err != nil || v != -1 {
+		t.Fatalf("sentinel round trip %d/%v", v, err)
+	}
+	task, val, err := decodeResult(encodeResult(12, 345))
+	if err != nil || task != 12 || val != 345 {
+		t.Fatalf("result round trip %d/%d/%v", task, val, err)
+	}
+	if _, err := decodeTask([]byte{1, 2}); err == nil {
+		t.Error("short task accepted")
+	}
+	if _, _, err := decodeResult([]byte{1}); err == nil {
+		t.Error("short result accepted")
+	}
+}

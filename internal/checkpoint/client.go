@@ -1,0 +1,287 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/mpi"
+)
+
+// ErrNotQuiescent reports that the bookmark exchange found in-flight
+// messages: per-pair sent and received totals failed to equalise, so a
+// consistent distributed snapshot cannot be taken at this point.
+var ErrNotQuiescent = errors.New("checkpoint: channels not quiescent")
+
+// Config configures a per-rank checkpoint client.
+type Config struct {
+	// Storage receives the snapshots. All ranks of a job must share one
+	// logical store (the same MemStorage, or FileStorages over one
+	// directory).
+	Storage Storage
+	// StepInterval makes MaybeCheckpoint fire every StepInterval steps.
+	// Step-based scheduling is deterministic across replicas, which the
+	// redundancy layer requires (wall-clock decisions would diverge
+	// between a rank's replicas). The orchestrator converts the model's
+	// time interval δ into steps. Zero disables MaybeCheckpoint.
+	StepInterval int
+	// SkipBookmark disables the quiescence verification (for
+	// applications that checkpoint at points where channels are known
+	// non-empty by design).
+	SkipBookmark bool
+	// BookmarkRetries is how many barrier-separated re-reads of the
+	// totals to attempt before declaring ErrNotQuiescent. Defaults to 3.
+	BookmarkRetries int
+}
+
+// Client coordinates snapshots and restores for one rank (or one replica
+// of a rank — all replicas run the protocol; writer selection decides who
+// touches storage).
+type Client struct {
+	comm mpi.Comm
+	cfg  Config
+	gen  uint64
+
+	// Stats.
+	checkpoints int
+	restores    int
+}
+
+// NewClient creates a checkpoint client over the given communicator.
+func NewClient(comm mpi.Comm, cfg Config) (*Client, error) {
+	if cfg.Storage == nil {
+		return nil, fmt.Errorf("checkpoint: nil storage")
+	}
+	if cfg.BookmarkRetries <= 0 {
+		cfg.BookmarkRetries = 3
+	}
+	return &Client{comm: comm, cfg: cfg}, nil
+}
+
+// Checkpoints returns how many snapshots this client has completed.
+func (cl *Client) Checkpoints() int { return cl.checkpoints }
+
+// Restores returns how many restores this client has completed.
+func (cl *Client) Restores() int { return cl.restores }
+
+// MaybeCheckpoint checkpoints when the deterministic step schedule says
+// so: at every positive multiple of StepInterval. All ranks (and all
+// replicas) must call it with the same step; the decision is pure
+// arithmetic, so no coordination round is needed. writer selects whether
+// this caller persists its rank's state — under redundancy, the lowest
+// alive replica of each rank should write; plain ranks always write.
+func (cl *Client) MaybeCheckpoint(step int, state []byte, writer bool) (bool, error) {
+	k := cl.cfg.StepInterval
+	if k <= 0 || step <= 0 || step%k != 0 {
+		return false, nil
+	}
+	if err := cl.Checkpoint(state, writer); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Checkpoint runs one coordinated snapshot:
+//
+//  1. Barrier — every rank reaches the checkpoint line.
+//  2. Bookmark exchange — all ranks allgather their per-peer sent totals
+//     and verify recv[j][i] == sent[i][j] for every pair (Open MPI's
+//     bookmark protocol); retries with barriers allow stragglers'
+//     matching receives to complete.
+//  3. Every writer stores its rank's state under the next generation.
+//  4. Barrier, then rank 0 commits the generation atomically.
+//
+// The generation number is agreed by broadcasting rank 0's view, so
+// clients that joined after a restart stay aligned.
+func (cl *Client) Checkpoint(state []byte, writer bool) error {
+	if err := mpi.Barrier(cl.comm); err != nil {
+		return fmt.Errorf("checkpoint barrier: %w", err)
+	}
+	if !cl.cfg.SkipBookmark {
+		if err := cl.bookmarkExchange(); err != nil {
+			return err
+		}
+	}
+	// Agree on the generation: rank 0 proposes, everyone adopts.
+	gen, err := cl.agreeGeneration()
+	if err != nil {
+		return err
+	}
+	if writer {
+		if err := cl.cfg.Storage.Write(gen, cl.comm.Rank(), state); err != nil {
+			return fmt.Errorf("checkpoint write: %w", err)
+		}
+	}
+	if err := mpi.Barrier(cl.comm); err != nil {
+		return fmt.Errorf("checkpoint commit barrier: %w", err)
+	}
+	if cl.comm.Rank() == 0 {
+		if err := cl.cfg.Storage.Commit(gen, cl.comm.Size()); err != nil {
+			return fmt.Errorf("checkpoint commit: %w", err)
+		}
+	}
+	// Final barrier so no rank races ahead and checkpoints generation
+	// gen+1 before gen is committed.
+	if err := mpi.Barrier(cl.comm); err != nil {
+		return fmt.Errorf("checkpoint publish barrier: %w", err)
+	}
+	cl.gen = gen + 1
+	cl.checkpoints++
+	return nil
+}
+
+// agreeGeneration broadcasts rank 0's next-generation proposal.
+func (cl *Client) agreeGeneration() (uint64, error) {
+	var proposal []byte
+	if cl.comm.Rank() == 0 {
+		gen := cl.gen
+		if latest, _, ok, err := cl.cfg.Storage.Latest(); err != nil {
+			return 0, fmt.Errorf("checkpoint: %w", err)
+		} else if ok && latest+1 > gen {
+			gen = latest + 1
+		}
+		proposal = encodeUint64(gen)
+	}
+	proposal, err := mpi.Bcast(cl.comm, 0, proposal)
+	if err != nil {
+		return 0, fmt.Errorf("checkpoint generation agreement: %w", err)
+	}
+	gen, err := decodeUint64(proposal)
+	if err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// bookmarkExchange verifies channel quiescence from message totals.
+func (cl *Client) bookmarkExchange() error {
+	tracker, ok := cl.comm.(mpi.CountTracker)
+	if !ok {
+		return nil // transport does not expose totals; trust the caller
+	}
+	n := cl.comm.Size()
+	for attempt := 0; attempt < cl.cfg.BookmarkRetries; attempt++ {
+		// Snapshot both counters before exchanging anything, then ship
+		// them in a single allgather: the exchange's own traffic must not
+		// appear in one counter but not the other.
+		local := append(tracker.SentCounts(), tracker.RecvCounts()...)
+		rows, err := mpi.Allgather(cl.comm, encodeUint64s(local))
+		if err != nil {
+			return fmt.Errorf("bookmark exchange: %w", err)
+		}
+		sentRows := make([][]byte, len(rows))
+		recvRows := make([][]byte, len(rows))
+		for i, row := range rows {
+			if len(row) != 16*n {
+				return fmt.Errorf("checkpoint: bookmark row of %d bytes, want %d", len(row), 16*n)
+			}
+			sentRows[i] = row[:8*n]
+			recvRows[i] = row[8*n:]
+		}
+		quiescent, err := totalsEqualize(sentRows, recvRows)
+		if err != nil {
+			return err
+		}
+		if quiescent {
+			return nil
+		}
+		// Allow in-flight matching receives to complete, then retry.
+		if err := mpi.Barrier(cl.comm); err != nil {
+			return fmt.Errorf("bookmark retry barrier: %w", err)
+		}
+	}
+	return ErrNotQuiescent
+}
+
+// totalsEqualize checks sent[i][j] == recv[j][i] for all pairs, ignoring
+// the traffic of the exchange itself: the allgathers above add identical
+// amounts to symmetric counters only after both sides' snapshots were
+// taken, so pre-snapshot asymmetry is what this detects.
+func totalsEqualize(sentRows, recvRows [][]byte) (bool, error) {
+	n := len(sentRows)
+	sent := make([][]uint64, n)
+	recv := make([][]uint64, n)
+	for i := 0; i < n; i++ {
+		var err error
+		if sent[i], err = decodeUint64s(sentRows[i]); err != nil {
+			return false, err
+		}
+		if recv[i], err = decodeUint64s(recvRows[i]); err != nil {
+			return false, err
+		}
+		if len(sent[i]) != n || len(recv[i]) != n {
+			return false, fmt.Errorf("checkpoint: bookmark row length %d/%d, want %d",
+				len(sent[i]), len(recv[i]), n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if sent[i][j] < recv[j][i] {
+				return false, fmt.Errorf("checkpoint: rank %d received %d from %d which sent %d",
+					j, recv[j][i], i, sent[i][j])
+			}
+			if sent[i][j] > recv[j][i] {
+				return false, nil // in flight; retry
+			}
+		}
+	}
+	return true, nil
+}
+
+// Restore loads this rank's state from the newest committed generation.
+// ok is false when no checkpoint exists (fresh start).
+func (cl *Client) Restore() (state []byte, ok bool, err error) {
+	gen, n, ok, err := cl.cfg.Storage.Latest()
+	if err != nil {
+		return nil, false, fmt.Errorf("restore: %w", err)
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	if cl.comm.Rank() >= n {
+		return nil, false, fmt.Errorf("restore: rank %d not in committed generation of %d ranks",
+			cl.comm.Rank(), n)
+	}
+	state, err = cl.cfg.Storage.Read(gen, cl.comm.Rank())
+	if err != nil {
+		return nil, false, fmt.Errorf("restore: %w", err)
+	}
+	cl.gen = gen + 1
+	cl.restores++
+	return state, true, nil
+}
+
+func encodeUint64(v uint64) []byte { return encodeUint64s([]uint64{v}) }
+
+func decodeUint64(buf []byte) (uint64, error) {
+	vs, err := decodeUint64s(buf)
+	if err != nil {
+		return 0, err
+	}
+	if len(vs) != 1 {
+		return 0, fmt.Errorf("checkpoint: %d values, want 1", len(vs))
+	}
+	return vs[0], nil
+}
+
+func encodeUint64s(vs []uint64) []byte {
+	buf := make([]byte, 8*len(vs))
+	for i, v := range vs {
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(v >> (8 * b))
+		}
+	}
+	return buf
+}
+
+func decodeUint64s(buf []byte) ([]uint64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("checkpoint: uint64 payload of %d bytes", len(buf))
+	}
+	vs := make([]uint64, len(buf)/8)
+	for i := range vs {
+		for b := 0; b < 8; b++ {
+			vs[i] |= uint64(buf[8*i+b]) << (8 * b)
+		}
+	}
+	return vs, nil
+}

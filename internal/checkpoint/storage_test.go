@@ -1,0 +1,310 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// storageUnderTest runs the same conformance suite against both backends.
+func storageUnderTest(t *testing.T, name string, make func(t *testing.T) Storage) {
+	t.Run(name+"/WriteCommitRead", func(t *testing.T) {
+		s := make(t)
+		for rank := 0; rank < 3; rank++ {
+			if err := s.Write(1, rank, []byte{byte(rank), 0xAA}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Commit(1, 3); err != nil {
+			t.Fatal(err)
+		}
+		for rank := 0; rank < 3; rank++ {
+			state, err := s.Read(1, rank)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(state, []byte{byte(rank), 0xAA}) {
+				t.Fatalf("rank %d state %v", rank, state)
+			}
+		}
+	})
+
+	t.Run(name+"/LatestTracksNewest", func(t *testing.T) {
+		s := make(t)
+		if _, _, ok, err := s.Latest(); err != nil || ok {
+			t.Fatalf("empty store Latest = ok=%v err=%v", ok, err)
+		}
+		for gen := uint64(1); gen <= 3; gen++ {
+			if err := s.Write(gen, 0, []byte{byte(gen)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Commit(gen, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		gen, n, ok, err := s.Latest()
+		if err != nil || !ok || gen != 3 || n != 1 {
+			t.Fatalf("Latest = %d/%d/%v/%v", gen, n, ok, err)
+		}
+	})
+
+	t.Run(name+"/CommitRequiresAllRanks", func(t *testing.T) {
+		s := make(t)
+		if err := s.Write(1, 0, []byte("only rank 0")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(1, 2); !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("partial commit err = %v, want ErrIncomplete", err)
+		}
+	})
+
+	t.Run(name+"/ReadUncommittedFails", func(t *testing.T) {
+		s := make(t)
+		if err := s.Write(7, 0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(7, 0); !errors.Is(err, ErrNotCommitted) {
+			t.Fatalf("read uncommitted err = %v", err)
+		}
+	})
+
+	t.Run(name+"/CommitIdempotent", func(t *testing.T) {
+		s := make(t)
+		if err := s.Write(1, 0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(1, 1); err != nil {
+			t.Fatalf("re-commit err = %v", err)
+		}
+	})
+
+	t.Run(name+"/OverwriteIsBenign", func(t *testing.T) {
+		s := make(t)
+		// Replicas of a rank may both write identical state.
+		if err := s.Write(1, 0, []byte("state")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Write(1, 0, []byte("state")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.Read(1, 0)
+		if err != nil || string(got) != "state" {
+			t.Fatalf("read %q err %v", got, err)
+		}
+	})
+
+	t.Run(name+"/DropRetreatsLatest", func(t *testing.T) {
+		s := make(t)
+		for gen := uint64(1); gen <= 2; gen++ {
+			if err := s.Write(gen, 0, []byte{byte(gen)}); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Commit(gen, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Drop(2); err != nil {
+			t.Fatal(err)
+		}
+		gen, _, ok, err := s.Latest()
+		if err != nil || !ok || gen != 1 {
+			t.Fatalf("after drop: Latest = %d/%v/%v", gen, ok, err)
+		}
+		if err := s.Drop(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok, _ := s.Latest(); ok {
+			t.Fatal("store should be empty after dropping everything")
+		}
+	})
+
+	t.Run(name+"/ReadMissingRank", func(t *testing.T) {
+		s := make(t)
+		if err := s.Write(1, 0, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Commit(1, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Read(1, 5); !errors.Is(err, ErrNoCheckpoint) {
+			t.Fatalf("missing rank err = %v", err)
+		}
+	})
+
+	t.Run(name+"/WriteRejectsNegativeRank", func(t *testing.T) {
+		s := make(t)
+		if err := s.Write(1, -1, nil); err == nil {
+			t.Fatal("negative rank accepted")
+		}
+	})
+}
+
+func TestMemStorage(t *testing.T) {
+	storageUnderTest(t, "mem", func(t *testing.T) Storage { return NewMemStorage() })
+}
+
+func TestFileStorage(t *testing.T) {
+	storageUnderTest(t, "file", func(t *testing.T) Storage {
+		s, err := NewFileStorage(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	})
+}
+
+func TestMemStorageIsolatesBuffers(t *testing.T) {
+	s := NewMemStorage()
+	buf := []byte("mutable")
+	if err := s.Write(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXXXX")
+	if err := s.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "mutable" {
+		t.Fatalf("storage aliased caller buffer: %q", got)
+	}
+	// Mutating the returned buffer must not poison the store.
+	got[0] = 'Z'
+	again, err := s.Read(1, 0)
+	if err != nil || string(again) != "mutable" {
+		t.Fatalf("reread %q err %v", again, err)
+	}
+}
+
+func TestFileStorageSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Write(4, 0, []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Commit(4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A restart opens a new handle over the same directory.
+	s2, err := NewFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, n, ok, err := s2.Latest()
+	if err != nil || !ok || gen != 4 || n != 1 {
+		t.Fatalf("Latest after reopen = %d/%d/%v/%v", gen, n, ok, err)
+	}
+	state, err := s2.Read(4, 0)
+	if err != nil || string(state) != "persisted" {
+		t.Fatalf("read %q err %v", state, err)
+	}
+}
+
+func TestParseGenDir(t *testing.T) {
+	cases := []struct {
+		name string
+		gen  uint64
+		ok   bool
+	}{
+		{"gen-0", 0, true},
+		{"gen-17", 17, true},
+		{"gen-", 0, false},
+		{"gen-x", 0, false},
+		{"other", 0, false},
+	}
+	for _, tc := range cases {
+		gen, ok := parseGenDir(tc.name)
+		if gen != tc.gen || ok != tc.ok {
+			t.Errorf("parseGenDir(%q) = %d/%v, want %d/%v", tc.name, gen, ok, tc.gen, tc.ok)
+		}
+	}
+}
+
+func TestUint64Codec(t *testing.T) {
+	f := func(vs []uint64) bool {
+		got, err := decodeUint64s(encodeUint64s(vs))
+		if err != nil || len(got) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if got[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeUint64s(make([]byte, 3)); err == nil {
+		t.Error("ragged payload accepted")
+	}
+	if _, err := decodeUint64(encodeUint64s([]uint64{1, 2})); err == nil {
+		t.Error("two-value payload accepted as scalar")
+	}
+	v, err := decodeUint64(encodeUint64(42))
+	if err != nil || v != 42 {
+		t.Errorf("scalar round trip = %d/%v", v, err)
+	}
+}
+
+func TestStoragePropertyRoundTrip(t *testing.T) {
+	s := NewMemStorage()
+	f := func(genRaw uint8, rankRaw uint8, state []byte) bool {
+		gen := uint64(genRaw)
+		rank := int(rankRaw % 16)
+		if err := s.Write(gen, rank, state); err != nil {
+			return false
+		}
+		// Commit over just this rank requires ranks [0, rank] present;
+		// fill the gaps.
+		for r := 0; r < rank; r++ {
+			if err := s.Write(gen, r, nil); err != nil {
+				return false
+			}
+		}
+		if err := s.Commit(gen, rank+1); err != nil {
+			return false
+		}
+		got, err := s.Read(gen, rank)
+		return err == nil && bytes.Equal(got, state)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileStorageCorruptManifest(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(1, 0, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the COMMIT manifest; Latest must surface an error, not
+	// silently treat the generation as valid.
+	if err := writeFileHelper(fmt.Sprintf("%s/gen-1/COMMIT", dir), []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := s.Latest(); err == nil {
+		t.Fatal("corrupt manifest not detected")
+	}
+}

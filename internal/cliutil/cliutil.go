@@ -1,0 +1,50 @@
+// Package cliutil holds small helpers shared by the command-line tools:
+// duration parsing extended with day/year suffixes (reliability
+// parameters are naturally expressed as "5y"), and number formatting for
+// sweep tables.
+package cliutil
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+)
+
+// ParseSeconds parses a duration into float64 seconds. It accepts
+// everything time.ParseDuration does, plus "d" (days) and "y" (365-day
+// years) suffixes with a decimal coefficient.
+func ParseSeconds(s string) (float64, error) {
+	switch {
+	case strings.HasSuffix(s, "y") && !strings.HasSuffix(s, "ny") && !strings.HasSuffix(s, "µy"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "y"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cliutil: %q: %w", s, err)
+		}
+		return v * model.Year, nil
+	case strings.HasSuffix(s, "d"):
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "d"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("cliutil: %q: %w", s, err)
+		}
+		return v * model.Day, nil
+	default:
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return 0, fmt.Errorf("cliutil: %q: %w", s, err)
+		}
+		return d.Seconds(), nil
+	}
+}
+
+// FormatHours renders seconds as fixed-point hours, with "inf" for
+// configurations that never complete.
+func FormatHours(seconds float64) string {
+	if math.IsInf(seconds, 1) {
+		return "inf"
+	}
+	return strconv.FormatFloat(seconds/model.Hour, 'f', 2, 64)
+}

@@ -1,0 +1,51 @@
+package cliutil
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseSeconds(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"120s", 120},
+		{"46m", 46 * 60},
+		{"6h", 6 * 3600},
+		{"1.5h", 1.5 * 3600},
+		{"2d", 2 * model.Day},
+		{"5y", 5 * model.Year},
+		{"2.5y", 2.5 * model.Year},
+		{"0.5d", 0.5 * model.Day},
+	}
+	for _, tc := range cases {
+		got, err := ParseSeconds(tc.in)
+		if err != nil {
+			t.Errorf("ParseSeconds(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("ParseSeconds(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseSecondsErrors(t *testing.T) {
+	for _, in := range []string{"", "abc", "5x", "y", "d", "--3h"} {
+		if _, err := ParseSeconds(in); err == nil {
+			t.Errorf("ParseSeconds(%q) succeeded", in)
+		}
+	}
+}
+
+func TestFormatHours(t *testing.T) {
+	if got := FormatHours(2 * model.Hour); got != "2.00" {
+		t.Errorf("FormatHours = %q", got)
+	}
+	if got := FormatHours(math.Inf(1)); got != "inf" {
+		t.Errorf("FormatHours(+Inf) = %q", got)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/failure"
+)
+
+func TestAttemptKillLogExposed(t *testing.T) {
+	m, err := apps.Laplacian2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Ranks:  3,
+		Degree: 2,
+		FailureSchedule: []failure.Kill{
+			{Rank: 1, After: 5 * time.Millisecond},
+			{Rank: 4, After: 10 * time.Millisecond},
+		},
+		MaxRestarts:    2,
+		AttemptTimeout: time.Minute,
+		ComputeDelay:   time.Millisecond,
+	}, func() apps.App { return &apps.CG{Matrix: m, Iterations: 60} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := res.Attempts[0]
+	if len(at.Kills) != at.Failures {
+		t.Fatalf("kill log has %d entries, Failures says %d", len(at.Kills), at.Failures)
+	}
+	if len(at.Kills) == 0 {
+		t.Fatal("no kills recorded")
+	}
+	ranksSeen := map[int]bool{}
+	for _, k := range at.Kills {
+		ranksSeen[k.Rank] = true
+	}
+	if !ranksSeen[1] {
+		t.Fatalf("scheduled kill of rank 1 missing from log: %+v", at.Kills)
+	}
+}
+
+func TestAttemptKillLogEmptyWithoutInjection(t *testing.T) {
+	m, err := apps.Laplacian2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Ranks:          2,
+		Degree:         1,
+		AttemptTimeout: time.Minute,
+	}, func() apps.App { return &apps.CG{Matrix: m, Iterations: 10} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attempts[0].Kills) != 0 {
+		t.Fatalf("kills recorded without injection: %v", res.Attempts[0].Kills)
+	}
+}
+
+func TestEigenThroughRunner(t *testing.T) {
+	m, err := apps.Laplacian2D(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Ranks:          2,
+		Degree:         2,
+		StepInterval:   3,
+		AttemptTimeout: time.Minute,
+	}, func() apps.App {
+		return &apps.Eigen{Matrix: m, OuterIterations: 8, InnerIterations: 50}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("%+v", res)
+	}
+	want := res.CompletedApps[0].(*apps.Eigen).Eigenvalue
+	for _, a := range res.CompletedApps[1:] {
+		if got := a.(*apps.Eigen).Eigenvalue; got != want {
+			t.Fatalf("replica eigenvalue %v != %v", got, want)
+		}
+	}
+	if want <= 0 || want > 4 {
+		t.Fatalf("λ_min = %v outside the Laplacian's spectrum floor", want)
+	}
+}

@@ -1,0 +1,367 @@
+// Package core is the combined partial-redundancy + checkpoint/restart
+// runtime — the paper's primary contribution assembled into a runnable
+// system. A Runner launches an application at a chosen redundancy degree
+// over the simmpi substrate, schedules coordinated checkpoints at the
+// configured interval, injects Poisson node failures, detects job failure
+// when a whole replica sphere dies (Fig. 7), and restarts from the last
+// committed checkpoint until the application completes.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checkpoint"
+	"repro/internal/failure"
+	"repro/internal/redundancy"
+	"repro/internal/simmpi"
+	"repro/internal/stats"
+)
+
+// Config describes one job: the application scale, redundancy degree,
+// checkpoint schedule, failure environment, and emulation knobs.
+type Config struct {
+	// Ranks is N, the virtual (application-visible) process count.
+	Ranks int
+	// Degree is the redundancy degree r ≥ 1 (2 = dual, 1.5 = every other
+	// rank replicated, ...).
+	Degree float64
+	// Mode selects the replica-comparison mode; zero means All-to-all.
+	Mode redundancy.Mode
+
+	// Storage holds checkpoints across restarts. Nil means a fresh
+	// in-memory store (sufficient for one Run call).
+	Storage checkpoint.Storage
+	// StepInterval checkpoints every StepInterval application steps;
+	// zero disables checkpointing.
+	StepInterval int
+	// SkipBookmark disables the quiescence verification.
+	SkipBookmark bool
+
+	// NodeMTBF enables Poisson failure injection with the given per-node
+	// MTBF (scaled down to test scale); zero disables injection.
+	NodeMTBF time.Duration
+	// FailureSchedule, when non-nil, injects exactly these kills per
+	// attempt instead of random ones.
+	FailureSchedule []failure.Kill
+	// Seed drives the failure draws (each attempt splits a fresh child
+	// stream, so attempts see independent failure patterns).
+	Seed int64
+	// MaxRestarts bounds restart attempts; the run fails with
+	// ErrRestartsExhausted beyond it. Zero means no restarts allowed.
+	MaxRestarts int
+	// AttemptTimeout aborts a wedged attempt; zero means 2 minutes.
+	AttemptTimeout time.Duration
+	// RestartDelay emulates the paper's restart overhead R as a pause
+	// between attempts (optional).
+	RestartDelay time.Duration
+
+	// SendDelay emulates per-physical-message wire latency.
+	SendDelay time.Duration
+	// ComputeDelay emulates per-step computation time.
+	ComputeDelay time.Duration
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	switch {
+	case cfg.Ranks <= 0:
+		return fmt.Errorf("core: Ranks = %d", cfg.Ranks)
+	case cfg.Degree < 1:
+		return fmt.Errorf("core: Degree = %v", cfg.Degree)
+	case cfg.StepInterval < 0:
+		return fmt.Errorf("core: StepInterval = %d", cfg.StepInterval)
+	case cfg.MaxRestarts < 0:
+		return fmt.Errorf("core: MaxRestarts = %d", cfg.MaxRestarts)
+	}
+	return nil
+}
+
+// ErrRestartsExhausted reports that the job kept failing past the restart
+// budget.
+var ErrRestartsExhausted = errors.New("core: restart budget exhausted")
+
+// ErrAttemptTimeout reports that an attempt made no progress within the
+// timeout and was aborted.
+var ErrAttemptTimeout = errors.New("core: attempt timed out")
+
+// Attempt records one job attempt.
+type Attempt struct {
+	// Index is the attempt number, starting at 0.
+	Index int
+	// Failures is how many physical ranks the injector killed.
+	Failures int
+	// JobFailed reports whether a whole sphere died.
+	JobFailed bool
+	// TimedOut reports whether the watchdog aborted the attempt.
+	TimedOut bool
+	// Elapsed is the attempt's wallclock duration.
+	Elapsed time.Duration
+	// Checkpoints completed during this attempt.
+	Checkpoints int
+	// Restored reports whether the attempt started from a checkpoint.
+	Restored bool
+	// Kills lists the physical ranks the injector killed this attempt,
+	// in injection order (nil without failure injection).
+	Kills []failure.Kill
+}
+
+// Result summarises a completed (or abandoned) Run.
+type Result struct {
+	// Completed reports whether the application finished.
+	Completed bool
+	// Restarts is the number of restarts performed (attempts - 1).
+	Restarts int
+	// TotalFailures across all attempts.
+	TotalFailures int
+	// TotalCheckpoints across all attempts.
+	TotalCheckpoints int
+	// Elapsed is the total wallclock including restarts.
+	Elapsed time.Duration
+	// Attempts holds per-attempt details.
+	Attempts []Attempt
+	// PhysicalRanks is N_total, the node count the job occupied.
+	PhysicalRanks int
+	// Redundancy aggregates the interposition layer's counters over the
+	// final attempt.
+	Redundancy redundancy.Stats
+	// CompletedApps holds, for the successful attempt, one application
+	// instance per replica goroutine that finished cleanly (for result
+	// inspection, e.g. the CG checksum).
+	CompletedApps []apps.App
+}
+
+// Run executes the application factory under the configured combined
+// C/R + redundancy regime until completion or until the restart budget
+// is exhausted. factory is invoked once per physical replica per attempt
+// and must return a fresh deterministic application value.
+func Run(cfg Config, factory func() apps.App) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if factory == nil {
+		return Result{}, fmt.Errorf("core: nil application factory")
+	}
+	rankMap, err := redundancy.NewRankMap(cfg.Ranks, cfg.Degree)
+	if err != nil {
+		return Result{}, err
+	}
+	store := cfg.Storage
+	if store == nil {
+		store = checkpoint.NewMemStorage()
+	}
+	timeout := cfg.AttemptTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	stream := stats.NewStream(cfg.Seed)
+
+	res := Result{PhysicalRanks: rankMap.PhysicalSize()}
+	start := time.Now()
+	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
+		if attempt > 0 && cfg.RestartDelay > 0 {
+			time.Sleep(cfg.RestartDelay)
+		}
+		at, apps, redStats, appErr := runAttempt(cfg, rankMap, store, stream.Split(), timeout, factory)
+		at.Index = attempt
+		res.Attempts = append(res.Attempts, at)
+		res.TotalFailures += at.Failures
+		res.TotalCheckpoints += at.Checkpoints
+		res.Restarts = attempt
+		res.Redundancy = redStats
+
+		switch {
+		case appErr == nil && !at.JobFailed && !at.TimedOut:
+			res.Completed = true
+			res.Elapsed = time.Since(start)
+			res.CompletedApps = apps
+			return res, nil
+		case at.TimedOut:
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("attempt %d: %w", attempt, ErrAttemptTimeout)
+		case appErr != nil && !at.JobFailed:
+			// A genuine application error, not failure-induced.
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("attempt %d: %w", attempt, appErr)
+		}
+		// Job failure: loop for a restart.
+	}
+	res.Elapsed = time.Since(start)
+	return res, fmt.Errorf("%w after %d attempts", ErrRestartsExhausted, cfg.MaxRestarts+1)
+}
+
+// runAttempt executes one job attempt: fresh world, fresh injector,
+// restore-from-checkpoint inside the application.
+func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storage,
+	stream *stats.Stream, timeout time.Duration, factory func() apps.App,
+) (Attempt, []apps.App, redundancy.Stats, error) {
+	var at Attempt
+	begin := time.Now()
+
+	var worldOpts []simmpi.Option
+	if cfg.SendDelay > 0 {
+		worldOpts = append(worldOpts, simmpi.WithSendDelay(cfg.SendDelay))
+	}
+	world, err := simmpi.NewWorld(rankMap.PhysicalSize(), worldOpts...)
+	if err != nil {
+		return at, nil, redundancy.Stats{}, err
+	}
+
+	spheres := make([][]int, rankMap.VirtualSize())
+	for v := range spheres {
+		sphere, serr := rankMap.Sphere(v)
+		if serr != nil {
+			return at, nil, redundancy.Stats{}, serr
+		}
+		spheres[v] = sphere
+	}
+
+	var inj *failure.Injector
+	if cfg.FailureSchedule != nil || cfg.NodeMTBF > 0 {
+		inj, err = failure.New(world, spheres, failure.Config{
+			Stream:   stream,
+			NodeMTBF: cfg.NodeMTBF,
+			Schedule: cfg.FailureSchedule,
+		})
+		if err != nil {
+			return at, nil, redundancy.Stats{}, err
+		}
+	}
+
+	// Watchdog: abort on sphere death or wedged attempt.
+	done := make(chan struct{})
+	watchdogDone := make(chan struct{})
+	var jobFailed, timedOut bool
+	go func() {
+		defer close(watchdogDone)
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		var failedCh <-chan int
+		if inj != nil {
+			failedCh = inj.JobFailed()
+		}
+		select {
+		case <-failedCh:
+			jobFailed = true
+			world.Abort()
+		case <-timer.C:
+			timedOut = true
+			world.Abort()
+		case <-done:
+		}
+	}()
+	if inj != nil {
+		inj.Start()
+	}
+
+	var mu sync.Mutex
+	var completed []apps.App
+	var redStats redundancy.Stats
+	maxCheckpoints := 0
+	restored := false
+
+	appErr, _ := world.Run(func(pc *simmpi.Comm) error {
+		rc, rerr := redundancy.New(pc, rankMap, redundancy.Options{
+			Live: world,
+			Mode: cfg.Mode,
+		})
+		if rerr != nil {
+			return rerr
+		}
+		defer func() {
+			mu.Lock()
+			addStats(&redStats, rc.Stats())
+			mu.Unlock()
+		}()
+		var client *checkpoint.Client
+		if cfg.StepInterval > 0 {
+			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{
+				Storage:      store,
+				StepInterval: cfg.StepInterval,
+				SkipBookmark: cfg.SkipBookmark,
+			})
+			if rerr != nil {
+				return rerr
+			}
+		} else {
+			// Checkpointing disabled, but apps still need Restore to
+			// report "no checkpoint".
+			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{Storage: store})
+			if rerr != nil {
+				return rerr
+			}
+		}
+		myPhys := pc.Rank()
+		sphere := spheres[rc.Rank()]
+		ctx := &apps.Context{
+			Comm: rc,
+			Ckpt: client,
+			IsWriter: func() bool {
+				for _, p := range sphere {
+					if world.Alive(p) {
+						return p == myPhys
+					}
+				}
+				return false
+			},
+			ComputeDelay: cfg.ComputeDelay,
+		}
+		app := factory()
+		runErr := app.Run(ctx)
+		mu.Lock()
+		if runErr == nil {
+			completed = append(completed, app)
+		}
+		if client.Checkpoints() > maxCheckpoints {
+			maxCheckpoints = client.Checkpoints()
+		}
+		if client.Restores() > 0 {
+			restored = true
+		}
+		mu.Unlock()
+		return runErr
+	})
+
+	close(done)
+	<-watchdogDone
+	if inj != nil {
+		inj.Stop()
+		at.Failures = inj.Failures()
+		at.Kills = inj.Log()
+	}
+	// A sphere may have died exactly as the app finished; count it only
+	// if the world was actually torn down.
+	at.JobFailed = jobFailed && world.Aborted()
+	at.TimedOut = timedOut
+	at.Elapsed = time.Since(begin)
+	at.Checkpoints = maxCheckpoints
+	at.Restored = restored
+
+	// Failure-induced checkpoint errors (a writer died mid-protocol) are
+	// job failures, not application bugs.
+	if appErr != nil && at.Failures > 0 && isCheckpointCasualty(appErr) {
+		at.JobFailed = true
+		appErr = nil
+	}
+	return at, completed, redStats, appErr
+}
+
+// isCheckpointCasualty reports whether the error is a checkpoint-protocol
+// casualty of a concurrent failure rather than an application bug.
+func isCheckpointCasualty(err error) bool {
+	return errors.Is(err, checkpoint.ErrIncomplete) ||
+		errors.Is(err, checkpoint.ErrNotQuiescent) ||
+		errors.Is(err, redundancy.ErrSphereDead)
+}
+
+func addStats(total *redundancy.Stats, s redundancy.Stats) {
+	total.PhysicalSends += s.PhysicalSends
+	total.Deliveries += s.Deliveries
+	total.Mismatches += s.Mismatches
+	total.Corrections += s.Corrections
+	total.EnvelopesSent += s.EnvelopesSent
+	total.Failovers += s.Failovers
+}

@@ -1,0 +1,414 @@
+package expt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestTable1Static(t *testing.T) {
+	tab := Table1()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "ASC BG/L") || !strings.Contains(out, "6.9 hrs") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tab, breakdowns, err := Table2(DefaultBreakdownParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 || len(breakdowns) != 4 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// The paper's trend: work fraction decays 96% → 35%-ish; strictly
+	// decreasing with node count and the 100k row dominated by non-work.
+	for i := 1; i < len(breakdowns); i++ {
+		if breakdowns[i].Work >= breakdowns[i-1].Work {
+			t.Fatalf("work fraction not decreasing at row %d: %v >= %v",
+				i, breakdowns[i].Work, breakdowns[i-1].Work)
+		}
+	}
+	if breakdowns[0].Work < 0.85 {
+		t.Errorf("100-node work fraction %v, want high (paper: 96%%)", breakdowns[0].Work)
+	}
+	if breakdowns[3].Work > 0.75 {
+		t.Errorf("100k-node work fraction %v, want low (paper: 35%%)", breakdowns[3].Work)
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	tab, breakdowns, err := Table3(DefaultBreakdownParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// Row 3 (5000 h at 1 yr MTBF) must be catastrophically worse than
+	// row 1 — either starving entirely or with tiny useful work.
+	if breakdowns[2].Total != 0 && breakdowns[2].Work > breakdowns[0].Work/2 {
+		t.Errorf("harsh row work fraction %v vs %v", breakdowns[2].Work, breakdowns[0].Work)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	f, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 4 {
+		t.Fatalf("series %d", len(f.Series))
+	}
+	for _, s := range f.Series {
+		// Reliability is a probability and non-decreasing in r.
+		for i, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("%s: R_sys %v out of range", s.Name, y)
+			}
+			if i > 0 && y < s.Y[i-1]-1e-12 {
+				t.Fatalf("%s: reliability decreased at r=%v", s.Name, s.X[i])
+			}
+		}
+		// Plain 1x at exascale is hopeless; 3x must be far better.
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Fatalf("%s: no reliability gain from redundancy", s.Name)
+		}
+	}
+	// Lower MTBF curve (2.5y) stays below the 5y curve at every r.
+	lo, hi := f.Series[0], f.Series[1]
+	for i := range lo.Y {
+		if lo.Y[i] > hi.Y[i]+1e-12 {
+			t.Fatalf("2.5y reliability above 5y at r=%v", lo.X[i])
+		}
+	}
+}
+
+func TestFigures4to6Annotations(t *testing.T) {
+	curves, err := Figures4to6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("curves %d", len(curves))
+	}
+	fig4, fig5, fig6 := curves[0], curves[1], curves[2]
+
+	// The recovered configuration must reproduce the paper's printed
+	// annotations: ≈458 checkpoints and δ≈17-23 min at r=1 for Figure 4;
+	// ≈1163 checkpoints and δ≈6.6-7.2 min for Figure 6 (√10 ratio).
+	if fig4.CheckpointsAtR1 < 400 || fig4.CheckpointsAtR1 > 520 {
+		t.Errorf("fig4 checkpoints at r=1: %v, paper says 458", fig4.CheckpointsAtR1)
+	}
+	if fig6.CheckpointsAtR1 < 1050 || fig6.CheckpointsAtR1 > 1300 {
+		t.Errorf("fig6 checkpoints at r=1: %v, paper says 1163", fig6.CheckpointsAtR1)
+	}
+	// The paper quotes δ = 22.9 and 7.2 min — exactly √(2cΘ), the leading
+	// (Young) term, whose ratio is √10. Daly's correction terms shrink
+	// the full-formula ratio toward ≈2.5; accept that band and check the
+	// Young-term ratio exactly.
+	ratio := fig4.DeltaAtR1 / fig6.DeltaAtR1
+	if ratio < 2.2 || ratio > 3.5 {
+		t.Errorf("delta ratio fig4/fig6 = %v, want in [2.2, 3.5] (paper's leading term gives √10)", ratio)
+	}
+	cfgs := Figure456Configs()
+	_, mtbf4 := model.SystemRates(mustPart(t, cfgs[0].N, 1),
+		model.RedundantTime(cfgs[0].Work, cfgs[0].Alpha, 1), cfgs[0].NodeMTBF, model.ReliabilityLinearized)
+	young4 := model.YoungInterval(cfgs[0].CheckpointCost, mtbf4)
+	young6 := model.YoungInterval(cfgs[2].CheckpointCost, mtbf4)
+	if math.Abs(young4/model.Minute-22.9) > 1.0 {
+		t.Errorf("fig4 Young δ = %.1f min, paper annotation says 22.9", young4/model.Minute)
+	}
+	if math.Abs(young6/model.Minute-7.2) > 0.5 {
+		t.Errorf("fig6 Young δ = %.1f min, paper annotation says 7.2", young6/model.Minute)
+	}
+	// "a redundancy level of 2 is the best choice in all cases".
+	for _, fc := range []FigureCurve{fig4, fig5, fig6} {
+		if fc.BestDegree < 1.9 || fc.BestDegree > 2.3 {
+			t.Errorf("%s best degree %v, want ≈2", fc.Figure.ID, fc.BestDegree)
+		}
+		if fc.TMin >= fc.TR1 && !math.IsInf(fc.TR1, 1) {
+			t.Errorf("%s: redundancy does not beat 1x (Tmin %v, Tr1 %v)",
+				fc.Figure.ID, fc.TMin, fc.TR1)
+		}
+	}
+	// Figure 6's cheap checkpoints make its r=1 total far below fig4's.
+	if !(fig6.TR1 < fig4.TR1) {
+		t.Errorf("fig6 TR1 %v should undercut fig4 TR1 %v", fig6.TR1, fig4.TR1)
+	}
+}
+
+func TestTable4Reproduction(t *testing.T) {
+	p := DefaultTable4Params()
+	p.Runs = 120
+	res, err := Table4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Minutes) != len(MTBFHours) {
+		t.Fatalf("rows %d", len(res.Minutes))
+	}
+	// Shape target 1: at 6 h MTBF, high redundancy wins (paper: 3x best).
+	if res.BestDegree[0] < 2.5 {
+		t.Errorf("6h best degree %v, paper found 3x", res.BestDegree[0])
+	}
+	// Shape target 2: at 24-30 h, ≈2x is the sweet spot and 3x is worse
+	// than 2x.
+	for _, i := range []int{3, 4} {
+		if res.BestDegree[i] < 1.75 || res.BestDegree[i] > 2.6 {
+			t.Errorf("%vh best degree %v, paper found 2x", MTBFHours[i], res.BestDegree[i])
+		}
+		if res.Minutes[i][8] <= res.Minutes[i][4] {
+			t.Errorf("%vh: T(3x)=%v should exceed T(2x)=%v",
+				MTBFHours[i], res.Minutes[i][8], res.Minutes[i][4])
+		}
+	}
+	// Shape target 3: every row improves from 1x to its best degree by a
+	// large margin (paper: 275→123, 136→66).
+	for i := range res.Minutes {
+		best := res.Minutes[i][0]
+		for _, v := range res.Minutes[i] {
+			if v < best {
+				best = v
+			}
+		}
+		if best > 0.75*res.Minutes[i][0] {
+			t.Errorf("row %v: best %v not clearly below 1x %v", MTBFHours[i], best, res.Minutes[i][0])
+		}
+	}
+	// Shape target 4 (observation 4): 1.25x does not beat 1x by much —
+	// the overhead jump eats the reliability gain. Allow it to be equal
+	// or worse at the low-failure-rate end.
+	last := len(MTBFHours) - 1
+	if res.Minutes[last][1] < 0.85*res.Minutes[last][0] {
+		t.Errorf("30h: 1.25x (%v) unexpectedly far below 1x (%v)",
+			res.Minutes[last][1], res.Minutes[last][0])
+	}
+}
+
+func TestTable4MatchesPaperWithinBand(t *testing.T) {
+	// Quantitative closeness: mean relative deviation from the published
+	// Table 4 within a generous band (the paper itself reports model-vs-
+	// observed deviations; our simulator replays their injected process).
+	p := DefaultTable4Params()
+	p.Runs = 150
+	res, err := Table4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devSum float64
+	var cells int
+	for i := range res.Minutes {
+		for j := range res.Minutes[i] {
+			paper := PaperTable4Minutes[i][j]
+			devSum += math.Abs(res.Minutes[i][j]-paper) / paper
+			cells++
+		}
+	}
+	meanDev := devSum / float64(cells)
+	if meanDev > 0.45 {
+		t.Errorf("mean relative deviation from paper Table 4 = %.2f, want < 0.45", meanDev)
+	}
+	t.Logf("mean relative deviation from published Table 4: %.3f", meanDev)
+}
+
+func TestTable5StaticRows(t *testing.T) {
+	tab, fig := Table5()
+	if len(tab.Rows) != 9 || len(fig.Series) != 2 {
+		t.Fatalf("rows %d series %d", len(tab.Rows), len(fig.Series))
+	}
+	// Eq. 1 row at 3x: 1.4·46 ≈ 64 min, matching the paper's printed
+	// "expected linear increase" row.
+	lin := fig.Series[1].Y
+	if math.Abs(lin[8]-64.4) > 0.5 {
+		t.Errorf("linear 3x = %v, want ≈64", lin[8])
+	}
+	// Observed exceeds linear at every partial degree.
+	obs := fig.Series[0].Y
+	for i := 1; i < len(obs); i++ {
+		if obs[i] < lin[i] {
+			t.Errorf("degree %v: observed %v below linear %v", Degrees[i], obs[i], lin[i])
+		}
+	}
+	// Observation (4): the first step's jump exceeds the second's.
+	if obs[1]-obs[0] <= obs[2]-obs[1] {
+		t.Errorf("first-step jump %v not larger than second %v", obs[1]-obs[0], obs[2]-obs[1])
+	}
+}
+
+func TestObservedRedundantTimeInterpolation(t *testing.T) {
+	// Exact at measured degrees.
+	if got := observedRedundantTime(1); got != 46*model.Minute {
+		t.Errorf("r=1: %v", got)
+	}
+	if got := observedRedundantTime(3); got != 82*model.Minute {
+		t.Errorf("r=3: %v", got)
+	}
+	// Interpolated between 1x (46) and 1.25x (55).
+	got := observedRedundantTime(1.125)
+	want := 50.5 * model.Minute
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("r=1.125: %v, want %v", got, want)
+	}
+	// Clamped beyond the sweep.
+	if got := observedRedundantTime(3.5); got != 82*model.Minute {
+		t.Errorf("r=3.5: %v", got)
+	}
+}
+
+func TestFigure11SimplifiedModel(t *testing.T) {
+	f, minutes, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != len(MTBFHours) || len(minutes) != len(MTBFHours) {
+		t.Fatalf("series %d", len(f.Series))
+	}
+	// 1x at 6h lands near the hand calculation (≈220 min).
+	if minutes[0][0] < 180 || minutes[0][0] > 260 {
+		t.Errorf("modeled 1x@6h = %v min", minutes[0][0])
+	}
+	// Modeled curves drop from 1x to 2x at every MTBF (the paper's
+	// Figure 11 shape).
+	for i := range minutes {
+		if minutes[i][4] >= minutes[i][0] {
+			t.Errorf("MTBF %vh: model says 2x (%v) no better than 1x (%v)",
+				MTBFHours[i], minutes[i][4], minutes[i][0])
+		}
+	}
+}
+
+func TestFigure12Fit(t *testing.T) {
+	p := DefaultTable4Params()
+	p.Runs = 100
+	t4, err := Table4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, modelMinutes, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Figure12(t4, modelMinutes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "a Q-Q plot of the modeled and observed values indicates a close
+	// fit": correlation near 1.
+	if res.QQCorrelation < 0.9 {
+		t.Errorf("Q-Q correlation %v, want > 0.9", res.QQCorrelation)
+	}
+	if res.MeanRelDeviation > 0.5 {
+		t.Errorf("mean relative deviation %v", res.MeanRelDeviation)
+	}
+	if len(res.Figure.Series) != 6 {
+		t.Errorf("series %d, want 3 MTBFs × (observed+model)", len(res.Figure.Series))
+	}
+}
+
+func TestScalingFigure13(t *testing.T) {
+	res, err := Scaling(DefaultScalingParams(), 30000, "fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crossover ordering and ballpark: both in the thousands, 1x/2x
+	// before 1x/3x (paper: 4,351 and 12,551).
+	if res.Crossover12 <= 0 || res.Crossover12 > 200_000 {
+		t.Errorf("1x/2x crossover %d out of plausible range", res.Crossover12)
+	}
+	if res.Crossover13 <= res.Crossover12 {
+		t.Errorf("1x/3x crossover %d not after 1x/2x %d", res.Crossover13, res.Crossover12)
+	}
+	// At the top of the Figure 13 range, 2x must beat 1x.
+	last := res.Figure.Series
+	oneX, twoX := seriesByName(t, last, "1x"), seriesByName(t, last, "2x")
+	n := len(oneX.Y) - 1
+	if oneX.Y[n] > 0 && oneX.Y[n] < twoX.Y[n] {
+		t.Errorf("at N=30k, 1x (%vh) still beats 2x (%vh)", oneX.Y[n], twoX.Y[n])
+	}
+}
+
+func TestScalingFigure14(t *testing.T) {
+	res, err := Scaling(DefaultScalingParams(), 200000, "fig14")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-jobs-for-one point exists and follows the crossover.
+	if res.TwoForOne <= res.Crossover12 {
+		t.Errorf("two-for-one %d not beyond crossover %d", res.TwoForOne, res.Crossover12)
+	}
+	// 3x eventually beats 2x, far beyond the 1x crossovers (paper:
+	// 771,251).
+	if res.Crossover23 <= res.Crossover13 {
+		t.Errorf("2x/3x crossover %d not beyond 1x/3x %d", res.Crossover23, res.Crossover13)
+	}
+	t.Logf("crossovers: 1x/2x=%d 1x/3x=%d two-for-one=%d 2x/3x=%d",
+		res.Crossover12, res.Crossover13, res.TwoForOne, res.Crossover23)
+}
+
+func mustPart(t *testing.T, n int, r float64) model.Partition {
+	t.Helper()
+	p, err := model.PartitionRanks(n, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func seriesByName(t *testing.T, ss []Series, name string) Series {
+	t.Helper()
+	for _, s := range ss {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found", name)
+	return Series{}
+}
+
+func TestRenderTableAndCSV(t *testing.T) {
+	tab := &Table{
+		ID:     "x",
+		Title:  "demo",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "two,with comma"}},
+		Notes:  []string{"note line"},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "note line") {
+		t.Fatalf("format:\n%s", out)
+	}
+	csv := tab.CSV()
+	if !strings.Contains(csv, "\"two,with comma\"") {
+		t.Fatalf("csv:\n%s", csv)
+	}
+}
+
+func TestRenderFigure(t *testing.T) {
+	f := &Figure{
+		ID: "y", Title: "fig", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "s", X: []float64{1, 2}, Y: []float64{3.5, 1e6}}},
+	}
+	out := f.Format()
+	if !strings.Contains(out, "3.500") || !strings.Contains(out, "1000000") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := logGrid(100, 30000, 8)
+	if g[0] != 100 || g[len(g)-1] != 30000 {
+		t.Fatalf("grid endpoints %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= g[i-1] {
+			t.Fatalf("grid not increasing: %v", g)
+		}
+	}
+}

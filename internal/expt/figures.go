@@ -1,0 +1,256 @@
+package expt
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// Figure2 reproduces the reliability-versus-degree plot: R_sys over
+// r ∈ [1, 3] for the paper's sample inputs — node MTBF 2.5 vs 5 years and
+// varied communication ratios α (which enter through the mission time
+// t_Red). The 128-hour, 100k-process job is the running exascale example.
+func Figure2() (*Figure, error) {
+	f := &Figure{
+		ID:     "fig2",
+		Title:  "Effect of Redundancy on Reliability",
+		XLabel: "degree",
+		YLabel: "R_sys",
+	}
+	const (
+		n    = 100000
+		work = 128 * model.Hour
+	)
+	cases := []struct {
+		name  string
+		theta float64
+		alpha float64
+	}{
+		{"theta=2.5y alpha=0.2", 2.5 * model.Year, 0.2},
+		{"theta=5y alpha=0.2", 5 * model.Year, 0.2},
+		{"theta=5y alpha=0.05", 5 * model.Year, 0.05},
+		{"theta=5y alpha=0.5", 5 * model.Year, 0.5},
+	}
+	for _, tc := range cases {
+		s := Series{Name: tc.name}
+		for r := 1.0; r <= 3.0001; r += 0.05 {
+			part, err := model.PartitionRanks(n, r)
+			if err != nil {
+				return nil, err
+			}
+			tRed := model.RedundantTime(work, tc.alpha, r)
+			rel := model.SystemReliability(part, tRed, tc.theta, model.ReliabilityLinearized)
+			s.X = append(s.X, r)
+			s.Y = append(s.Y, rel)
+		}
+		f.Series = append(f.Series, s)
+	}
+	f.Notes = append(f.Notes,
+		"lower node MTBF demands higher redundancy before R_sys rises; larger alpha flattens the curve")
+	return f, nil
+}
+
+// FigureConfig is one of the Figures 4-6 model configurations. The paper
+// does not print its parameters, but its annotations pin them down: at
+// r=1 Figure 4 expects 458 checkpoints of ≈600 s (76.3 h total) with
+// δ_opt = 22.9 min, and Figure 6 expects 1,163 checkpoints of ≈60 s with
+// δ_opt = 7.2 min — both of which Eq. 15 reproduces exactly for a
+// 128-hour, 100,000-process job at 5-year node MTBF with c = 600 s and
+// c = 60 s respectively (see EXPERIMENTS.md).
+type FigureConfig struct {
+	Name           string
+	N              int
+	Work           float64
+	Alpha          float64
+	NodeMTBF       float64
+	CheckpointCost float64
+	RestartCost    float64
+}
+
+// Figure456Configs returns the three recovered configurations.
+func Figure456Configs() []FigureConfig {
+	return []FigureConfig{
+		{
+			Name: "fig4", N: 100000, Work: 128 * model.Hour, Alpha: 0.2,
+			NodeMTBF: 5 * model.Year, CheckpointCost: 600, RestartCost: 600,
+		},
+		{
+			Name: "fig5", N: 100000, Work: 128 * model.Hour, Alpha: 0.2,
+			NodeMTBF: 2.5 * model.Year, CheckpointCost: 600, RestartCost: 600,
+		},
+		{
+			Name: "fig6", N: 100000, Work: 128 * model.Hour, Alpha: 0.2,
+			NodeMTBF: 5 * model.Year, CheckpointCost: 60, RestartCost: 600,
+		},
+	}
+}
+
+// FigureCurve is the rendered curve plus the paper-style annotations.
+type FigureCurve struct {
+	Figure *Figure
+	// TMin/TMax/TR1 are the annotation statistics in hours.
+	TMin, TMax, TR1 float64
+	// BestDegree is the argmin.
+	BestDegree float64
+	// CheckpointsAtR1 and DeltaAtR1 (seconds) annotate the r=1 point.
+	CheckpointsAtR1 float64
+	DeltaAtR1       float64
+	// LambdaAtR1 is the r=1 failure rate (1/s).
+	LambdaAtR1 float64
+}
+
+// Figures4to6 evaluates the combined model's completion time over the
+// degree sweep for each configuration.
+func Figures4to6() ([]FigureCurve, error) {
+	var out []FigureCurve
+	for _, cfg := range Figure456Configs() {
+		params := model.Params{
+			N:              cfg.N,
+			Work:           cfg.Work,
+			Alpha:          cfg.Alpha,
+			NodeMTBF:       cfg.NodeMTBF,
+			CheckpointCost: cfg.CheckpointCost,
+			RestartCost:    cfg.RestartCost,
+		}
+		curve, err := model.Sweep(params, 1, 3, 0.05, model.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", cfg.Name, err)
+		}
+		fc := FigureCurve{
+			Figure: &Figure{
+				ID:     cfg.Name,
+				Title:  fmt.Sprintf("Total Execution Time vs Degree of Redundancy (%s)", cfg.Name),
+				XLabel: "degree",
+				YLabel: "hours",
+			},
+			TMin: curve[0].Total / model.Hour,
+		}
+		s := Series{Name: "T_total"}
+		for _, ev := range curve {
+			hours := ev.Total / model.Hour
+			s.X = append(s.X, ev.Degree)
+			s.Y = append(s.Y, hours)
+			if hours < fc.TMin {
+				fc.TMin = hours
+				fc.BestDegree = ev.Degree
+			}
+			if hours > fc.TMax {
+				fc.TMax = hours
+			}
+		}
+		fc.Figure.Series = append(fc.Figure.Series, s)
+		r1, err := model.Evaluate(params, 1, model.Options{})
+		if err == nil {
+			fc.TR1 = r1.Total / model.Hour
+			fc.CheckpointsAtR1 = r1.Checkpoints
+			fc.DeltaAtR1 = r1.Interval
+			fc.LambdaAtR1 = r1.Lambda
+		} else {
+			fc.TR1 = r1.Total / model.Hour // +Inf when it never completes
+		}
+		fc.Figure.Notes = append(fc.Figure.Notes, fmt.Sprintf(
+			"T_min=%.1fh at r=%.2f; T_r=1=%.1fh; Chkpts(r=1)=%.0f; delta_opt(r=1)=%.1f min",
+			fc.TMin, fc.BestDegree, fc.TR1, fc.CheckpointsAtR1, fc.DeltaAtR1/model.Minute))
+		out = append(out, fc)
+	}
+	return out, nil
+}
+
+// Figure11 evaluates the Section 6 simplified model (the one the paper
+// overlays against its measurements): completion time in minutes over the
+// degree sweep, one series per MTBF.
+func Figure11() (*Figure, [][]float64, error) {
+	f := &Figure{
+		ID:     "fig11",
+		Title:  "Modeled Application Performance (simplified §6 model)",
+		XLabel: "degree",
+		YLabel: "minutes",
+	}
+	minutes := make([][]float64, 0, len(MTBFHours))
+	for _, mtbf := range MTBFHours {
+		params := model.Params{
+			N:              128,
+			Work:           46 * model.Minute,
+			Alpha:          0.2,
+			NodeMTBF:       mtbf * model.Hour,
+			CheckpointCost: 120,
+			RestartCost:    500,
+		}
+		s := Series{Name: fmt.Sprintf("MTBF %dh", int(mtbf))}
+		row := make([]float64, 0, len(Degrees))
+		for _, d := range Degrees {
+			ev, err := model.EvaluateSimplified(params, d, model.Options{})
+			if err != nil {
+				return nil, nil, fmt.Errorf("fig11 θ=%v r=%v: %w", mtbf, d, err)
+			}
+			mins := ev.Total / model.Minute
+			s.X = append(s.X, d)
+			s.Y = append(s.Y, mins)
+			row = append(row, mins)
+		}
+		f.Series = append(f.Series, s)
+		minutes = append(minutes, row)
+	}
+	f.Notes = append(f.Notes,
+		"T = t_Red·(1 + c/δ_opt + λ_sys·R); the paper's printed middle term √(2cΘ) is a typo (units)")
+	return f, minutes, nil
+}
+
+// Figure12Result is the observed-vs-modeled overlay plus fit statistics.
+type Figure12Result struct {
+	Figure *Figure
+	// QQCorrelation is the Pearson correlation of the observed and
+	// modeled quantiles ("a Q-Q plot ... indicates a close fit").
+	QQCorrelation float64
+	// MeanRelDeviation is the mean |obs-model|/model over all cells.
+	MeanRelDeviation float64
+}
+
+// Figure12 overlays the simulated experiment (Table 4) on the simplified
+// model (Figure 11) for selected MTBFs and computes the Q-Q fit.
+func Figure12(t4 *Table4Result, modelMinutes [][]float64, selectMTBF []float64) (*Figure12Result, error) {
+	if len(t4.Minutes) != len(modelMinutes) {
+		return nil, fmt.Errorf("fig12: %d observed rows vs %d modeled", len(t4.Minutes), len(modelMinutes))
+	}
+	if selectMTBF == nil {
+		selectMTBF = []float64{6, 18, 30}
+	}
+	f := &Figure{
+		ID:     "fig12",
+		Title:  "Observed (simulated experiment) vs Modeled Performance",
+		XLabel: "degree",
+		YLabel: "minutes",
+	}
+	var obsAll, modAll []float64
+	for i, mtbf := range MTBFHours {
+		obsAll = append(obsAll, t4.Minutes[i]...)
+		modAll = append(modAll, modelMinutes[i]...)
+		if !contains(selectMTBF, mtbf) {
+			continue
+		}
+		f.Series = append(f.Series,
+			Series{
+				Name: fmt.Sprintf("observed %dh", int(mtbf)),
+				X:    append([]float64(nil), Degrees...),
+				Y:    append([]float64(nil), t4.Minutes[i]...),
+			},
+			Series{
+				Name: fmt.Sprintf("model %dh", int(mtbf)),
+				X:    append([]float64(nil), Degrees...),
+				Y:    append([]float64(nil), modelMinutes[i]...),
+			})
+	}
+	corr, dev := stats.QQFit(stats.QQ(obsAll, modAll, 20))
+	f.Notes = append(f.Notes, fmt.Sprintf("Q-Q correlation %.4f, mean relative deviation %.3f", corr, dev))
+	return &Figure12Result{Figure: f, QQCorrelation: corr, MeanRelDeviation: dev}, nil
+}
+
+func contains(xs []float64, v float64) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+// Package expt generates every table and figure of the paper's
+// evaluation: the background work-breakdown tables (Tables 2-3), the
+// reliability and completion-time model plots (Figures 2, 4-6, 11), the
+// combined C/R + redundancy experiment matrix (Table 4 / Figures 8-9),
+// the failure-free redundancy overhead (Table 5 / Figure 10), the
+// observed-versus-modeled comparison with its Q-Q fit (Figure 12), and
+// the weak-scaling crossover analysis (Figures 13-14). Each generator
+// returns structured data plus an ASCII/CSV rendering, so cmd/paperbench
+// can print the same rows the paper reports and tests can assert on the
+// numbers.
+package expt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Table is a rendered experiment table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned ASCII.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoted minimally).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteString(strconv.Quote(cell))
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a rendered experiment figure: the series data the paper
+// plots, printed as aligned columns.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// Format renders the figure's series as a column-aligned data block,
+// assuming all series share X (true for every generator here).
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "x = %s, y = %s\n", f.XLabel, f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	header := append([]string{f.XLabel}, seriesNames(f.Series)...)
+	rows := make([][]string, 0, len(f.Series[0].X))
+	for i := range f.Series[0].X {
+		row := []string{formatNum(f.Series[0].X[i])}
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				row = append(row, formatNum(s.Y[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	tab := Table{Header: header, Rows: rows}
+	// Reuse the table layout minus its title line.
+	formatted := tab.Format()
+	if idx := strings.IndexByte(formatted, '\n'); idx >= 0 {
+		formatted = formatted[idx+1:]
+	}
+	b.WriteString(formatted)
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func seriesNames(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func formatNum(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case v == float64(int64(v)) && abs < 1e15:
+		return strconv.FormatInt(int64(v), 10)
+	case abs >= 1000:
+		return strconv.FormatFloat(v, 'f', 1, 64)
+	case abs >= 1:
+		return strconv.FormatFloat(v, 'f', 3, 64)
+	default:
+		return strconv.FormatFloat(v, 'g', 4, 64)
+	}
+}
+
+func formatPct(v float64) string {
+	return strconv.Itoa(int(v*100+0.5)) + "%"
+}
+
+func formatMinutes(seconds float64) string {
+	return strconv.Itoa(int(seconds/60 + 0.5))
+}

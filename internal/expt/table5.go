@@ -1,0 +1,119 @@
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Table5 reproduces Table 5 / Figure 10: failure-free execution time as
+// the redundancy degree grows, comparing the paper's observed cluster
+// measurements against the Eq. 1 linear expectation (the paper's
+// "expected linear increase" row is Eq. 1 with t = 46 min, α = 0.2).
+func Table5() (*Table, *Figure) {
+	t := &Table{
+		ID:     "table5",
+		Title:  "Increase in Execution Time with Redundancy (failure-free, minutes)",
+		Header: []string{"Degree", "Observed (paper)", "Expected linear (Eq. 1)"},
+	}
+	f := &Figure{
+		ID:     "fig10",
+		Title:  "Increase in Execution Time with Redundancy",
+		XLabel: "degree",
+		YLabel: "minutes",
+		Series: []Series{
+			{Name: "observed"},
+			{Name: "linear (Eq. 1)"},
+		},
+	}
+	for i, d := range Degrees {
+		linear := model.RedundantTime(46*model.Minute, 0.2, d) / model.Minute
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%gx", d),
+			fmt.Sprintf("%.0f", PaperObservedRedundantMinutes[i]),
+			fmt.Sprintf("%.0f", linear),
+		})
+		f.Series[0].X = append(f.Series[0].X, d)
+		f.Series[0].Y = append(f.Series[0].Y, PaperObservedRedundantMinutes[i])
+		f.Series[1].X = append(f.Series[1].X, d)
+		f.Series[1].Y = append(f.Series[1].Y, linear)
+	}
+	t.Notes = append(t.Notes,
+		"observed exceeds linear most at the first partial step (1x→1.25x), the paper's observation (4)")
+	return t, f
+}
+
+// Table5LiveParams configures the live functional-stack measurement of
+// the redundancy overhead (the in-process analogue of the paper's
+// separate failure-free experiment).
+type Table5LiveParams struct {
+	// Ranks is the virtual process count.
+	Ranks int
+	// Grid sizes the CG problem (grid² unknowns).
+	Grid int
+	// Iterations per run.
+	Iterations int
+	// SendDelay emulates wire latency so communication is a realistic
+	// fraction of runtime and dilates with the degree (Eq. 1).
+	SendDelay time.Duration
+	// ComputeDelay emulates per-iteration computation.
+	ComputeDelay time.Duration
+	// Degrees to measure; nil uses the standard sweep.
+	Degrees []float64
+}
+
+// DefaultTable5LiveParams keeps the measurement under ~20 s total.
+func DefaultTable5LiveParams() Table5LiveParams {
+	return Table5LiveParams{
+		Ranks:        8,
+		Grid:         8,
+		Iterations:   40,
+		SendDelay:    100 * time.Microsecond,
+		ComputeDelay: 2 * time.Millisecond,
+		Degrees:      Degrees,
+	}
+}
+
+// Table5Live measures failure-free runtime at each degree by actually
+// running CG through the full redundancy stack, returning seconds per
+// degree alongside the rendered table.
+func Table5Live(p Table5LiveParams) (*Table, []float64, error) {
+	if p.Degrees == nil {
+		p.Degrees = Degrees
+	}
+	m, err := apps.Laplacian2D(p.Grid)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := &Table{
+		ID:     "table5-live",
+		Title:  "Measured failure-free runtime vs degree (functional stack)",
+		Header: []string{"Degree", "Elapsed", "Physical ranks", "Physical sends"},
+	}
+	secs := make([]float64, 0, len(p.Degrees))
+	for _, degree := range p.Degrees {
+		res, err := core.Run(core.Config{
+			Ranks:          p.Ranks,
+			Degree:         degree,
+			SendDelay:      p.SendDelay,
+			ComputeDelay:   p.ComputeDelay,
+			AttemptTimeout: 5 * time.Minute,
+		}, func() apps.App { return &apps.CG{Matrix: m, Iterations: p.Iterations} })
+		if err != nil {
+			return nil, nil, fmt.Errorf("table5-live r=%v: %w", degree, err)
+		}
+		secs = append(secs, res.Elapsed.Seconds())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%gx", degree),
+			res.Elapsed.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", res.PhysicalRanks),
+			fmt.Sprintf("%d", res.Redundancy.PhysicalSends),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"runtime and message count dilate with degree as Eq. 1 predicts")
+	return t, secs, nil
+}

@@ -1,0 +1,263 @@
+// Package failure implements the paper's §5 failure-injection framework:
+// a background process that draws per-physical-node failure times from an
+// exponential distribution (Poisson arrivals, assumption 3), maintains
+// the virtual→physical sphere mapping, kills physical ranks as their
+// times arrive, and declares job failure exactly when every physical
+// process of some virtual process has died (Fig. 7) — at which point the
+// orchestrator tears the job down and restarts from the last checkpoint.
+package failure
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// KillTarget is the runtime surface the injector drives; *simmpi.World
+// implements it.
+type KillTarget interface {
+	// Kill fail-stops a physical rank (idempotent).
+	Kill(rank int)
+}
+
+// Kill records one injected failure.
+type Kill struct {
+	// Rank is the physical rank killed.
+	Rank int
+	// After is the offset from injector start.
+	After time.Duration
+}
+
+// Config configures an injector for one job attempt.
+type Config struct {
+	// Stream drives the exponential draws. Required unless Schedule is
+	// set.
+	Stream *stats.Stream
+	// NodeMTBF is the per-node mean time to failure (scaled down for
+	// laptop-scale experiments, as the paper scales its cluster MTBFs).
+	// Required unless Schedule is set.
+	NodeMTBF time.Duration
+	// Horizon stops generating failures past this offset; zero means no
+	// bound (failures keep arriving until Stop).
+	Horizon time.Duration
+	// Schedule, when non-nil, replaces random generation with an explicit
+	// deterministic kill list (for tests).
+	Schedule []Kill
+}
+
+// Injector drives one job attempt's failures.
+type Injector struct {
+	target  KillTarget
+	spheres [][]int
+	cfg     Config
+
+	// sphereOf maps a physical rank to its sphere index; -1 if unmapped.
+	sphereOf []int
+
+	mu        sync.Mutex
+	remaining []int // live replicas per sphere
+	log       []Kill
+	stopped   bool
+	stopCh    chan struct{}
+	doneCh    chan struct{}
+	jobFailed chan int // sphere index whose last replica died; capacity 1
+	started   bool
+}
+
+// New creates an injector over the given sphere map (spheres[v] lists the
+// physical ranks of virtual rank v, as redundancy.RankMap.Sphere returns).
+func New(target KillTarget, spheres [][]int, cfg Config) (*Injector, error) {
+	if target == nil {
+		return nil, fmt.Errorf("failure: nil target")
+	}
+	if cfg.Schedule == nil {
+		if cfg.Stream == nil {
+			return nil, fmt.Errorf("failure: need Stream or explicit Schedule")
+		}
+		if cfg.NodeMTBF <= 0 {
+			return nil, fmt.Errorf("failure: NodeMTBF = %v", cfg.NodeMTBF)
+		}
+	}
+	maxPhys := -1
+	for _, sphere := range spheres {
+		for _, p := range sphere {
+			if p > maxPhys {
+				maxPhys = p
+			}
+		}
+	}
+	inj := &Injector{
+		target:    target,
+		spheres:   spheres,
+		cfg:       cfg,
+		sphereOf:  make([]int, maxPhys+1),
+		remaining: make([]int, len(spheres)),
+		stopCh:    make(chan struct{}),
+		doneCh:    make(chan struct{}),
+		jobFailed: make(chan int, 1),
+	}
+	for i := range inj.sphereOf {
+		inj.sphereOf[i] = -1
+	}
+	for v, sphere := range spheres {
+		inj.remaining[v] = len(sphere)
+		for _, p := range sphere {
+			if inj.sphereOf[p] != -1 {
+				return nil, fmt.Errorf("failure: physical rank %d in two spheres", p)
+			}
+			inj.sphereOf[p] = v
+		}
+	}
+	return inj, nil
+}
+
+// JobFailed delivers the virtual rank whose sphere was exhausted; the
+// channel fires at most once per attempt.
+func (inj *Injector) JobFailed() <-chan int { return inj.jobFailed }
+
+// Log returns the kills performed so far, in injection order.
+func (inj *Injector) Log() []Kill {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	out := make([]Kill, len(inj.log))
+	copy(out, inj.log)
+	return out
+}
+
+// Failures returns the number of kills performed so far.
+func (inj *Injector) Failures() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return len(inj.log)
+}
+
+// Start launches the background killer goroutine. Call Stop to halt it
+// and wait for it to exit.
+func (inj *Injector) Start() {
+	inj.mu.Lock()
+	if inj.started {
+		inj.mu.Unlock()
+		return
+	}
+	inj.started = true
+	inj.mu.Unlock()
+	go inj.run()
+}
+
+// Stop halts injection and waits for the background goroutine.
+func (inj *Injector) Stop() {
+	inj.mu.Lock()
+	if !inj.started {
+		inj.started = true // absorb Start after Stop
+		close(inj.doneCh)
+		inj.stopped = true
+		inj.mu.Unlock()
+		return
+	}
+	if inj.stopped {
+		inj.mu.Unlock()
+		<-inj.doneCh
+		return
+	}
+	inj.stopped = true
+	inj.mu.Unlock()
+	close(inj.stopCh)
+	<-inj.doneCh
+}
+
+// schedule builds the kill sequence: explicit, or one exponential draw
+// per physical node (its first failure; nodes are not repaired within an
+// attempt, so only the first matters).
+func (inj *Injector) schedule() []Kill {
+	if inj.cfg.Schedule != nil {
+		out := make([]Kill, len(inj.cfg.Schedule))
+		copy(out, inj.cfg.Schedule)
+		sort.SliceStable(out, func(i, j int) bool { return out[i].After < out[j].After })
+		return out
+	}
+	var kills []Kill
+	for _, sphere := range inj.spheres {
+		for _, p := range sphere {
+			after := time.Duration(inj.cfg.Stream.Exp(float64(inj.cfg.NodeMTBF)))
+			if inj.cfg.Horizon > 0 && after > inj.cfg.Horizon {
+				continue
+			}
+			kills = append(kills, Kill{Rank: p, After: after})
+		}
+	}
+	sort.Slice(kills, func(i, j int) bool { return kills[i].After < kills[j].After })
+	return kills
+}
+
+func (inj *Injector) run() {
+	defer close(inj.doneCh)
+	start := time.Now()
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for _, kill := range inj.schedule() {
+		wait := kill.After - time.Since(start)
+		if wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-inj.stopCh:
+				return
+			}
+		} else {
+			select {
+			case <-inj.stopCh:
+				return
+			default:
+			}
+		}
+		inj.kill(kill.Rank, time.Since(start))
+	}
+	// Schedule exhausted; wait for Stop so Log stays available.
+	<-inj.stopCh
+}
+
+// kill performs one fail-stop and updates sphere accounting.
+func (inj *Injector) kill(rank int, at time.Duration) {
+	inj.target.Kill(rank)
+	inj.mu.Lock()
+	inj.log = append(inj.log, Kill{Rank: rank, After: at})
+	var exhausted = -1
+	if rank < len(inj.sphereOf) {
+		if v := inj.sphereOf[rank]; v >= 0 {
+			inj.remaining[v]--
+			if inj.remaining[v] == 0 {
+				exhausted = v
+			}
+		}
+	}
+	inj.mu.Unlock()
+	if exhausted >= 0 {
+		select {
+		case inj.jobFailed <- exhausted:
+		default:
+		}
+	}
+}
+
+// InjectNow kills a specific physical rank immediately, outside the
+// schedule (test hook and manual chaos control).
+func (inj *Injector) InjectNow(rank int) {
+	inj.kill(rank, 0)
+}
+
+// PlainSpheres builds the degenerate sphere map for an unreplicated
+// n-rank job: sphere v = {v}. With it, any single failure exhausts a
+// sphere, which is exactly the 1x behaviour of the paper.
+func PlainSpheres(n int) [][]int {
+	out := make([][]int, n)
+	for v := range out {
+		out[v] = []int{v}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package model
+
+// Breakdown splits the modeled total execution time into the four
+// categories of the Sandia study the paper reproduces as Tables 2-3:
+// useful work, checkpointing, recomputation of lost work, and restart.
+// Fractions sum to 1.
+type Breakdown struct {
+	Work       float64
+	Checkpoint float64
+	Recompute  float64
+	Restart    float64
+	// Total is the underlying T_total in seconds.
+	Total float64
+}
+
+// BreakdownOf decomposes an Evaluation produced by Evaluate. The combined
+// restart+rework term of Eq. 13 is split between restart and recompute
+// proportionally to their expected contributions R and t_lw, matching how
+// the Sandia study reports them separately.
+func BreakdownOf(ev Evaluation, p Params) Breakdown {
+	b := Breakdown{Total: ev.Total}
+	if ev.Total <= 0 {
+		return b
+	}
+	workTime := ev.RedundantTime
+	ckptTime := 0.0
+	if ev.Interval > 0 && ev.Checkpoints > 0 {
+		ckptTime = ev.Checkpoints * p.CheckpointCost
+	}
+	rrTime := ev.Total - workTime - ckptTime
+	if rrTime < 0 {
+		rrTime = 0
+	}
+	restartShare := 0.0
+	if denom := p.RestartCost + ev.LostWork; denom > 0 {
+		restartShare = p.RestartCost / denom
+	}
+	b.Work = workTime / ev.Total
+	b.Checkpoint = ckptTime / ev.Total
+	b.Restart = rrTime * restartShare / ev.Total
+	b.Recompute = rrTime * (1 - restartShare) / ev.Total
+	return b
+}
+
+// WorkBreakdown evaluates the model at redundancy degree r and returns
+// the resulting time breakdown; it is the generator behind Tables 2-3.
+func WorkBreakdown(p Params, r float64, opts Options) (Breakdown, error) {
+	ev, err := Evaluate(p, r, opts)
+	if err != nil {
+		return Breakdown{Total: ev.Total}, err
+	}
+	return BreakdownOf(ev, p), nil
+}

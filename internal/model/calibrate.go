@@ -1,0 +1,77 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// CalibrationTarget pins an observable the calibration should reproduce:
+// the crossover process count at which degree RHigh starts beating RLow.
+type CalibrationTarget struct {
+	RLow, RHigh float64
+	// N is the published crossover process count (e.g. 4,351 for 1x→2x
+	// in Figure 13).
+	N int
+}
+
+// CalibrationResult is the best configuration found and its residuals.
+type CalibrationResult struct {
+	Params Params
+	// Crossovers holds the crossover N achieved by Params for each
+	// target, in target order.
+	Crossovers []int
+	// Score is the sum of squared log-ratios between achieved and target
+	// crossovers (0 is a perfect match).
+	Score float64
+}
+
+// Calibrate grid-searches checkpoint cost and node MTBF to find a model
+// configuration whose redundancy crossovers land near the published
+// Figure 13/14 values (the paper does not state the c, R, θ, α it used
+// for those plots). Work, Alpha and RestartCost are taken from the base
+// parameters and held fixed; CheckpointCost and NodeMTBF are swept over
+// the supplied candidate grids.
+func Calibrate(base Params, ckptGrid, mtbfGrid []float64, targets []CalibrationTarget, opts Options) (CalibrationResult, error) {
+	if len(targets) == 0 {
+		return CalibrationResult{}, fmt.Errorf("model: no calibration targets")
+	}
+	maxN := 0
+	for _, t := range targets {
+		if t.N > maxN {
+			maxN = t.N
+		}
+	}
+	searchHi := maxN * 16
+
+	best := CalibrationResult{Score: math.Inf(1)}
+	for _, c := range ckptGrid {
+		for _, theta := range mtbfGrid {
+			p := base
+			p.CheckpointCost = c
+			p.NodeMTBF = theta
+			crossovers := make([]int, 0, len(targets))
+			score := 0.0
+			feasible := true
+			for _, t := range targets {
+				n, err := Crossover(p, t.RLow, t.RHigh, 2, searchHi, opts)
+				if err != nil {
+					return CalibrationResult{}, err
+				}
+				if n > searchHi {
+					feasible = false
+					break
+				}
+				crossovers = append(crossovers, n)
+				lr := math.Log(float64(n) / float64(t.N))
+				score += lr * lr
+			}
+			if feasible && score < best.Score {
+				best = CalibrationResult{Params: p, Crossovers: crossovers, Score: score}
+			}
+		}
+	}
+	if math.IsInf(best.Score, 1) {
+		return best, fmt.Errorf("model: no grid point produced all target crossovers")
+	}
+	return best, nil
+}

@@ -1,0 +1,107 @@
+package model
+
+import "math"
+
+// ExpectedLostWork is Eq. 12: the expected amount of computation lost
+// when a failure strikes, under periodic checkpointing with work interval
+// delta, checkpoint cost c, and system MTBF theta. Failures during the
+// work phase lose the work done since the segment start; failures during
+// the checkpoint phase lose the whole interval delta.
+//
+//	t_lw = [Θ - Θ·e^{-δ/Θ} - δ·e^{-(δ+c)/Θ}] / (1 - e^{-(δ+c)/Θ})
+func ExpectedLostWork(delta, c, theta float64) float64 {
+	if delta <= 0 {
+		return 0
+	}
+	if math.IsInf(theta, 1) {
+		// Perfectly reliable system: failures never strike, but the limit
+		// of Eq. 12 as Θ→∞ is δ·(δ/2 + c)/(δ + c); return that for
+		// continuity (it is only used multiplied by λ = 0 anyway).
+		return delta * (delta/2 + c) / (delta + c)
+	}
+	deltaC := delta + c
+	den := -math.Expm1(-deltaC / theta)
+	if den == 0 {
+		return 0
+	}
+	num := -theta*math.Expm1(-delta/theta) - delta*math.Exp(-deltaC/theta)
+	return num / den
+}
+
+// ExpectedRestartRework is Eq. 13: the expected duration of the combined
+// restart + rework phase that follows each failure, accounting for
+// failures that strike during the phase itself. With x = R + t_lw and
+// q = e^{-x/Θ}:
+//
+//	t_RR = (1-q)·[Θ - q·(x+Θ)] + q·x
+func ExpectedRestartRework(restart, lostWork, theta float64) float64 {
+	x := restart + lostWork
+	if x <= 0 {
+		return 0
+	}
+	if math.IsInf(theta, 1) {
+		return x
+	}
+	q := math.Exp(-x / theta)
+	return (1-q)*(theta-q*(x+theta)) + q*x
+}
+
+// TotalTime is Eq. 14: the expected wallclock time to complete work t
+// with checkpoint interval delta, checkpoint cost c, failure rate lambda,
+// and per-failure restart/rework time tRR:
+//
+//	T_total = (t + t·c/δ) / (1 - λ·t_RR)
+//
+// It returns ErrNeverCompletes when λ·t_RR ≥ 1 (failures arrive faster
+// than the system can recover from them).
+func TotalTime(work, delta, c, lambda, tRR float64) (float64, error) {
+	numerator := work
+	if delta > 0 && c > 0 {
+		numerator += work * c / delta
+	}
+	if math.IsInf(lambda, 1) {
+		// Failures arrive instantly (Θ_sys = 0): no progress regardless
+		// of t_RR; guards the Inf·0 = NaN corner.
+		return math.Inf(1), ErrNeverCompletes
+	}
+	den := 1 - lambda*tRR
+	if math.IsNaN(den) || den <= 0 {
+		return math.Inf(1), ErrNeverCompletes
+	}
+	return numerator / den, nil
+}
+
+// ExpectedFailures is Eq. 11: n_f = T_total · λ.
+func ExpectedFailures(totalTime, lambda float64) float64 {
+	return totalTime * lambda
+}
+
+// DalyInterval is Eq. 15, Daly's higher-order optimum checkpoint
+// interval for checkpoint cost c and system MTBF theta:
+//
+//	δ_opt = √(2cΘ)·[1 + (1/3)·(c/2Θ)^{1/2} + (1/9)·(c/2Θ)] - c
+//
+// Following Daly, the formula applies for c < 2Θ; beyond that the
+// optimum saturates at δ = Θ.
+func DalyInterval(c, theta float64) float64 {
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	if math.IsInf(theta, 1) {
+		return math.Inf(1)
+	}
+	if c >= 2*theta {
+		return theta
+	}
+	ratio := c / (2 * theta)
+	return math.Sqrt(2*c*theta)*(1+math.Sqrt(ratio)/3+ratio/9) - c
+}
+
+// YoungInterval is Young's first-order optimum checkpoint interval
+// δ = √(2cΘ), provided for comparison with Daly's higher-order form.
+func YoungInterval(c, theta float64) float64 {
+	if c <= 0 {
+		return math.Inf(1)
+	}
+	return math.Sqrt(2 * c * theta)
+}

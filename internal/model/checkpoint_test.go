@@ -1,0 +1,199 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedLostWorkSmallInterval(t *testing.T) {
+	// For δ ≪ Θ and c ≪ δ, failures land uniformly in the interval and
+	// the expected lost work tends to δ/2.
+	got := ExpectedLostWork(100, 0.001, 1e9)
+	if math.Abs(got-50) > 0.1 {
+		t.Fatalf("t_lw = %v, want ≈ 50", got)
+	}
+}
+
+func TestExpectedLostWorkBounded(t *testing.T) {
+	f := func(dRaw, cRaw, thRaw uint16) bool {
+		delta := float64(dRaw) + 1
+		c := float64(cRaw)
+		theta := float64(thRaw) + 1
+		lw := ExpectedLostWork(delta, c, theta)
+		// Lost work can never exceed the work interval nor be negative.
+		return lw >= -1e-9 && lw <= delta+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpectedLostWorkZeroInterval(t *testing.T) {
+	if got := ExpectedLostWork(0, 10, 100); got != 0 {
+		t.Fatalf("t_lw with δ=0 should be 0, got %v", got)
+	}
+}
+
+func TestExpectedLostWorkInfiniteMTBF(t *testing.T) {
+	got := ExpectedLostWork(100, 20, math.Inf(1))
+	want := 100 * (50.0 + 20) / 120 // the Θ→∞ limit
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Θ=∞ limit: got %v, want %v", got, want)
+	}
+}
+
+func TestExpectedRestartRework(t *testing.T) {
+	// Reliable system: phase always completes, expected duration is R + t_lw.
+	if got := ExpectedRestartRework(500, 100, math.Inf(1)); got != 600 {
+		t.Errorf("reliable t_RR = %v, want 600", got)
+	}
+	// Failure-prone system: expected duration below the maximum R + t_lw.
+	got := ExpectedRestartRework(500, 100, 1000)
+	if got <= 0 || got >= 600 {
+		t.Errorf("t_RR = %v, want in (0, 600)", got)
+	}
+	if got := ExpectedRestartRework(0, 0, 1000); got != 0 {
+		t.Errorf("zero-length phase: got %v, want 0", got)
+	}
+}
+
+func TestExpectedRestartReworkBounded(t *testing.T) {
+	f := func(rRaw, lwRaw, thRaw uint16) bool {
+		r := float64(rRaw)
+		lw := float64(lwRaw)
+		theta := float64(thRaw) + 1
+		tRR := ExpectedRestartRework(r, lw, theta)
+		return tRR >= -1e-9 && tRR <= r+lw+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTotalTimeNoFailures(t *testing.T) {
+	got, err := TotalTime(1000, 100, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t + t*c/δ = 1000 + 100.
+	if math.Abs(got-1100) > 1e-9 {
+		t.Fatalf("T_total = %v, want 1100", got)
+	}
+}
+
+func TestTotalTimeNeverCompletes(t *testing.T) {
+	_, err := TotalTime(1000, 100, 10, 0.01, 200)
+	if !errors.Is(err, ErrNeverCompletes) {
+		t.Fatalf("λ·t_RR = 2 should never complete, got err = %v", err)
+	}
+}
+
+func TestTotalTimeExceedsWork(t *testing.T) {
+	f := func(lamRaw uint8, tRRRaw uint16) bool {
+		lambda := float64(lamRaw) / 10000.0
+		tRR := float64(tRRRaw % 100)
+		got, err := TotalTime(1000, 50, 5, lambda, tRR)
+		if err != nil {
+			return math.IsInf(got, 1)
+		}
+		return got >= 1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDalyIntervalHandCalc(t *testing.T) {
+	// Hand evaluation of Eq. 15 at c = 120 s, Θ = 1088 s:
+	// √(2cΘ) = √261120 ≈ 511.0, ratio = c/2Θ ≈ 0.05515.
+	c, theta := 120.0, 1088.0
+	ratio := c / (2 * theta)
+	want := math.Sqrt(2*c*theta)*(1+math.Sqrt(ratio)/3+ratio/9) - c
+	if got := DalyInterval(c, theta); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DalyInterval = %v, want %v", got, want)
+	}
+	if want < 400 || want > 500 {
+		t.Fatalf("sanity: δ_opt = %v, expected ≈ 434 s", want)
+	}
+}
+
+func TestDalyIntervalPaperFigureRatio(t *testing.T) {
+	// §4.3: Figures 4 and 6 differ only in c by 10x and the paper notes
+	// δ_opt is "roughly magnified by √10". Verify that scaling law.
+	theta := 10 * Hour
+	big := DalyInterval(1000, theta)
+	small := DalyInterval(100, theta)
+	ratio := big / small
+	if math.Abs(ratio-math.Sqrt(10)) > 0.2 {
+		t.Fatalf("δ_opt ratio for 10x checkpoint cost = %v, want ≈ √10 ≈ 3.16", ratio)
+	}
+}
+
+func TestDalyIntervalSaturates(t *testing.T) {
+	// c ≥ 2Θ: Daly's regime boundary pins δ = Θ.
+	if got := DalyInterval(100, 40); got != 40 {
+		t.Fatalf("saturated δ = %v, want Θ = 40", got)
+	}
+}
+
+func TestDalyIntervalEdges(t *testing.T) {
+	if got := DalyInterval(0, 100); !math.IsInf(got, 1) {
+		t.Errorf("free checkpoints: δ = %v, want +Inf", got)
+	}
+	if got := DalyInterval(10, math.Inf(1)); !math.IsInf(got, 1) {
+		t.Errorf("no failures: δ = %v, want +Inf", got)
+	}
+}
+
+func TestYoungVsDaly(t *testing.T) {
+	// Daly's correction terms shrink relative to √(2cΘ) as Θ grows, so
+	// Young and Daly converge for reliable systems.
+	c := 120.0
+	for _, theta := range []float64{1e5, 1e7, 1e9} {
+		y := YoungInterval(c, theta)
+		d := DalyInterval(c, theta)
+		rel := math.Abs(y-d) / y
+		if theta >= 1e9 && rel > 0.001 {
+			t.Fatalf("Young %v vs Daly %v at Θ=%v: rel %v", y, d, theta, rel)
+		}
+	}
+	// For less reliable systems Daly < Young + c relation: δ_daly ≈ young - c + corrections.
+	y := YoungInterval(120, 1088)
+	d := DalyInterval(120, 1088)
+	if d >= y {
+		t.Fatalf("Daly (%v) should fall below Young (%v) at low Θ", d, y)
+	}
+}
+
+func TestOptimizeIntervalAgreesWithDaly(t *testing.T) {
+	// Direct numerical minimisation of Eq. 14 should land near Daly's
+	// closed form (it is an approximation, so allow 20%).
+	p := Params{
+		N:              128,
+		Work:           46 * Minute,
+		Alpha:          0.2,
+		NodeMTBF:       24 * Hour,
+		CheckpointCost: 120,
+		RestartCost:    500,
+	}
+	ev, err := Evaluate(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	numDelta, numTotal, err := OptimizeInterval(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relErr := math.Abs(numDelta-ev.Interval) / ev.Interval; relErr > 0.25 {
+		t.Errorf("numerical δ* = %v vs Daly %v (rel %v)", numDelta, ev.Interval, relErr)
+	}
+	// Daly total should be within a whisker of the true optimum.
+	if numTotal > ev.Total+1e-9 {
+		t.Logf("numerical optimum %v beats Daly %v (expected, Daly approximates)", numTotal, ev.Total)
+	}
+	if (ev.Total-numTotal)/numTotal > 0.02 {
+		t.Errorf("Daly total %v is >2%% worse than optimum %v", ev.Total, numTotal)
+	}
+}

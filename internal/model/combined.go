@@ -1,0 +1,168 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Options tunes how the combined model is evaluated.
+type Options struct {
+	// Reliability selects the per-node failure-probability form; the
+	// zero value uses the paper's linearised Eq. 3.
+	Reliability ReliabilityModel
+	// Interval fixes the checkpoint interval δ in seconds. When zero,
+	// Daly's optimum (Eq. 15) for the redundancy-adjusted system MTBF is
+	// used, matching the paper's checkpointer.
+	Interval float64
+	// UseYoung selects Young's first-order interval instead of Daly's
+	// when Interval is zero.
+	UseYoung bool
+}
+
+// Evaluation is the full output of the combined C/R + redundancy model
+// (Section 4.3) at one redundancy degree.
+type Evaluation struct {
+	// Degree is the requested redundancy degree r.
+	Degree float64
+	// Partition is the Eq. 5-8 split of virtual processes.
+	Partition Partition
+	// NodesUsed is N_total (Eq. 8), the physical processes consumed.
+	NodesUsed int
+	// RedundantTime is t_Red (Eq. 1), seconds.
+	RedundantTime float64
+	// Reliability is R_sys (Eq. 9) over mission time t_Red.
+	Reliability float64
+	// Lambda and MTBF are λ_sys and Θ_sys (Eq. 10), 1/seconds and seconds.
+	Lambda, MTBF float64
+	// Interval is the checkpoint interval δ actually used, seconds.
+	Interval float64
+	// LostWork is t_lw (Eq. 12), seconds.
+	LostWork float64
+	// RestartRework is t_RR (Eq. 13), seconds.
+	RestartRework float64
+	// Total is T_total (Eq. 14), seconds.
+	Total float64
+	// Checkpoints is the expected checkpoint count t_Red/δ.
+	Checkpoints float64
+	// Failures is n_f (Eq. 11), the expected number of failures.
+	Failures float64
+}
+
+// NodeHours is the resource cost of the run: physical nodes held for the
+// full wallclock, in node-hours. This is the "cost" axis of the paper's
+// time-versus-resources trade-off.
+func (e Evaluation) NodeHours() float64 {
+	return float64(e.NodesUsed) * e.Total / Hour
+}
+
+// Evaluate runs the combined model for parameters p at redundancy degree
+// r: it dilates the execution time (Eq. 1), partitions ranks (Eqs. 5-8),
+// derives the system failure rate (Eqs. 9-10), picks the checkpoint
+// interval (Eq. 15 unless overridden), and solves Eq. 14 for the expected
+// total time.
+func Evaluate(p Params, r float64, opts Options) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	part, err := PartitionRanks(p.N, r)
+	if err != nil {
+		return Evaluation{}, err
+	}
+
+	ev := Evaluation{
+		Degree:        r,
+		Partition:     part,
+		NodesUsed:     part.TotalProcesses(),
+		RedundantTime: RedundantTime(p.Work, p.Alpha, r),
+	}
+	ev.Reliability = SystemReliability(part, ev.RedundantTime, p.NodeMTBF, opts.Reliability)
+	ev.Lambda, ev.MTBF = SystemRates(part, ev.RedundantTime, p.NodeMTBF, opts.Reliability)
+
+	switch {
+	case opts.Interval > 0:
+		ev.Interval = opts.Interval
+	case opts.UseYoung:
+		ev.Interval = YoungInterval(p.CheckpointCost, ev.MTBF)
+	default:
+		ev.Interval = DalyInterval(p.CheckpointCost, ev.MTBF)
+	}
+
+	ev.LostWork = ExpectedLostWork(ev.Interval, p.CheckpointCost, ev.MTBF)
+	ev.RestartRework = ExpectedRestartRework(p.RestartCost, ev.LostWork, ev.MTBF)
+	ev.Total, err = TotalTime(ev.RedundantTime, ev.Interval, p.CheckpointCost, ev.Lambda, ev.RestartRework)
+	if err != nil {
+		return ev, fmt.Errorf("evaluating r=%v: %w", r, err)
+	}
+	if !math.IsInf(ev.Interval, 1) {
+		ev.Checkpoints = ev.RedundantTime / ev.Interval
+	}
+	ev.Failures = ExpectedFailures(ev.Total, ev.Lambda)
+	return ev, nil
+}
+
+// EvaluateSimplified implements the Section 6 simplified model the paper
+// fits against its cluster measurements (Figures 11-12): failures are not
+// injected during checkpoint or restart phases, so the total time reduces
+// to the dilated time plus checkpoint overhead plus per-failure restart
+// cost:
+//
+//	T_total = t_Red · (1 + c/δ_opt + λ_sys·R)
+//
+// The paper prints the middle term as t_Red·√(2cΘ), which is dimensionally
+// a time squared; δ_opt ≈ √(2cΘ) is the checkpoint interval, so the
+// intended checkpoint-overhead term is t_Red·c/δ_opt (checkpoint count
+// times cost). See DESIGN.md "Known paper idiosyncrasies".
+func EvaluateSimplified(p Params, r float64, opts Options) (Evaluation, error) {
+	if err := p.Validate(); err != nil {
+		return Evaluation{}, err
+	}
+	part, err := PartitionRanks(p.N, r)
+	if err != nil {
+		return Evaluation{}, err
+	}
+	ev := Evaluation{
+		Degree:        r,
+		Partition:     part,
+		NodesUsed:     part.TotalProcesses(),
+		RedundantTime: RedundantTime(p.Work, p.Alpha, r),
+	}
+	ev.Reliability = SystemReliability(part, ev.RedundantTime, p.NodeMTBF, opts.Reliability)
+	ev.Lambda, ev.MTBF = SystemRates(part, ev.RedundantTime, p.NodeMTBF, opts.Reliability)
+	if opts.Interval > 0 {
+		ev.Interval = opts.Interval
+	} else {
+		ev.Interval = DalyInterval(p.CheckpointCost, ev.MTBF)
+	}
+
+	ckptOverhead := 0.0
+	if !math.IsInf(ev.Interval, 1) && ev.Interval > 0 {
+		ckptOverhead = p.CheckpointCost / ev.Interval
+		ev.Checkpoints = ev.RedundantTime / ev.Interval
+	}
+	ev.Total = ev.RedundantTime * (1 + ckptOverhead + ev.Lambda*p.RestartCost)
+	ev.Failures = ExpectedFailures(ev.Total, ev.Lambda)
+	return ev, nil
+}
+
+// Sweep evaluates the model across redundancy degrees from lo to hi in
+// the given step and returns one Evaluation per degree, in order.
+// Degrees whose configuration never completes are included with
+// Total = +Inf so callers can still plot the curve shape.
+func Sweep(p Params, lo, hi, step float64, opts Options) ([]Evaluation, error) {
+	if step <= 0 || hi < lo {
+		return nil, fmt.Errorf("model: invalid sweep [%v, %v] step %v", lo, hi, step)
+	}
+	var out []Evaluation
+	for i := 0; ; i++ {
+		r := lo + float64(i)*step
+		if r > hi+1e-9 {
+			break
+		}
+		ev, err := Evaluate(p, r, opts)
+		if err != nil && !math.IsInf(ev.Total, 1) {
+			return nil, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

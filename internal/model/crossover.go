@@ -1,0 +1,138 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ScalingPoint is one x-axis point of Figures 13-14: the modeled
+// wallclock of a weak-scaled job at a given virtual-process count, for
+// each redundancy degree of interest.
+type ScalingPoint struct {
+	N      int
+	Totals map[float64]float64 // degree -> T_total seconds (+Inf if never completes)
+}
+
+// WeakScalingCurve evaluates the model under weak scaling: the per-process
+// work (and hence the base execution time t) is constant as N grows,
+// matching the paper's Figure 13 setup ("the problem size is scaled at
+// the same rate as the number of processes resulting in a constant
+// compute overhead per process"). Degrees lists the redundancy levels to
+// evaluate at every N in ns.
+func WeakScalingCurve(p Params, ns []int, degrees []float64, opts Options) ([]ScalingPoint, error) {
+	pts := make([]ScalingPoint, 0, len(ns))
+	for _, n := range ns {
+		if n <= 0 {
+			return nil, fmt.Errorf("model: invalid process count %d", n)
+		}
+		pp := p
+		pp.N = n
+		sp := ScalingPoint{N: n, Totals: make(map[float64]float64, len(degrees))}
+		for _, r := range degrees {
+			ev, err := Evaluate(pp, r, opts)
+			if err != nil && !math.IsInf(ev.Total, 1) {
+				return nil, err
+			}
+			sp.Totals[r] = ev.Total
+		}
+		pts = append(pts, sp)
+	}
+	return pts, nil
+}
+
+// Crossover finds the smallest process count N in [lo, hi] at which
+// redundancy degree rHigh completes faster than rLow, by bisection. The
+// advantage of higher redundancy is monotone in N (more nodes mean a
+// proportionally higher un-replicated failure rate), which makes
+// bisection sound. It returns hi+1 if rHigh never wins in range.
+func Crossover(p Params, rLow, rHigh float64, lo, hi int, opts Options) (int, error) {
+	faster := func(n int) (bool, error) {
+		pp := p
+		pp.N = n
+		lowEv, err := Evaluate(pp, rLow, opts)
+		lowInf := math.IsInf(lowEv.Total, 1)
+		if err != nil && !lowInf {
+			return false, err
+		}
+		highEv, err := Evaluate(pp, rHigh, opts)
+		if err != nil && !math.IsInf(highEv.Total, 1) {
+			return false, err
+		}
+		return highEv.Total < lowEv.Total, nil
+	}
+	ok, err := faster(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return hi + 1, nil
+	}
+	if ok, err = faster(lo); err != nil {
+		return 0, err
+	} else if ok {
+		return lo, nil
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := faster(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// ThroughputBreakEven finds the smallest N in [lo, hi] where the
+// no-redundancy runtime is at least `factor` times the runtime at degree
+// r. The paper's headline: at ≈80,000 processes the 1x runtime doubles
+// the 2x runtime, so two 2x jobs finish in the time of one 1x job
+// (Figure 14). Returns hi+1 if the factor is never reached in range.
+func ThroughputBreakEven(p Params, r, factor float64, lo, hi int, opts Options) (int, error) {
+	reached := func(n int) (bool, error) {
+		pp := p
+		pp.N = n
+		base, err := Evaluate(pp, 1, opts)
+		baseInf := math.IsInf(base.Total, 1)
+		if err != nil && !baseInf {
+			return false, err
+		}
+		red, err := Evaluate(pp, r, opts)
+		if err != nil && !math.IsInf(red.Total, 1) {
+			return false, err
+		}
+		if math.IsInf(red.Total, 1) {
+			return false, nil
+		}
+		return base.Total >= factor*red.Total, nil
+	}
+	ok, err := reached(hi)
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return hi + 1, nil
+	}
+	if ok, err = reached(lo); err != nil {
+		return 0, err
+	} else if ok {
+		return lo, nil
+	}
+	for lo+1 < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := reached(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

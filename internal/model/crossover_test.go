@@ -1,0 +1,183 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// exascaleJob is a Figures 13-14 style configuration: a 128-hour job under
+// weak scaling. The paper does not publish its c/R/θ/α; these values are
+// the ones our calibration lands on (see TestCalibrateCrossovers).
+func exascaleJob(n int) Params {
+	return Params{
+		N:              n,
+		Work:           128 * Hour,
+		Alpha:          0.2,
+		NodeMTBF:       5 * Year,
+		CheckpointCost: 5 * Minute,
+		RestartCost:    10 * Minute,
+	}
+}
+
+func TestWeakScalingCurveShape(t *testing.T) {
+	ns := []int{100, 1000, 10000, 50000, 100000}
+	pts, err := WeakScalingCurve(exascaleJob(0), ns, []float64{1, 2, 3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(ns) {
+		t.Fatalf("got %d points, want %d", len(pts), len(ns))
+	}
+	// 1x runtime grows monotonically with N.
+	prev := 0.0
+	for _, pt := range pts {
+		cur := pt.Totals[1]
+		if cur < prev {
+			t.Fatalf("1x total decreased at N=%d: %v < %v", pt.N, cur, prev)
+		}
+		prev = cur
+	}
+	// At 100k processes 2x beats 1x decisively (paper Figure 14 regime).
+	last := pts[len(pts)-1]
+	if !(last.Totals[2] < last.Totals[1]) {
+		t.Fatalf("at N=100k want T(2x) < T(1x), got %v vs %v", last.Totals[2], last.Totals[1])
+	}
+}
+
+func TestCrossoverFindsBoundary(t *testing.T) {
+	n, err := Crossover(exascaleJob(0), 1, 2, 2, 1_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 2 || n > 1_000_000 {
+		t.Fatalf("1x/2x crossover = %d, want an interior value", n)
+	}
+	// Verify the boundary property: 2x loses just below, wins at n.
+	below := exascaleJob(n - 1)
+	atEv := exascaleJob(n)
+	evLow1, err := Evaluate(below, 1, Options{})
+	if err != nil && !math.IsInf(evLow1.Total, 1) {
+		t.Fatal(err)
+	}
+	evLow2, err := Evaluate(below, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evLow2.Total < evLow1.Total {
+		t.Fatalf("2x already wins at N=%d; crossover overshoots", n-1)
+	}
+	evAt1, err := Evaluate(atEv, 1, Options{})
+	if err != nil && !math.IsInf(evAt1.Total, 1) {
+		t.Fatal(err)
+	}
+	evAt2, err := Evaluate(atEv, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evAt2.Total >= evAt1.Total {
+		t.Fatalf("2x does not win at reported crossover N=%d", n)
+	}
+}
+
+func TestCrossoverOrdering(t *testing.T) {
+	// The 1x/3x crossover must land beyond the 1x/2x crossover (3x pays
+	// more overhead, needs a higher failure rate to win), mirroring the
+	// paper's 4,351 < 12,551.
+	n12, err := Crossover(exascaleJob(0), 1, 2, 2, 2_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n13, err := Crossover(exascaleJob(0), 1, 3, 2, 2_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n23, err := Crossover(exascaleJob(0), 2, 3, 2, 20_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(n12 < n13 && n13 < n23) {
+		t.Fatalf("crossover ordering violated: 1x/2x=%d, 1x/3x=%d, 2x/3x=%d", n12, n13, n23)
+	}
+}
+
+func TestCrossoverNotReached(t *testing.T) {
+	// With an essentially failure-free system, redundancy never wins.
+	p := exascaleJob(0)
+	p.NodeMTBF = 1e15
+	n, err := Crossover(p, 1, 2, 2, 10000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 10001 {
+		t.Fatalf("crossover = %d, want sentinel hi+1 = 10001", n)
+	}
+}
+
+func TestThroughputBreakEven(t *testing.T) {
+	// Figure 14's headline: some N where T(1x) = 2·T(2x). Verify the
+	// break-even exists and the factor holds there.
+	n, err := ThroughputBreakEven(exascaleJob(0), 2, 2, 2, 5_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 5_000_000 {
+		t.Fatal("2-jobs-for-1 break-even not found in range")
+	}
+	p := exascaleJob(n)
+	e1, err := Evaluate(p, 1, Options{})
+	if err != nil && !math.IsInf(e1.Total, 1) {
+		t.Fatal(err)
+	}
+	e2, err := Evaluate(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1.Total < 2*e2.Total {
+		t.Fatalf("at N=%d, T(1x)=%v < 2·T(2x)=%v", n, e1.Total, 2*e2.Total)
+	}
+	// And it must follow the plain 1x/2x crossover.
+	n12, err := Crossover(exascaleJob(0), 1, 2, 2, 5_000_000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= n12 {
+		t.Fatalf("break-even %d should exceed crossover %d", n, n12)
+	}
+}
+
+func TestCalibrateCrossovers(t *testing.T) {
+	base := Params{
+		N:     1000,
+		Work:  128 * Hour,
+		Alpha: 0.2,
+		// CheckpointCost and NodeMTBF come from the grids.
+		RestartCost: 10 * Minute,
+	}
+	targets := []CalibrationTarget{
+		{RLow: 1, RHigh: 2, N: 4351},
+		{RLow: 1, RHigh: 3, N: 12551},
+	}
+	res, err := Calibrate(base,
+		[]float64{1 * Minute, 5 * Minute, 15 * Minute},
+		[]float64{1 * Year, 2.5 * Year, 5 * Year, 10 * Year},
+		targets, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range res.Crossovers {
+		want := targets[i].N
+		ratio := float64(got) / float64(want)
+		if ratio < 0.1 || ratio > 10 {
+			t.Errorf("target %d: calibrated crossover %d vs paper %d (off by >10x)", i, got, want)
+		}
+	}
+	if res.Params.CheckpointCost == 0 || res.Params.NodeMTBF == 0 {
+		t.Fatal("calibration returned empty params")
+	}
+}
+
+func TestCalibrateNoTargets(t *testing.T) {
+	if _, err := Calibrate(Params{}, []float64{1}, []float64{1}, nil, Options{}); err == nil {
+		t.Fatal("Calibrate with no targets should fail")
+	}
+}

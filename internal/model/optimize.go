@@ -1,0 +1,128 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimum is the result of a redundancy-degree search.
+type Optimum struct {
+	// Best is the evaluation at the optimal degree.
+	Best Evaluation
+	// Curve contains every evaluated point, in degree order, so callers
+	// can inspect or plot the full trade-off.
+	Curve []Evaluation
+}
+
+// OptimizeDegree sweeps redundancy degrees in [lo, hi] at the given step
+// (the paper uses steps of 0.25 between 1x and 3x) and returns the degree
+// minimizing the modeled total wallclock time. Configurations that never
+// complete participate with T = +Inf.
+func OptimizeDegree(p Params, lo, hi, step float64, opts Options) (Optimum, error) {
+	curve, err := Sweep(p, lo, hi, step, opts)
+	if err != nil {
+		return Optimum{}, err
+	}
+	if len(curve) == 0 {
+		return Optimum{}, fmt.Errorf("model: empty sweep [%v, %v]", lo, hi)
+	}
+	best := curve[0]
+	for _, ev := range curve[1:] {
+		if ev.Total < best.Total {
+			best = ev
+		}
+	}
+	if math.IsInf(best.Total, 1) {
+		return Optimum{Best: best, Curve: curve}, ErrNeverCompletes
+	}
+	return Optimum{Best: best, Curve: curve}, nil
+}
+
+// CostFunction scores an evaluation; lower is better. Section 1 of the
+// paper: "A user may also create a cost function giving different weights
+// to execution time and number of resources used."
+type CostFunction func(Evaluation) float64
+
+// TimeCost minimizes wallclock time alone.
+func TimeCost(ev Evaluation) float64 { return ev.Total }
+
+// NodeHoursCost minimizes total resource consumption (nodes held ×
+// wallclock), the natural objective for capacity computing.
+func NodeHoursCost(ev Evaluation) float64 { return ev.NodeHours() }
+
+// WeightedCost blends normalized time and resource terms:
+// cost = wTime·T/t + wNodes·N_total/N. Both terms are ≥ 1, so the weights
+// express the user's relative aversion to slowdown versus extra nodes.
+func WeightedCost(p Params, wTime, wNodes float64) CostFunction {
+	return func(ev Evaluation) float64 {
+		n := ev.Partition.NFloor + ev.Partition.NCeil
+		if n == 0 || p.Work <= 0 {
+			return math.Inf(1)
+		}
+		return wTime*ev.Total/p.Work + wNodes*float64(ev.NodesUsed)/float64(n)
+	}
+}
+
+// OptimizeCost sweeps degrees like OptimizeDegree but minimizes an
+// arbitrary cost function instead of raw wallclock time.
+func OptimizeCost(p Params, lo, hi, step float64, opts Options, cost CostFunction) (Optimum, error) {
+	curve, err := Sweep(p, lo, hi, step, opts)
+	if err != nil {
+		return Optimum{}, err
+	}
+	if len(curve) == 0 {
+		return Optimum{}, fmt.Errorf("model: empty sweep [%v, %v]", lo, hi)
+	}
+	best := curve[0]
+	bestCost := cost(best)
+	for _, ev := range curve[1:] {
+		if c := cost(ev); c < bestCost {
+			best, bestCost = ev, c
+		}
+	}
+	return Optimum{Best: best, Curve: curve}, nil
+}
+
+// OptimizeInterval searches for the checkpoint interval minimizing
+// T_total at a fixed redundancy degree, by golden-section search over
+// [1s, 4·Θ_sys]. It exists to validate Daly's closed form (Eq. 15)
+// against direct numerical optimisation of Eq. 14.
+func OptimizeInterval(p Params, r float64, opts Options) (bestDelta, bestTotal float64, err error) {
+	probe := func(delta float64) float64 {
+		o := opts
+		o.Interval = delta
+		ev, evalErr := Evaluate(p, r, o)
+		if evalErr != nil {
+			return math.Inf(1)
+		}
+		return ev.Total
+	}
+	// Establish the search bracket from the system MTBF.
+	ev, err := Evaluate(p, r, opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi := 1.0, 4*ev.MTBF
+	if math.IsInf(hi, 1) {
+		// No failures: any interval works; longer is cheaper.
+		return math.Inf(1), ev.RedundantTime, nil
+	}
+	const phi = 0.6180339887498949
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := probe(c), probe(d)
+	for i := 0; i < 200 && b-a > 1e-6*(1+b); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = probe(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = probe(d)
+		}
+	}
+	bestDelta = (a + b) / 2
+	return bestDelta, probe(bestDelta), nil
+}

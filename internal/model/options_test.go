@@ -1,0 +1,121 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateExactReliabilityOption(t *testing.T) {
+	p := paperCG(6 * Hour)
+	lin, err := Evaluate(p, 2, Options{Reliability: ReliabilityLinearized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Evaluate(p, 2, Options{Reliability: ReliabilityExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The linearised node-failure probability t/θ exceeds 1-e^{-t/θ}, so
+	// the linearised model must be more pessimistic (lower reliability,
+	// higher failure rate, longer completion).
+	if lin.Reliability >= exact.Reliability {
+		t.Fatalf("linearised reliability %v not below exact %v", lin.Reliability, exact.Reliability)
+	}
+	if lin.Lambda <= exact.Lambda {
+		t.Fatalf("linearised λ %v not above exact %v", lin.Lambda, exact.Lambda)
+	}
+	if lin.Total <= exact.Total {
+		t.Fatalf("linearised total %v not above exact %v", lin.Total, exact.Total)
+	}
+}
+
+func TestExactAndLinearizedConvergeForReliableNodes(t *testing.T) {
+	// For t ≪ θ the two forms agree to first order.
+	p := paperCG(10 * Year)
+	lin, err := Evaluate(p, 2, Options{Reliability: ReliabilityLinearized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Evaluate(p, 2, Options{Reliability: ReliabilityExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin.Lambda == 0 && exact.Lambda == 0 {
+		return // both saw a perfectly reliable system; fine
+	}
+	rel := math.Abs(lin.Total-exact.Total) / exact.Total
+	if rel > 1e-3 {
+		t.Fatalf("forms diverge by %v at 10-year MTBF", rel)
+	}
+}
+
+func TestEvaluationNodeHours(t *testing.T) {
+	ev, err := Evaluate(paperCG(12*Hour), 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(ev.NodesUsed) * ev.Total / Hour
+	if math.Abs(ev.NodeHours()-want) > 1e-9 {
+		t.Fatalf("NodeHours = %v, want %v", ev.NodeHours(), want)
+	}
+}
+
+func TestCostFunctions(t *testing.T) {
+	p := paperCG(12 * Hour)
+	ev, err := Evaluate(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := TimeCost(ev); got != ev.Total {
+		t.Errorf("TimeCost = %v", got)
+	}
+	if got := NodeHoursCost(ev); got != ev.NodeHours() {
+		t.Errorf("NodeHoursCost = %v", got)
+	}
+	// Weighted cost: pure time weight ranks configurations like TimeCost;
+	// pure node weight like NodesUsed.
+	timeOnly := WeightedCost(p, 1, 0)
+	nodesOnly := WeightedCost(p, 0, 1)
+	ev1, err := Evaluate(p, 1, Options{})
+	if err != nil && !math.IsInf(ev1.Total, 1) {
+		t.Fatal(err)
+	}
+	ev3, err := Evaluate(p, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (timeOnly(ev1) < timeOnly(ev3)) != (ev1.Total < ev3.Total) {
+		t.Error("time-only weighted cost disagrees with TimeCost ordering")
+	}
+	if nodesOnly(ev1) >= nodesOnly(ev3) {
+		t.Error("node-only weighted cost should favour fewer nodes")
+	}
+}
+
+func TestOptimizeCostNodeHoursPrefersLowDegreeWhenReliable(t *testing.T) {
+	// On a very reliable machine, extra replicas only burn node-hours.
+	p := paperCG(1000 * Hour)
+	opt, err := OptimizeCost(p, 1, 3, 0.5, Options{}, NodeHoursCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Best.Degree != 1 {
+		t.Fatalf("node-hours optimum at r=%v, want 1 on a reliable machine", opt.Best.Degree)
+	}
+}
+
+func TestOptimizeDegreeNeverCompletes(t *testing.T) {
+	// A hopeless machine: every degree fails to make progress.
+	p := Params{
+		N:              100000,
+		Work:           1000 * Hour,
+		Alpha:          0.2,
+		NodeMTBF:       1 * Hour,
+		CheckpointCost: 600,
+		RestartCost:    600,
+	}
+	_, err := OptimizeDegree(p, 1, 3, 1, Options{})
+	if err == nil {
+		t.Fatal("hopeless configuration returned an optimum")
+	}
+}

@@ -1,0 +1,80 @@
+// Package model implements the analytic model of Elliott et al.,
+// "Combining Partial Redundancy and Checkpointing for HPC" (ICDCS 2012),
+// Section 4: the redundant execution-time dilation (Eq. 1), node and
+// sphere reliability under partial redundancy (Eqs. 2-9), the derived
+// system failure rate (Eq. 10), expected lost work and restart/rework
+// time under periodic checkpointing (Eqs. 12-13), the combined total
+// execution time (Eq. 14), and Daly's optimal checkpoint interval
+// (Eq. 15). It also implements the simplified experimental model of
+// Section 6, the work-breakdown accounting behind Tables 2-3, and the
+// optimisers and crossover analysis behind Figures 13-14.
+//
+// All durations are float64 seconds: the model is continuous mathematics
+// over quantities spanning milliseconds to years, where time.Duration
+// arithmetic adds noise without safety. Helper constants (Hour, Day,
+// Year) make call sites readable.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Time unit helpers, in seconds.
+const (
+	Minute = 60.0
+	Hour   = 3600.0
+	Day    = 24 * Hour
+	// Year uses the 365-day convention common in reliability engineering
+	// (MTBF figures like "5 years" in the paper are nominal, not civil).
+	Year = 365 * Day
+)
+
+// Params describes an application run and its environment, mirroring the
+// parameter list of Section 4 of the paper.
+type Params struct {
+	// N is the number of virtual processes (application-visible ranks).
+	N int
+	// Work is t, the base failure-free execution time of the application
+	// without redundancy or checkpointing, in seconds.
+	Work float64
+	// Alpha is α, the communication/computation ratio of the application
+	// in [0, 1]. The CG benchmark in the paper measures α = 0.2.
+	Alpha float64
+	// NodeMTBF is θ, the mean time to failure of a single node, in
+	// seconds. Nodes fail independently following a Poisson process.
+	NodeMTBF float64
+	// CheckpointCost is c, the time one coordinated checkpoint adds to
+	// execution, in seconds (120 s measured in the paper).
+	CheckpointCost float64
+	// RestartCost is R, the time to restart the application after a
+	// failure before re-execution begins, in seconds (≈500 s measured).
+	RestartCost float64
+}
+
+// Validate reports whether the parameters are physically meaningful.
+func (p Params) Validate() error {
+	switch {
+	case p.N <= 0:
+		return fmt.Errorf("model: N = %d, must be positive", p.N)
+	case p.Work <= 0:
+		return fmt.Errorf("model: Work = %v, must be positive", p.Work)
+	case p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("model: Alpha = %v, must be in [0, 1]", p.Alpha)
+	case p.NodeMTBF <= 0:
+		return fmt.Errorf("model: NodeMTBF = %v, must be positive", p.NodeMTBF)
+	case p.CheckpointCost < 0:
+		return fmt.Errorf("model: CheckpointCost = %v, must be non-negative", p.CheckpointCost)
+	case p.RestartCost < 0:
+		return fmt.Errorf("model: RestartCost = %v, must be non-negative", p.RestartCost)
+	}
+	return nil
+}
+
+// ErrNeverCompletes is returned when the modeled failure rate is so high
+// relative to the restart/rework time that the application makes no
+// forward progress (the denominator of Eq. 14 is non-positive).
+var ErrNeverCompletes = errors.New("model: failure rate too high, application never completes")
+
+// ErrInvalidRedundancy is returned for redundancy degrees outside [1, ∞).
+var ErrInvalidRedundancy = errors.New("model: redundancy degree must be >= 1")

@@ -1,0 +1,174 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Partition is the split of N virtual processes into the two homogeneous
+// redundancy subsystems of Eqs. 5-8: NFloor virtual processes replicated
+// ⌊r⌋ times and NCeil virtual processes replicated ⌈r⌉ times. For integer
+// r the floor set is empty and the system is homogeneous.
+type Partition struct {
+	// Floor and Ceil are ⌊r⌋ and ⌈r⌉, the two replica counts present.
+	Floor, Ceil int
+	// NFloor and NCeil are the virtual-process counts at each level
+	// (Eqs. 6-7). NFloor + NCeil = N (Eq. 5).
+	NFloor, NCeil int
+}
+
+// PartitionRanks computes the Eq. 5-8 partition of n virtual processes at
+// redundancy degree r ≥ 1.
+func PartitionRanks(n int, r float64) (Partition, error) {
+	if n <= 0 {
+		return Partition{}, fmt.Errorf("model: cannot partition %d ranks", n)
+	}
+	if r < 1 || math.IsNaN(r) || math.IsInf(r, 0) {
+		return Partition{}, fmt.Errorf("%w: r = %v", ErrInvalidRedundancy, r)
+	}
+	floor := int(math.Floor(r))
+	ceil := int(math.Ceil(r))
+	// Eq. 6: N_⌊r⌋ = ⌊(⌈r⌉ - r)·N⌋. For integer r this is 0 and the
+	// ceiling set carries everything (the paper's special case).
+	nFloor := int(math.Floor((float64(ceil) - r) * float64(n)))
+	if nFloor > n {
+		nFloor = n
+	}
+	return Partition{
+		Floor:  floor,
+		Ceil:   ceil,
+		NFloor: nFloor,
+		NCeil:  n - nFloor, // Eq. 7
+	}, nil
+}
+
+// TotalProcesses is N_total of Eq. 8: the number of physical processes
+// (and, under the paper's assumption 2, nodes) needed to run the system.
+func (p Partition) TotalProcesses() int {
+	return p.NCeil*p.Ceil + p.NFloor*p.Floor
+}
+
+// EffectiveDegree is the achievable redundancy degree after rounding
+// fractional processes away: N_total / N. Because Eq. 6 floors the
+// lower-redundancy set, this can exceed the requested r by up to 1/N
+// (the paper's Eq. 8 bound N_total ≤ N·r holds only when (⌈r⌉-r)·N is
+// integral).
+func (p Partition) EffectiveDegree() float64 {
+	n := p.NFloor + p.NCeil
+	if n == 0 {
+		return 0
+	}
+	return float64(p.TotalProcesses()) / float64(n)
+}
+
+// RedundantTime is Eq. 1: the dilated execution time
+// t_Red = (1-α)·t + α·t·r. Computation is unaffected by redundancy (the
+// replicas have their own nodes, assumption 2); every point-to-point
+// message is translated into r physical messages, dilating the
+// communication fraction α linearly in r.
+func RedundantTime(work, alpha, r float64) float64 {
+	return (1-alpha)*work + alpha*work*r
+}
+
+// ReliabilityModel selects how per-node failure probability over a
+// mission time is computed.
+type ReliabilityModel int
+
+const (
+	// ReliabilityLinearized uses the paper's first-order approximation
+	// Pr(node failure) = t/θ (Eq. 3), clamped to [0, 1] so it remains a
+	// probability for short MTBFs.
+	ReliabilityLinearized ReliabilityModel = iota + 1
+	// ReliabilityExact uses the exponential form 1 - e^{-t/θ} (Eq. 2).
+	ReliabilityExact
+)
+
+// NodeFailureProbability returns the probability that a single node fails
+// before mission time t given node MTBF theta, under the chosen model.
+func NodeFailureProbability(t, theta float64, m ReliabilityModel) float64 {
+	if t <= 0 {
+		return 0
+	}
+	switch m {
+	case ReliabilityExact:
+		return -math.Expm1(-t / theta)
+	default:
+		p := t / theta
+		if p > 1 {
+			return 1
+		}
+		return p
+	}
+}
+
+// SystemReliability is Eq. 9: the probability that every virtual process
+// survives mission time t, where a virtual process with k replicas
+// survives unless all k physical processes fail (Eq. 4).
+//
+//	R_sys = [1-(t/θ)^⌊r⌋]^N_⌊r⌋ · [1-(t/θ)^⌈r⌉]^N_⌈r⌉
+//
+// Computed in log space: at exascale N the direct product underflows.
+func SystemReliability(part Partition, t, theta float64, m ReliabilityModel) float64 {
+	return math.Exp(logSystemReliability(part, t, theta, m))
+}
+
+func logSystemReliability(part Partition, t, theta float64, m ReliabilityModel) float64 {
+	p := NodeFailureProbability(t, theta, m)
+	logR := 0.0
+	for _, sub := range []struct{ n, k int }{
+		{part.NFloor, part.Floor},
+		{part.NCeil, part.Ceil},
+	} {
+		if sub.n == 0 {
+			continue
+		}
+		sphereFail := math.Pow(p, float64(sub.k))
+		if sphereFail >= 1 {
+			return math.Inf(-1)
+		}
+		logR += float64(sub.n) * math.Log1p(-sphereFail)
+	}
+	return logR
+}
+
+// SystemRates is Eq. 10: the system failure rate λ_sys = -ln(R_sys)/t and
+// MTBF Θ_sys = 1/λ_sys over mission time t. A perfectly reliable system
+// has λ_sys = 0 and Θ_sys = +Inf.
+func SystemRates(part Partition, t, theta float64, m ReliabilityModel) (lambda, mtbf float64) {
+	logR := logSystemReliability(part, t, theta, m)
+	lambda = -logR / t
+	if lambda <= 0 {
+		return 0, math.Inf(1)
+	}
+	return lambda, 1 / lambda
+}
+
+// BirthdayFailureProbability is the Section 4.3 birthday-problem
+// approximation as printed in the paper:
+// p(n) ≈ 1 - ((n-2)/n)^(n(n-1)/2).
+//
+// Note: the paper asserts lim p(n) = 0, but the printed formula tends to
+// 1 (its survival factor ≈ e^{-(n-1)}); the quantity that does vanish
+// with n is the probability that a *particular* failed node's shadow is
+// the next node to fail, ≈ 1/(n-1), exposed as ShadowPairProbability.
+// We implement the printed formula verbatim and document the discrepancy
+// in EXPERIMENTS.md.
+func BirthdayFailureProbability(n int) float64 {
+	if n < 3 {
+		return 1
+	}
+	exponent := float64(n) * float64(n-1) / 2
+	return -math.Expm1(exponent * math.Log(float64(n-2)/float64(n)))
+}
+
+// ShadowPairProbability is the probability that, after one node of a
+// dual-redundant system of n nodes fails, the next failing node is
+// exactly its shadow: 1/(n-1). This is the quantity Section 1 argues
+// "becomes less likely as the number of nodes increases", the reason
+// redundancy scales.
+func ShadowPairProbability(n int) float64 {
+	if n < 2 {
+		return 1
+	}
+	return 1 / float64(n-1)
+}

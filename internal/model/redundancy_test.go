@@ -1,0 +1,280 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPartitionIntegerDegrees(t *testing.T) {
+	for _, r := range []float64{1, 2, 3} {
+		part, err := PartitionRanks(128, r)
+		if err != nil {
+			t.Fatalf("PartitionRanks(128, %v): %v", r, err)
+		}
+		if part.NFloor != 0 {
+			t.Errorf("r=%v: NFloor = %d, want 0 (paper's integer special case)", r, part.NFloor)
+		}
+		if part.NCeil != 128 {
+			t.Errorf("r=%v: NCeil = %d, want 128", r, part.NCeil)
+		}
+		if got, want := part.TotalProcesses(), 128*int(r); got != want {
+			t.Errorf("r=%v: TotalProcesses = %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestPartitionHalfDegree(t *testing.T) {
+	// 1.5x on 128 ranks: "every other process has a replica" — 64 ranks
+	// single, 64 ranks doubled, 192 physical processes total.
+	part, err := PartitionRanks(128, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Floor != 1 || part.Ceil != 2 {
+		t.Errorf("Floor/Ceil = %d/%d, want 1/2", part.Floor, part.Ceil)
+	}
+	if part.NFloor != 64 || part.NCeil != 64 {
+		t.Errorf("NFloor/NCeil = %d/%d, want 64/64", part.NFloor, part.NCeil)
+	}
+	if got := part.TotalProcesses(); got != 192 {
+		t.Errorf("TotalProcesses = %d, want 192", got)
+	}
+}
+
+func TestPartitionQuarterSteps(t *testing.T) {
+	// The paper assesses partial redundancy in 0.25x steps between 1x and
+	// 3x. Check Eq. 6 literally at r = 2.25, N = 128:
+	// N_floor = floor((3-2.25)*128) = 96 at 2 copies, 32 at 3 copies.
+	part, err := PartitionRanks(128, 2.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.NFloor != 96 || part.NCeil != 32 || part.Floor != 2 || part.Ceil != 3 {
+		t.Errorf("got %+v, want NFloor=96 NCeil=32 Floor=2 Ceil=3", part)
+	}
+	if got := part.TotalProcesses(); got != 96*2+32*3 {
+		t.Errorf("TotalProcesses = %d, want 288", got)
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	f := func(nRaw uint16, rRaw uint8) bool {
+		n := int(nRaw%10000) + 1
+		r := 1 + float64(rRaw)/64.0 // r in [1, ~4.98]
+		part, err := PartitionRanks(n, r)
+		if err != nil {
+			return false
+		}
+		total := part.TotalProcesses()
+		// Eq. 5: partition covers all ranks.
+		if part.NFloor+part.NCeil != n {
+			return false
+		}
+		// Eq. 8 bound. The paper claims N_total <= N*r, but its Eq. 6
+		// floors N_floor, which can push N_total one process above N*r;
+		// the implementation follows Eq. 6 verbatim, so the honest bound
+		// is N*floor(r) <= N_total < N*r + 1.
+		if float64(total) >= float64(n)*r+1 || total < n*part.Floor {
+			return false
+		}
+		// Effective degree stays within one rank of the request.
+		return part.EffectiveDegree() <= r+1.0/float64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionRejectsBadInput(t *testing.T) {
+	if _, err := PartitionRanks(0, 2); err == nil {
+		t.Error("PartitionRanks(0, 2) should fail")
+	}
+	if _, err := PartitionRanks(10, 0.5); err == nil {
+		t.Error("PartitionRanks(10, 0.5) should fail")
+	}
+	if _, err := PartitionRanks(10, math.NaN()); err == nil {
+		t.Error("PartitionRanks(10, NaN) should fail")
+	}
+}
+
+func TestRedundantTime(t *testing.T) {
+	// Eq. 1 with the paper's CG numbers: t = 46 min, α = 0.2.
+	base := 46 * Minute
+	if got := RedundantTime(base, 0.2, 1); got != base {
+		t.Errorf("r=1 must leave time unchanged, got %v", got)
+	}
+	// r=2: (0.8 + 0.2*2)*46 = 1.2*46 = 55.2 min.
+	if got, want := RedundantTime(base, 0.2, 2), 1.2*base; math.Abs(got-want) > 1e-9 {
+		t.Errorf("r=2: got %v, want %v", got, want)
+	}
+	// r=3: 1.4*46 = 64.4 min (the paper's "expected linear increase" row
+	// of Table 5 reports 64 min at 3x).
+	if got, want := RedundantTime(base, 0.2, 3), 1.4*base; math.Abs(got-want) > 1e-9 {
+		t.Errorf("r=3: got %v, want %v", got, want)
+	}
+	// Pure computation is immune to redundancy.
+	if got := RedundantTime(100, 0, 3); got != 100 {
+		t.Errorf("α=0: got %v, want 100", got)
+	}
+	// Pure communication dilates linearly.
+	if got := RedundantTime(100, 1, 3); got != 300 {
+		t.Errorf("α=1: got %v, want 300", got)
+	}
+}
+
+func TestNodeFailureProbability(t *testing.T) {
+	if got := NodeFailureProbability(10, 100, ReliabilityLinearized); got != 0.1 {
+		t.Errorf("linearized: got %v, want 0.1", got)
+	}
+	// Linearized form clamps to 1 for mission times beyond the MTBF.
+	if got := NodeFailureProbability(500, 100, ReliabilityLinearized); got != 1 {
+		t.Errorf("linearized clamp: got %v, want 1", got)
+	}
+	want := 1 - math.Exp(-0.1)
+	if got := NodeFailureProbability(10, 100, ReliabilityExact); math.Abs(got-want) > 1e-12 {
+		t.Errorf("exact: got %v, want %v", got, want)
+	}
+	if got := NodeFailureProbability(-5, 100, ReliabilityExact); got != 0 {
+		t.Errorf("negative time: got %v, want 0", got)
+	}
+}
+
+func TestSystemReliabilityHandCalc(t *testing.T) {
+	// 128 ranks, 2x, mission 3312 s, θ = 6 h: sphere failure probability
+	// (3312/21600)^2, R = (1-p²)^128 (hand computation from Eq. 9).
+	part, err := PartitionRanks(128, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 3312.0 / 21600.0
+	want := math.Pow(1-p*p, 128)
+	got := SystemReliability(part, 3312, 6*Hour, ReliabilityLinearized)
+	if math.Abs(got-want)/want > 1e-9 {
+		t.Fatalf("R_sys = %v, want %v", got, want)
+	}
+}
+
+func TestSystemReliabilityMixedPartition(t *testing.T) {
+	// r = 1.5 on 4 ranks: 2 ranks at 1 copy, 2 ranks at 2 copies.
+	part, err := PartitionRanks(4, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := 0.1
+	want := math.Pow(1-p, 2) * math.Pow(1-p*p, 2)
+	got := SystemReliability(part, 10, 100, ReliabilityLinearized)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("mixed R_sys = %v, want %v", got, want)
+	}
+}
+
+func TestSystemReliabilityMonotoneInDegree(t *testing.T) {
+	prev := -1.0
+	for _, r := range []float64{1, 1.25, 1.5, 1.75, 2, 2.5, 3} {
+		part, err := PartitionRanks(100, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := SystemReliability(part, 1000, 50000, ReliabilityLinearized)
+		if got < prev {
+			t.Fatalf("reliability decreased from %v to %v at r=%v", prev, got, r)
+		}
+		prev = got
+	}
+}
+
+func TestSystemReliabilityBounds(t *testing.T) {
+	f := func(nRaw uint8, rRaw uint8, tRaw, thetaRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		r := 1 + float64(rRaw%128)/64.0
+		mission := float64(tRaw) + 1
+		theta := float64(thetaRaw) + 1
+		part, err := PartitionRanks(n, r)
+		if err != nil {
+			return false
+		}
+		for _, m := range []ReliabilityModel{ReliabilityLinearized, ReliabilityExact} {
+			rel := SystemReliability(part, mission, theta, m)
+			if rel < 0 || rel > 1 || math.IsNaN(rel) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemRatesNoFailures(t *testing.T) {
+	part, err := PartitionRanks(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mission vanishes relative to MTBF ⇒ no failures.
+	lambda, mtbf := SystemRates(part, 1e-300, 1e300, ReliabilityExact)
+	if lambda != 0 || !math.IsInf(mtbf, 1) {
+		t.Fatalf("got λ=%v Θ=%v, want 0 and +Inf", lambda, mtbf)
+	}
+}
+
+func TestSystemRatesMatchUnreplicatedSum(t *testing.T) {
+	// For r=1 and small t/θ, λ_sys ≈ N/θ (failure rates add).
+	part, err := PartitionRanks(4351, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, _ := SystemRates(part, 128*Hour, 5*Year, ReliabilityExact)
+	want := 4351.0 / (5 * Year)
+	if math.Abs(lambda-want)/want > 0.01 {
+		t.Fatalf("λ_sys = %v, want ≈ %v (N/θ)", lambda, want)
+	}
+}
+
+func TestSystemRatesExascaleNoUnderflow(t *testing.T) {
+	// 1M ranks at r=1 underflows a direct product; log-space must survive.
+	part, err := PartitionRanks(1_000_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda, mtbf := SystemRates(part, 128*Hour, 5*Year, ReliabilityExact)
+	if math.IsNaN(lambda) || lambda <= 0 || math.IsInf(lambda, 0) {
+		t.Fatalf("λ_sys = %v; log-space computation failed", lambda)
+	}
+	want := 1e6 / (5 * Year)
+	if math.Abs(lambda-want)/want > 0.02 {
+		t.Fatalf("λ_sys = %v, want ≈ %v", lambda, want)
+	}
+	if mtbf <= 0 {
+		t.Fatalf("Θ_sys = %v", mtbf)
+	}
+}
+
+func TestBirthdayFormulaMatchesPaperPrint(t *testing.T) {
+	// Verbatim Eq.: p(4) = 1 - (2/4)^(4*3/2) = 1 - 0.5^6.
+	want := 1 - math.Pow(0.5, 6)
+	if got := BirthdayFailureProbability(4); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p(4) = %v, want %v", got, want)
+	}
+	if got := BirthdayFailureProbability(2); got != 1 {
+		t.Fatalf("p(2) = %v, want 1 (degenerate)", got)
+	}
+}
+
+func TestShadowPairProbabilityVanishes(t *testing.T) {
+	if got := ShadowPairProbability(2); got != 1 {
+		t.Errorf("n=2: got %v, want 1", got)
+	}
+	if got := ShadowPairProbability(100001); math.Abs(got-1e-5) > 1e-9 {
+		t.Errorf("n=100001: got %v, want 1e-5", got)
+	}
+	prev := 2.0
+	for _, n := range []int{2, 10, 100, 1000, 100000} {
+		p := ShadowPairProbability(n)
+		if p >= prev {
+			t.Fatalf("ShadowPairProbability not decreasing at n=%d", n)
+		}
+		prev = p
+	}
+}

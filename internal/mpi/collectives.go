@@ -1,0 +1,522 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Collective tags. Collectives must be called by all ranks in the same
+// order (the standard MPI requirement); FIFO matching per (source, tag)
+// then keeps back-to-back collectives of the same kind from interfering.
+// Each collective gets a 64-tag window so multi-round algorithms
+// (the dissemination barrier uses tag base+round) cannot collide with a
+// neighbouring collective's tag.
+const (
+	tagBarrier  = TagCollectiveBase + 0*64
+	tagBcast    = TagCollectiveBase + 1*64
+	tagReduce   = TagCollectiveBase + 2*64
+	tagGather   = TagCollectiveBase + 3*64
+	tagScatter  = TagCollectiveBase + 4*64
+	tagAlltoall = TagCollectiveBase + 5*64
+)
+
+// Barrier blocks until every rank has entered the barrier, using the
+// dissemination algorithm (⌈log2 p⌉ rounds, no root bottleneck).
+func Barrier(c Comm) error {
+	size := c.Size()
+	rank := c.Rank()
+	for k := 0; 1<<k < size; k++ {
+		dist := 1 << k
+		dst := (rank + dist) % size
+		src := (rank - dist + size) % size
+		if err := c.Send(dst, tagBarrier+k, nil); err != nil {
+			return fmt.Errorf("barrier round %d: %w", k, err)
+		}
+		if _, err := c.Recv(src, tagBarrier+k); err != nil {
+			return fmt.Errorf("barrier round %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank along a binomial tree and
+// returns the received copy (root returns data unchanged).
+func Bcast(c Comm, root int, data []byte) ([]byte, error) {
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("bcast root %d: %w", root, ErrInvalidRank)
+	}
+	if size == 1 {
+		return data, nil
+	}
+	relative := (rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if relative&mask != 0 {
+			src := (relative - mask + root) % size
+			msg, err := c.Recv(src, tagBcast)
+			if err != nil {
+				return nil, fmt.Errorf("bcast recv: %w", err)
+			}
+			data = msg.Data
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if relative+mask < size {
+			dst := (relative + mask + root) % size
+			if err := c.Send(dst, tagBcast, data); err != nil {
+				return nil, fmt.Errorf("bcast send: %w", err)
+			}
+		}
+		mask >>= 1
+	}
+	return data, nil
+}
+
+// Gather collects each rank's data at root. Root receives a slice indexed
+// by rank (its own entry aliasing data); other ranks return nil.
+func Gather(c Comm, root int, data []byte) ([][]byte, error) {
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("gather root %d: %w", root, ErrInvalidRank)
+	}
+	if rank != root {
+		if err := c.Send(root, tagGather, data); err != nil {
+			return nil, fmt.Errorf("gather send: %w", err)
+		}
+		return nil, nil
+	}
+	out := make([][]byte, size)
+	out[root] = data
+	for i := 0; i < size; i++ {
+		if i == root {
+			continue
+		}
+		msg, err := c.Recv(i, tagGather)
+		if err != nil {
+			return nil, fmt.Errorf("gather recv from %d: %w", i, err)
+		}
+		out[i] = msg.Data
+	}
+	return out, nil
+}
+
+// Allgather collects every rank's data at every rank, as a gather to rank
+// 0 followed by a broadcast.
+func Allgather(c Comm, data []byte) ([][]byte, error) {
+	parts, err := Gather(c, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		packed = packParts(parts)
+	}
+	packed, err = Bcast(c, 0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return unpackParts(packed, c.Size())
+}
+
+// Scatter distributes parts[i] from root to rank i and returns this
+// rank's part. Only root's parts argument is consulted.
+func Scatter(c Comm, root int, parts [][]byte) ([]byte, error) {
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("scatter root %d: %w", root, ErrInvalidRank)
+	}
+	if rank == root {
+		if len(parts) != size {
+			return nil, fmt.Errorf("scatter: %d parts for %d ranks", len(parts), size)
+		}
+		for i, p := range parts {
+			if i == root {
+				continue
+			}
+			if err := c.Send(i, tagScatter, p); err != nil {
+				return nil, fmt.Errorf("scatter send to %d: %w", i, err)
+			}
+		}
+		return parts[root], nil
+	}
+	msg, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, fmt.Errorf("scatter recv: %w", err)
+	}
+	return msg.Data, nil
+}
+
+// Alltoall performs a personalized all-to-all exchange: rank i receives
+// parts[i] from every rank j, returned indexed by source rank.
+func Alltoall(c Comm, parts [][]byte) ([][]byte, error) {
+	size := c.Size()
+	rank := c.Rank()
+	if len(parts) != size {
+		return nil, fmt.Errorf("alltoall: %d parts for %d ranks", len(parts), size)
+	}
+	out := make([][]byte, size)
+	out[rank] = parts[rank]
+	// Eager sends complete immediately, so send everything then receive.
+	for i := 0; i < size; i++ {
+		if i == rank {
+			continue
+		}
+		if err := c.Send(i, tagAlltoall, parts[i]); err != nil {
+			return nil, fmt.Errorf("alltoall send to %d: %w", i, err)
+		}
+	}
+	for i := 0; i < size; i++ {
+		if i == rank {
+			continue
+		}
+		msg, err := c.Recv(i, tagAlltoall)
+		if err != nil {
+			return nil, fmt.Errorf("alltoall recv from %d: %w", i, err)
+		}
+		out[i] = msg.Data
+	}
+	return out, nil
+}
+
+// ReduceOp is a built-in elementwise reduction operator.
+type ReduceOp int
+
+// Supported reduction operators.
+const (
+	OpSum ReduceOp = iota + 1
+	OpMax
+	OpMin
+	OpProd
+)
+
+func (op ReduceOp) applyFloat64(a, b float64) float64 {
+	switch op {
+	case OpMax:
+		return math.Max(a, b)
+	case OpMin:
+		return math.Min(a, b)
+	case OpProd:
+		return a * b
+	default:
+		return a + b
+	}
+}
+
+func (op ReduceOp) applyInt64(a, b int64) int64 {
+	switch op {
+	case OpMax:
+		if a > b {
+			return a
+		}
+		return b
+	case OpMin:
+		if a < b {
+			return a
+		}
+		return b
+	case OpProd:
+		return a * b
+	default:
+		return a + b
+	}
+}
+
+// ReduceFloat64s reduces equal-length vectors elementwise onto root along
+// a binomial tree. Root returns the reduced vector; others return nil.
+func ReduceFloat64s(c Comm, root int, in []float64, op ReduceOp) ([]float64, error) {
+	combine := func(acc, data []byte) ([]byte, error) {
+		a, err := decodeFloat64s(acc)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeFloat64s(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("reduce: length mismatch %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			a[i] = op.applyFloat64(a[i], b[i])
+		}
+		return encodeFloat64s(a), nil
+	}
+	out, err := reduceBytes(c, root, encodeFloat64s(in), combine)
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return decodeFloat64s(out)
+}
+
+// AllreduceRDFloat64s is a recursive-doubling allreduce: log2(p) rounds
+// of pairwise exchange-and-combine, the latency-optimal algorithm real
+// MPI implementations use for short vectors. For non-power-of-two sizes
+// the excess ranks fold into partners first and receive the result last.
+// Note: unlike the tree-based AllreduceFloat64s, the combine order
+// differs per rank, so results are only bit-identical across ranks for
+// exactly associative operators (min/max, or sums of exactly
+// representable values); CG uses the tree form for bit determinism.
+func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
+	size := c.Size()
+	rank := c.Rank()
+	acc := append([]float64(nil), in...)
+
+	// Largest power of two ≤ size.
+	pow2 := 1
+	for pow2*2 <= size {
+		pow2 *= 2
+	}
+	rem := size - pow2
+
+	combine := func(data []byte) error {
+		other, err := decodeFloat64s(data)
+		if err != nil {
+			return err
+		}
+		if len(other) != len(acc) {
+			return fmt.Errorf("allreduce-rd: length mismatch %d vs %d", len(other), len(acc))
+		}
+		for i := range acc {
+			acc[i] = op.applyFloat64(acc[i], other[i])
+		}
+		return nil
+	}
+
+	// Fold-in phase: ranks [pow2, size) send their vectors to
+	// rank - pow2 and sit out the doubling rounds.
+	const tagRD = TagCollectiveBase + 6*64
+	switch {
+	case rank >= pow2:
+		if err := c.Send(rank-pow2, tagRD, encodeFloat64s(acc)); err != nil {
+			return nil, err
+		}
+	case rank < rem:
+		msg, err := c.Recv(rank+pow2, tagRD)
+		if err != nil {
+			return nil, err
+		}
+		if err := combine(msg.Data); err != nil {
+			return nil, err
+		}
+	}
+
+	if rank < pow2 {
+		for mask := 1; mask < pow2; mask <<= 1 {
+			partner := rank ^ mask
+			if err := c.Send(partner, tagRD+1, encodeFloat64s(acc)); err != nil {
+				return nil, err
+			}
+			msg, err := c.Recv(partner, tagRD+1)
+			if err != nil {
+				return nil, err
+			}
+			if err := combine(msg.Data); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Fold-out phase: deliver the result to the excess ranks.
+	switch {
+	case rank < rem:
+		if err := c.Send(rank+pow2, tagRD+2, encodeFloat64s(acc)); err != nil {
+			return nil, err
+		}
+	case rank >= pow2:
+		msg, err := c.Recv(rank-pow2, tagRD+2)
+		if err != nil {
+			return nil, err
+		}
+		var derr error
+		acc, derr = decodeFloat64s(msg.Data)
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	return acc, nil
+}
+
+// AllreduceFloat64s reduces elementwise and distributes the result to all
+// ranks (reduce to rank 0, then broadcast).
+func AllreduceFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
+	reduced, err := ReduceFloat64s(c, 0, in, op)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		packed = encodeFloat64s(reduced)
+	}
+	packed, err = Bcast(c, 0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return decodeFloat64s(packed)
+}
+
+// ReduceInt64s reduces equal-length int64 vectors elementwise onto root.
+func ReduceInt64s(c Comm, root int, in []int64, op ReduceOp) ([]int64, error) {
+	combine := func(acc, data []byte) ([]byte, error) {
+		a, err := decodeInt64s(acc)
+		if err != nil {
+			return nil, err
+		}
+		b, err := decodeInt64s(data)
+		if err != nil {
+			return nil, err
+		}
+		if len(a) != len(b) {
+			return nil, fmt.Errorf("reduce: length mismatch %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			a[i] = op.applyInt64(a[i], b[i])
+		}
+		return encodeInt64s(a), nil
+	}
+	out, err := reduceBytes(c, root, encodeInt64s(in), combine)
+	if err != nil || out == nil {
+		return nil, err
+	}
+	return decodeInt64s(out)
+}
+
+// AllreduceInt64s reduces elementwise and distributes the result to all.
+func AllreduceInt64s(c Comm, in []int64, op ReduceOp) ([]int64, error) {
+	reduced, err := ReduceInt64s(c, 0, in, op)
+	if err != nil {
+		return nil, err
+	}
+	var packed []byte
+	if c.Rank() == 0 {
+		packed = encodeInt64s(reduced)
+	}
+	packed, err = Bcast(c, 0, packed)
+	if err != nil {
+		return nil, err
+	}
+	return decodeInt64s(packed)
+}
+
+// reduceBytes runs a binomial-tree reduction of opaque payloads with a
+// caller-supplied combiner. Root receives the final accumulation; other
+// ranks return nil.
+func reduceBytes(c Comm, root int, data []byte, combine func(acc, in []byte) ([]byte, error)) ([]byte, error) {
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("reduce root %d: %w", root, ErrInvalidRank)
+	}
+	relative := (rank - root + size) % size
+	acc := data
+	for mask := 1; mask < size; mask <<= 1 {
+		if relative&mask != 0 {
+			dst := (relative - mask + root) % size
+			if err := c.Send(dst, tagReduce, acc); err != nil {
+				return nil, fmt.Errorf("reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		if relative+mask < size {
+			src := (relative + mask + root) % size
+			msg, err := c.Recv(src, tagReduce)
+			if err != nil {
+				return nil, fmt.Errorf("reduce recv from %d: %w", src, err)
+			}
+			acc, err = combine(acc, msg.Data)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return acc, nil
+}
+
+func encodeFloat64s(xs []float64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+func decodeFloat64s(buf []byte) ([]float64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: float64 payload of %d bytes", len(buf))
+	}
+	xs := make([]float64, len(buf)/8)
+	for i := range xs {
+		xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+func encodeInt64s(xs []int64) []byte {
+	buf := make([]byte, 8*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(x))
+	}
+	return buf
+}
+
+func decodeInt64s(buf []byte) ([]int64, error) {
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("mpi: int64 payload of %d bytes", len(buf))
+	}
+	xs := make([]int64, len(buf)/8)
+	for i := range xs {
+		xs[i] = int64(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return xs, nil
+}
+
+// packParts length-prefixes a slice of byte slices into one payload.
+func packParts(parts [][]byte) []byte {
+	total := 4
+	for _, p := range parts {
+		total += 4 + len(p)
+	}
+	buf := make([]byte, 0, total)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(parts)))
+	buf = append(buf, hdr[:]...)
+	for _, p := range parts {
+		binary.LittleEndian.PutUint32(hdr[:], uint32(len(p)))
+		buf = append(buf, hdr[:]...)
+		buf = append(buf, p...)
+	}
+	return buf
+}
+
+// unpackParts reverses packParts, checking the count against want.
+func unpackParts(buf []byte, want int) ([][]byte, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: truncated packed parts (%d bytes)", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	if n != want {
+		return nil, fmt.Errorf("mpi: packed %d parts, want %d", n, want)
+	}
+	buf = buf[4:]
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 4 {
+			return nil, fmt.Errorf("mpi: truncated part header at %d", i)
+		}
+		ln := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < ln {
+			return nil, fmt.Errorf("mpi: truncated part %d: have %d, want %d", i, len(buf), ln)
+		}
+		out = append(out, buf[:ln:ln])
+		buf = buf[ln:]
+	}
+	return out, nil
+}

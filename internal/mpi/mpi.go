@@ -1,0 +1,141 @@
+// Package mpi defines the transport-independent message-passing API the
+// rest of the repository programs against: the Comm interface with
+// MPI-style matched point-to-point semantics, wildcard receives,
+// non-blocking requests, and the error taxonomy for failed/killed peers.
+//
+// Two implementations exist: simmpi.Comm, the base runtime (goroutine
+// ranks, mailbox matching), and redundancy.Comm, the RedMPI-style
+// interposition layer that transparently replicates ranks. Applications
+// written against this interface run unmodified at any redundancy degree,
+// exactly as the paper's §3 design requires ("No change is needed in the
+// application source code").
+package mpi
+
+import "errors"
+
+// Wildcard selectors for Recv/Irecv/Probe, mirroring MPI_ANY_SOURCE and
+// MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Tag ranges. User code must keep tags in [0, TagUserMax); the library
+// reserves higher tags for collectives and the redundancy layer's control
+// protocol (envelope forwarding for wildcard receives).
+const (
+	// TagUserMax is the exclusive upper bound for application tags.
+	TagUserMax = 1 << 20
+	// TagCollectiveBase is the base tag for collective operations.
+	TagCollectiveBase = 1 << 21
+	// TagControlBase is the base tag for redundancy-layer control
+	// messages.
+	TagControlBase = 1 << 22
+)
+
+// Message is a received message with its envelope.
+type Message struct {
+	// Source is the rank that sent the message (the virtual rank when
+	// received through the redundancy layer).
+	Source int
+	// Tag is the message tag.
+	Tag int
+	// Data is the payload. The implementation transfers ownership to the
+	// receiver; callers may retain or mutate it freely.
+	Data []byte
+}
+
+// Status describes a completed or probed communication.
+type Status struct {
+	Source int
+	Tag    int
+	// Len is the payload length in bytes.
+	Len int
+}
+
+// Request tracks a non-blocking operation, like an MPI_Request handle.
+type Request interface {
+	// Wait blocks until the operation completes and returns its status.
+	// For receives the message is retrievable via Message afterwards.
+	Wait() (Status, error)
+	// Test polls for completion without blocking. done reports whether
+	// the operation finished; the status and error are meaningful only
+	// when done is true.
+	Test() (done bool, st Status, err error)
+	// Message returns the received message after a successful Wait or
+	// Test on a receive request; it returns a zero Message for sends.
+	Message() Message
+}
+
+// Comm is a communicator endpoint bound to one rank, supporting matched
+// point-to-point communication. Collective operations are built on top of
+// this interface (see collectives.go), reflecting the paper's observation
+// that "all collective communication in MPI is based on point-to-point
+// MPI messages"; the redundancy layer therefore only needs to interpose
+// point-to-point calls.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the communicator.
+	Size() int
+	// Send delivers data to rank dst with the given tag. Sends are
+	// buffered (eager): they complete without waiting for a matching
+	// receive. Sending to a failed rank silently drops the message, as a
+	// lost packet would.
+	Send(dst, tag int, data []byte) error
+	// Recv blocks until a message matching (src, tag) arrives, where
+	// either selector may be a wildcard. Matching is FIFO per
+	// (source, tag) pair.
+	Recv(src, tag int) (Message, error)
+	// Isend starts a non-blocking send.
+	Isend(dst, tag int, data []byte) (Request, error)
+	// Irecv starts a non-blocking receive.
+	Irecv(src, tag int) (Request, error)
+	// Probe blocks until a matching message is available and returns its
+	// envelope without consuming it.
+	Probe(src, tag int) (Status, error)
+}
+
+// CountTracker is implemented by communicators that track per-peer
+// message totals, which the checkpoint coordinator's bookmark-exchange
+// protocol (modeled on Open MPI's PML bookmark protocol) uses to verify
+// channel quiescence before a snapshot.
+type CountTracker interface {
+	// SentCounts returns the number of messages sent to each rank.
+	SentCounts() []uint64
+	// RecvCounts returns the number of messages received from each rank.
+	RecvCounts() []uint64
+}
+
+// Errors returned by communicator operations.
+var (
+	// ErrKilled reports that the calling rank itself has been killed by
+	// failure injection; the rank's goroutine should unwind.
+	ErrKilled = errors.New("mpi: rank killed")
+	// ErrPeerDead reports that the specific peer a receive was posted
+	// against died before a matching message arrived.
+	ErrPeerDead = errors.New("mpi: peer rank dead")
+	// ErrAborted reports that the world was torn down (job failure or
+	// shutdown) while the operation was in flight.
+	ErrAborted = errors.New("mpi: world aborted")
+	// ErrInvalidRank reports a rank outside [0, Size).
+	ErrInvalidRank = errors.New("mpi: invalid rank")
+	// ErrInvalidTag reports a tag outside the permitted range.
+	ErrInvalidTag = errors.New("mpi: invalid tag")
+)
+
+// WaitAll waits for every request and returns the first error
+// encountered, after waiting for all of them (matching MPI_Waitall's
+// all-or-error contract closely enough for our callers).
+func WaitAll(reqs ...Request) error {
+	var firstErr error
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := r.Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

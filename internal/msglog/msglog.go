@@ -1,0 +1,287 @@
+// Package msglog implements message logging, the third fault-tolerance
+// technique the paper's background surveys (§2): "Message logging
+// techniques record message events in a log that can be replayed to
+// recover a failed process from its intermediate state. All message
+// logging techniques require the application to adhere to the piecewise
+// deterministic assumption that states that the state of a process is
+// determined by its initial state and by the sequence of messages
+// delivered to it."
+//
+// The Recorder wraps a communicator and logs every delivered message
+// event; the Replayer re-executes a failed process against its log —
+// receives are served from the recorded history (verified against the
+// re-executed code's selectors, so determinism violations surface as
+// errors rather than silent divergence) and sends are suppressed (their
+// effects already reached the peers). Together they demonstrate the
+// piecewise-deterministic recovery property; a full distributed
+// message-logging protocol (orphan tracking, sender-based logging) is out
+// of the paper's scope and ours.
+package msglog
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Event is one delivered-message record.
+type Event struct {
+	// Source and Tag are the delivered envelope.
+	Source, Tag int
+	// Data is the payload (copied).
+	Data []byte
+}
+
+// Log is an append-only per-process delivery history.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Append records one delivery.
+func (l *Log) Append(e Event) {
+	data := make([]byte, len(e.Data))
+	copy(data, e.Data)
+	e.Data = data
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded deliveries.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a copy of the history.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Recorder wraps a communicator and logs every delivered message.
+type Recorder struct {
+	inner mpi.Comm
+	log   *Log
+}
+
+var _ mpi.Comm = (*Recorder)(nil)
+
+// NewRecorder wraps inner; deliveries are appended to log.
+func NewRecorder(inner mpi.Comm, log *Log) *Recorder {
+	return &Recorder{inner: inner, log: log}
+}
+
+// Rank implements mpi.Comm.
+func (r *Recorder) Rank() int { return r.inner.Rank() }
+
+// Size implements mpi.Comm.
+func (r *Recorder) Size() int { return r.inner.Size() }
+
+// Send implements mpi.Comm (sends are not logged; receiver-side logging).
+func (r *Recorder) Send(dst, tag int, data []byte) error {
+	return r.inner.Send(dst, tag, data)
+}
+
+// Recv implements mpi.Comm, recording the delivery.
+func (r *Recorder) Recv(src, tag int) (mpi.Message, error) {
+	msg, err := r.inner.Recv(src, tag)
+	if err != nil {
+		return msg, err
+	}
+	r.log.Append(Event{Source: msg.Source, Tag: msg.Tag, Data: msg.Data})
+	return msg, nil
+}
+
+// Isend implements mpi.Comm.
+func (r *Recorder) Isend(dst, tag int, data []byte) (mpi.Request, error) {
+	return r.inner.Isend(dst, tag, data)
+}
+
+// Irecv implements mpi.Comm; the delivery is logged at completion.
+func (r *Recorder) Irecv(src, tag int) (mpi.Request, error) {
+	req, err := r.inner.Irecv(src, tag)
+	if err != nil {
+		return nil, err
+	}
+	return &loggingRequest{inner: req, log: r.log}, nil
+}
+
+// Probe implements mpi.Comm.
+func (r *Recorder) Probe(src, tag int) (mpi.Status, error) {
+	return r.inner.Probe(src, tag)
+}
+
+// loggingRequest appends the delivery when the receive completes.
+type loggingRequest struct {
+	inner  mpi.Request
+	log    *Log
+	logged bool
+}
+
+var _ mpi.Request = (*loggingRequest)(nil)
+
+func (lr *loggingRequest) record(st mpi.Status, err error) {
+	if err != nil || lr.logged {
+		return
+	}
+	msg := lr.inner.Message()
+	lr.log.Append(Event{Source: msg.Source, Tag: msg.Tag, Data: msg.Data})
+	lr.logged = true
+}
+
+// Wait implements mpi.Request.
+func (lr *loggingRequest) Wait() (mpi.Status, error) {
+	st, err := lr.inner.Wait()
+	lr.record(st, err)
+	return st, err
+}
+
+// Test implements mpi.Request.
+func (lr *loggingRequest) Test() (bool, mpi.Status, error) {
+	done, st, err := lr.inner.Test()
+	if done {
+		lr.record(st, err)
+	}
+	return done, st, err
+}
+
+// Message implements mpi.Request.
+func (lr *loggingRequest) Message() mpi.Message { return lr.inner.Message() }
+
+// Errors of the replayer.
+var (
+	// ErrLogExhausted reports a receive beyond the recorded history.
+	ErrLogExhausted = errors.New("msglog: log exhausted")
+	// ErrDeterminismViolation reports that the re-executed code asked
+	// for a message the history cannot satisfy at this position —
+	// the piecewise-deterministic assumption does not hold.
+	ErrDeterminismViolation = errors.New("msglog: determinism violation")
+)
+
+// Replayer is a communicator that re-executes a process against its
+// delivery log: receives are served from the history in order, sends are
+// suppressed. It is single-goroutine like every Comm.
+type Replayer struct {
+	rank, size int
+	events     []Event
+	pos        int
+
+	// SuppressedSends counts the sends swallowed during replay.
+	SuppressedSends int
+}
+
+var _ mpi.Comm = (*Replayer)(nil)
+
+// NewReplayer builds a replayer for the given rank/size identity over a
+// recorded history.
+func NewReplayer(rank, size int, events []Event) *Replayer {
+	evs := make([]Event, len(events))
+	copy(evs, events)
+	return &Replayer{rank: rank, size: size, events: evs}
+}
+
+// Rank implements mpi.Comm.
+func (rp *Replayer) Rank() int { return rp.rank }
+
+// Size implements mpi.Comm.
+func (rp *Replayer) Size() int { return rp.size }
+
+// Replayed reports how many events have been consumed.
+func (rp *Replayer) Replayed() int { return rp.pos }
+
+// Done reports whether the whole history has been consumed.
+func (rp *Replayer) Done() bool { return rp.pos == len(rp.events) }
+
+// Send implements mpi.Comm as a suppressed no-op.
+func (rp *Replayer) Send(dst, tag int, data []byte) error {
+	rp.SuppressedSends++
+	return nil
+}
+
+// Recv implements mpi.Comm by serving the next logged event. The
+// re-executed code must issue the identical receive sequence; selector
+// mismatches mean the code is not piecewise deterministic.
+func (rp *Replayer) Recv(src, tag int) (mpi.Message, error) {
+	if rp.pos >= len(rp.events) {
+		return mpi.Message{}, fmt.Errorf("recv(src=%d, tag=%d) at position %d: %w",
+			src, tag, rp.pos, ErrLogExhausted)
+	}
+	e := rp.events[rp.pos]
+	if src != mpi.AnySource && src != e.Source {
+		return mpi.Message{}, fmt.Errorf("position %d: logged source %d, requested %d: %w",
+			rp.pos, e.Source, src, ErrDeterminismViolation)
+	}
+	if tag != mpi.AnyTag && tag != e.Tag {
+		return mpi.Message{}, fmt.Errorf("position %d: logged tag %d, requested %d: %w",
+			rp.pos, e.Tag, tag, ErrDeterminismViolation)
+	}
+	rp.pos++
+	data := make([]byte, len(e.Data))
+	copy(data, e.Data)
+	return mpi.Message{Source: e.Source, Tag: e.Tag, Data: data}, nil
+}
+
+// Isend implements mpi.Comm (suppressed, fulfilled handle).
+func (rp *Replayer) Isend(dst, tag int, data []byte) (mpi.Request, error) {
+	rp.SuppressedSends++
+	return &replayRequest{done: true, st: mpi.Status{Source: rp.rank, Tag: tag, Len: len(data)}}, nil
+}
+
+// Irecv implements mpi.Comm (lazy; serves the log at Wait/Test).
+func (rp *Replayer) Irecv(src, tag int) (mpi.Request, error) {
+	return &replayRequest{rp: rp, src: src, tag: tag, isRecv: true}, nil
+}
+
+// Probe implements mpi.Comm against the next logged event.
+func (rp *Replayer) Probe(src, tag int) (mpi.Status, error) {
+	if rp.pos >= len(rp.events) {
+		return mpi.Status{}, fmt.Errorf("probe at position %d: %w", rp.pos, ErrLogExhausted)
+	}
+	e := rp.events[rp.pos]
+	if (src != mpi.AnySource && src != e.Source) || (tag != mpi.AnyTag && tag != e.Tag) {
+		return mpi.Status{}, fmt.Errorf("position %d: %w", rp.pos, ErrDeterminismViolation)
+	}
+	return mpi.Status{Source: e.Source, Tag: e.Tag, Len: len(e.Data)}, nil
+}
+
+type replayRequest struct {
+	rp       *Replayer
+	src, tag int
+	isRecv   bool
+
+	done bool
+	st   mpi.Status
+	msg  mpi.Message
+	err  error
+}
+
+var _ mpi.Request = (*replayRequest)(nil)
+
+func (r *replayRequest) Wait() (mpi.Status, error) {
+	if r.done {
+		return r.st, r.err
+	}
+	msg, err := r.rp.Recv(r.src, r.tag)
+	r.done = true
+	r.err = err
+	if err == nil {
+		r.msg = msg
+		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
+	}
+	return r.st, r.err
+}
+
+func (r *replayRequest) Test() (bool, mpi.Status, error) {
+	st, err := r.Wait() // the log is always "ready"
+	return true, st, err
+}
+
+func (r *replayRequest) Message() mpi.Message { return r.msg }

@@ -1,0 +1,193 @@
+package msglog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mpi"
+	"repro/internal/simmpi"
+)
+
+func TestRecorderLogsDeliveries(t *testing.T) {
+	w, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := [2]*Log{{}, {}}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		rec := NewRecorder(c, logs[c.Rank()])
+		if rec.Rank() != c.Rank() || rec.Size() != 2 {
+			return fmt.Errorf("identity mismatch")
+		}
+		if c.Rank() == 0 {
+			if err := rec.Send(1, 5, []byte("a")); err != nil {
+				return err
+			}
+			req, err := rec.Isend(1, 6, []byte("b"))
+			if err != nil {
+				return err
+			}
+			_, err = req.Wait()
+			return err
+		}
+		if _, err := rec.Recv(0, 5); err != nil {
+			return err
+		}
+		req, err := rec.Irecv(0, 6)
+		if err != nil {
+			return err
+		}
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		// Wait twice: the event must be logged once.
+		if _, err := req.Wait(); err != nil {
+			return err
+		}
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+	if logs[0].Len() != 0 {
+		t.Fatalf("sender logged %d deliveries", logs[0].Len())
+	}
+	events := logs[1].Events()
+	if len(events) != 2 {
+		t.Fatalf("receiver logged %d deliveries, want 2", len(events))
+	}
+	if events[0].Tag != 5 || string(events[0].Data) != "a" {
+		t.Fatalf("event 0 = %+v", events[0])
+	}
+	if events[1].Tag != 6 || string(events[1].Data) != "b" {
+		t.Fatalf("event 1 = %+v", events[1])
+	}
+}
+
+func TestReplayerServesHistory(t *testing.T) {
+	events := []Event{
+		{Source: 0, Tag: 1, Data: []byte("x")},
+		{Source: 2, Tag: 3, Data: []byte("y")},
+	}
+	rp := NewReplayer(1, 3, events)
+	msg, err := rp.Recv(0, 1)
+	if err != nil || string(msg.Data) != "x" {
+		t.Fatalf("recv 1: %v %q", err, msg.Data)
+	}
+	// Wildcards replay too.
+	msg, err = rp.Recv(mpi.AnySource, mpi.AnyTag)
+	if err != nil || msg.Source != 2 || msg.Tag != 3 {
+		t.Fatalf("recv 2: %v %+v", err, msg)
+	}
+	if !rp.Done() {
+		t.Fatal("history not consumed")
+	}
+	if _, err := rp.Recv(0, 1); !errors.Is(err, ErrLogExhausted) {
+		t.Fatalf("err = %v, want ErrLogExhausted", err)
+	}
+}
+
+func TestReplayerDetectsDeterminismViolation(t *testing.T) {
+	rp := NewReplayer(0, 2, []Event{{Source: 1, Tag: 7, Data: nil}})
+	if _, err := rp.Recv(1, 8); !errors.Is(err, ErrDeterminismViolation) {
+		t.Fatalf("tag mismatch err = %v", err)
+	}
+	rp2 := NewReplayer(0, 3, []Event{{Source: 1, Tag: 7, Data: nil}})
+	if _, err := rp2.Recv(2, 7); !errors.Is(err, ErrDeterminismViolation) {
+		t.Fatalf("source mismatch err = %v", err)
+	}
+}
+
+func TestReplayerSuppressesSends(t *testing.T) {
+	rp := NewReplayer(0, 2, nil)
+	if err := rp.Send(1, 0, []byte("ignored")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := rp.Isend(1, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := req.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rp.SuppressedSends != 2 {
+		t.Fatalf("suppressed %d sends, want 2", rp.SuppressedSends)
+	}
+}
+
+func TestReplayerProbe(t *testing.T) {
+	rp := NewReplayer(0, 2, []Event{{Source: 1, Tag: 4, Data: []byte("abc")}})
+	st, err := rp.Probe(1, 4)
+	if err != nil || st.Len != 3 {
+		t.Fatalf("probe: %v %+v", err, st)
+	}
+	// Probe does not consume.
+	if rp.Replayed() != 0 {
+		t.Fatal("probe consumed an event")
+	}
+	if _, err := rp.Probe(0, 4); !errors.Is(err, ErrDeterminismViolation) {
+		t.Fatalf("probe mismatch err = %v", err)
+	}
+}
+
+// TestPiecewiseDeterministicRecovery is the headline property: run a real
+// distributed CG with recorders, then re-execute one rank against its log
+// alone (no peers, sends suppressed) and obtain the identical result —
+// "the state of a process is determined by its initial state and by the
+// sequence of messages delivered to it."
+func TestPiecewiseDeterministicRecovery(t *testing.T) {
+	const ranks = 3
+	m, err := apps.Laplacian2D(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := make([]*Log, ranks)
+	for i := range logs {
+		logs[i] = &Log{}
+	}
+	checksums := make([]float64, ranks)
+	w, err := simmpi.NewWorld(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appErr, _ := w.Run(func(c *simmpi.Comm) error {
+		app := &apps.CG{Matrix: m, Iterations: 25}
+		if err := app.Run(&apps.Context{Comm: NewRecorder(c, logs[c.Rank()])}); err != nil {
+			return err
+		}
+		checksums[c.Rank()] = app.Checksum
+		return nil
+	})
+	if appErr != nil {
+		t.Fatal(appErr)
+	}
+
+	// "Crash" rank 1 and recover it purely from its delivery log.
+	rp := NewReplayer(1, ranks, logs[1].Events())
+	recovered := &apps.CG{Matrix: m, Iterations: 25}
+	if err := recovered.Run(&apps.Context{Comm: rp}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if recovered.Checksum != checksums[1] {
+		t.Fatalf("replayed checksum %v, original %v", recovered.Checksum, checksums[1])
+	}
+	if !rp.Done() {
+		t.Fatalf("replay consumed %d of %d events", rp.Replayed(), logs[1].Len())
+	}
+	if rp.SuppressedSends == 0 {
+		t.Fatal("replay should have suppressed the rank's sends")
+	}
+}
+
+func TestLogEventsAreCopies(t *testing.T) {
+	var l Log
+	data := []byte("mutable")
+	l.Append(Event{Source: 0, Tag: 0, Data: data})
+	copy(data, "XXXXXXX")
+	if got := l.Events()[0].Data; !bytes.Equal(got, []byte("mutable")) {
+		t.Fatalf("log aliased caller buffer: %q", got)
+	}
+}

@@ -1,0 +1,48 @@
+package redundancy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWire hardens the wire decoder against arbitrary physical
+// payloads: it must never panic, and every accepted frame must re-encode
+// to an equivalent frame.
+func FuzzDecodeWire(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeWire(kindFull, 1, 2, 3, []byte("payload")))
+	f.Add(encodeWire(kindHash, 0, 0, 0, payloadHash([]byte("x"))))
+	f.Add(encodeWire(kindEnvelope, 2, 9, 4, envelopePayload(7, 9, 4)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wm, err := decodeWire(data)
+		if err != nil {
+			return
+		}
+		re := encodeWire(wm.kind, wm.senderIdx, wm.virtSrc, wm.tag, wm.payload)
+		rm, err := decodeWire(re)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame rejected: %v", err)
+		}
+		if rm.kind != wm.kind || rm.virtSrc != wm.virtSrc || rm.tag != wm.tag ||
+			!bytes.Equal(rm.payload, wm.payload) {
+			t.Fatalf("re-encode drifted: %+v vs %+v", rm, wm)
+		}
+	})
+}
+
+// FuzzDecodeEnvelope hardens the wildcard-protocol control decoder.
+func FuzzDecodeEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(envelopePayload(0, 0, 0))
+	f.Add(envelopePayload(^uint64(0), -1, -1))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		seq, src, tag, err := decodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		re := envelopePayload(seq, src, tag)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted envelope does not round-trip: %x vs %x", re, data)
+		}
+	})
+}

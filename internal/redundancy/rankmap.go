@@ -1,0 +1,157 @@
+// Package redundancy is the RedMPI-equivalent interposition layer of the
+// reproduction (paper §3): it presents N virtual ranks to the application
+// while transparently running r physical replicas of each rank ("spheres"),
+// fanning every point-to-point send and receive out to all replicas,
+// enforcing identical message order across replicas (including the
+// wildcard-receive envelope-forwarding protocol), verifying replica
+// message payloads against each other (All-to-all mode) or against hashes
+// (Msg-PlusHash mode), and voting out corrupt messages under triple
+// redundancy.
+//
+// The layer is written against the mpi.Comm interface only, so it runs
+// over any transport; in this repository that is the simmpi runtime.
+package redundancy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// Replica identifies one physical process inside a virtual rank's sphere.
+type Replica struct {
+	// Virtual is the application-visible rank.
+	Virtual int
+	// Index is the replica's position within the sphere (0-based).
+	Index int
+}
+
+// RankMap is the bidirectional virtual↔physical rank mapping for a given
+// partial-redundancy degree, following Eqs. 5-8 of the paper with the
+// interleaved assignment its experiments describe ("a redundancy degree
+// of 1.5x means that every other process (i.e., every even process) has a
+// replica").
+type RankMap struct {
+	degree    float64
+	partition model.Partition
+	// replicas[v] lists the physical ranks of virtual rank v's sphere in
+	// replica-index order.
+	replicas [][]int
+	// owner[p] identifies physical rank p.
+	owner []Replica
+}
+
+// NewRankMap builds the mapping for n virtual ranks at redundancy degree
+// r ≥ 1. Virtual ranks receiving the extra replica are spread evenly
+// (Bresenham-style) starting at rank 0, matching the paper's "every even
+// process" convention at 1.5x.
+func NewRankMap(n int, degree float64) (*RankMap, error) {
+	part, err := model.PartitionRanks(n, degree)
+	if err != nil {
+		return nil, fmt.Errorf("redundancy: %w", err)
+	}
+	m := &RankMap{
+		degree:    degree,
+		partition: part,
+		replicas:  make([][]int, n),
+		owner:     make([]Replica, 0, part.TotalProcesses()),
+	}
+	next := 0
+	for v := 0; v < n; v++ {
+		copies := part.Floor
+		if m.hasExtraReplica(v, n) {
+			copies = part.Ceil
+		}
+		sphere := make([]int, copies)
+		for i := range sphere {
+			sphere[i] = next
+			m.owner = append(m.owner, Replica{Virtual: v, Index: i})
+			next++
+		}
+		m.replicas[v] = sphere
+	}
+	if next != part.TotalProcesses() {
+		return nil, fmt.Errorf("redundancy: assigned %d physical ranks, partition says %d",
+			next, part.TotalProcesses())
+	}
+	return m, nil
+}
+
+// hasExtraReplica reports whether virtual rank v belongs to the
+// ⌈r⌉-replica set, spreading the NCeil members evenly across [0, n).
+func (m *RankMap) hasExtraReplica(v, n int) bool {
+	if m.partition.Floor == m.partition.Ceil {
+		return true // integer degree: homogeneous system
+	}
+	return (v*m.partition.NCeil)%n < m.partition.NCeil
+}
+
+// Degree returns the requested redundancy degree.
+func (m *RankMap) Degree() float64 { return m.degree }
+
+// Partition returns the Eq. 5-8 split backing this map.
+func (m *RankMap) Partition() model.Partition { return m.partition }
+
+// VirtualSize returns N, the application-visible rank count.
+func (m *RankMap) VirtualSize() int { return len(m.replicas) }
+
+// PhysicalSize returns N_total (Eq. 8).
+func (m *RankMap) PhysicalSize() int { return len(m.owner) }
+
+// Sphere returns the physical ranks of virtual rank v, in replica order.
+// The returned slice is shared; callers must not mutate it.
+func (m *RankMap) Sphere(v int) ([]int, error) {
+	if v < 0 || v >= len(m.replicas) {
+		return nil, fmt.Errorf("redundancy: virtual rank %d of %d", v, len(m.replicas))
+	}
+	return m.replicas[v], nil
+}
+
+// Owner resolves a physical rank to its virtual rank and replica index.
+func (m *RankMap) Owner(phys int) (Replica, error) {
+	if phys < 0 || phys >= len(m.owner) {
+		return Replica{}, fmt.Errorf("redundancy: physical rank %d of %d", phys, len(m.owner))
+	}
+	return m.owner[phys], nil
+}
+
+// EffectiveDegree returns PhysicalSize/VirtualSize, the degree actually
+// realised after Eq. 6's flooring.
+func (m *RankMap) EffectiveDegree() float64 {
+	return float64(m.PhysicalSize()) / float64(m.VirtualSize())
+}
+
+// Validate checks internal consistency (every physical rank maps back to
+// its sphere slot); it exists for property tests.
+func (m *RankMap) Validate() error {
+	seen := 0
+	for v, sphere := range m.replicas {
+		if len(sphere) == 0 {
+			return fmt.Errorf("redundancy: virtual rank %d has no replicas", v)
+		}
+		want := m.partition.Floor
+		if len(sphere) != want && len(sphere) != m.partition.Ceil {
+			return fmt.Errorf("redundancy: virtual rank %d has %d replicas, want %d or %d",
+				v, len(sphere), m.partition.Floor, m.partition.Ceil)
+		}
+		for i, p := range sphere {
+			o, err := m.Owner(p)
+			if err != nil {
+				return err
+			}
+			if o.Virtual != v || o.Index != i {
+				return fmt.Errorf("redundancy: physical %d maps to %+v, want {%d %d}", p, o, v, i)
+			}
+			seen++
+		}
+	}
+	if seen != m.PhysicalSize() {
+		return fmt.Errorf("redundancy: %d mapped ranks, %d physical", seen, m.PhysicalSize())
+	}
+	if math.Abs(m.EffectiveDegree()-m.degree) > 1.0/float64(m.VirtualSize())+1e-9 {
+		return fmt.Errorf("redundancy: effective degree %v too far from requested %v",
+			m.EffectiveDegree(), m.degree)
+	}
+	return nil
+}

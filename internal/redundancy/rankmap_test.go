@@ -1,0 +1,131 @@
+package redundancy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRankMapIntegerDegree(t *testing.T) {
+	m, err := NewRankMap(8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.VirtualSize() != 8 || m.PhysicalSize() != 16 {
+		t.Fatalf("sizes %d/%d, want 8/16", m.VirtualSize(), m.PhysicalSize())
+	}
+	for v := 0; v < 8; v++ {
+		sphere, err := m.Sphere(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sphere) != 2 {
+			t.Fatalf("virtual %d sphere %v", v, sphere)
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankMapEveryOtherProcessAt15x(t *testing.T) {
+	// Paper: "a redundancy degree of 1.5x means that every other process
+	// (i.e., every even process) has a replica."
+	m, err := NewRankMap(8, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysicalSize() != 12 {
+		t.Fatalf("physical size %d, want 12", m.PhysicalSize())
+	}
+	for v := 0; v < 8; v++ {
+		sphere, err := m.Sphere(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1
+		if v%2 == 0 {
+			want = 2
+		}
+		if len(sphere) != want {
+			t.Fatalf("virtual %d has %d replicas, want %d", v, len(sphere), want)
+		}
+	}
+}
+
+func TestRankMapOwnerRoundTrip(t *testing.T) {
+	m, err := NewRankMap(10, 2.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < m.PhysicalSize(); p++ {
+		o, err := m.Owner(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sphere, err := m.Sphere(o.Virtual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sphere[o.Index] != p {
+			t.Fatalf("physical %d: owner %+v but sphere %v", p, o, sphere)
+		}
+	}
+}
+
+func TestRankMapBoundsErrors(t *testing.T) {
+	m, err := NewRankMap(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Sphere(4); err == nil {
+		t.Error("Sphere(4) of 4 should fail")
+	}
+	if _, err := m.Sphere(-1); err == nil {
+		t.Error("Sphere(-1) should fail")
+	}
+	if _, err := m.Owner(8); err == nil {
+		t.Error("Owner(8) of 8 should fail")
+	}
+	if _, err := NewRankMap(0, 2); err == nil {
+		t.Error("NewRankMap(0, 2) should fail")
+	}
+	if _, err := NewRankMap(4, 0.5); err == nil {
+		t.Error("NewRankMap(4, 0.5) should fail")
+	}
+}
+
+func TestRankMapPropertyValid(t *testing.T) {
+	f := func(nRaw uint8, rRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		r := 1 + float64(rRaw%96)/32.0 // [1, ~3.97]
+		m, err := NewRankMap(n, r)
+		if err != nil {
+			return false
+		}
+		return m.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRankMapPartitionConsistency(t *testing.T) {
+	m, err := NewRankMap(128, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := m.Partition()
+	// r = 2.5 on 128: 64 at 2 copies, 64 at 3 copies, 320 physical.
+	if part.NFloor != 64 || part.NCeil != 64 {
+		t.Fatalf("partition %+v", part)
+	}
+	if m.PhysicalSize() != 320 {
+		t.Fatalf("physical %d, want 320", m.PhysicalSize())
+	}
+	if m.Degree() != 2.5 {
+		t.Fatalf("degree %v", m.Degree())
+	}
+	if m.EffectiveDegree() != 2.5 {
+		t.Fatalf("effective degree %v", m.EffectiveDegree())
+	}
+}

@@ -1,0 +1,97 @@
+package redundancy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// msgKind distinguishes the physical message types the layer exchanges.
+type msgKind byte
+
+const (
+	// kindFull carries a complete application payload.
+	kindFull msgKind = iota + 1
+	// kindHash carries only the FNV-64a digest of the payload
+	// (Msg-PlusHash mode).
+	kindHash
+	// kindEnvelope is a control message of the wildcard-receive protocol
+	// carrying the virtual source chosen by a sibling replica.
+	kindEnvelope
+)
+
+// wireHeaderLen is the fixed prefix prepended to every physical payload.
+const wireHeaderLen = 1 + 1 + 4 + 4 // kind, senderIdx, virtSrc, tag
+
+// encodeWire frames an application payload (or hash) for the physical
+// transport.
+func encodeWire(kind msgKind, senderIdx, virtSrc, tag int, payload []byte) []byte {
+	buf := make([]byte, wireHeaderLen+len(payload))
+	buf[0] = byte(kind)
+	buf[1] = byte(senderIdx)
+	binary.LittleEndian.PutUint32(buf[2:], uint32(int32(virtSrc)))
+	binary.LittleEndian.PutUint32(buf[6:], uint32(int32(tag)))
+	copy(buf[wireHeaderLen:], payload)
+	return buf
+}
+
+// wireMsg is a decoded physical message.
+type wireMsg struct {
+	kind      msgKind
+	senderIdx int
+	virtSrc   int
+	tag       int
+	payload   []byte
+}
+
+// decodeWire parses a framed physical payload.
+func decodeWire(buf []byte) (wireMsg, error) {
+	if len(buf) < wireHeaderLen {
+		return wireMsg{}, fmt.Errorf("redundancy: wire message of %d bytes", len(buf))
+	}
+	k := msgKind(buf[0])
+	if k != kindFull && k != kindHash && k != kindEnvelope {
+		return wireMsg{}, fmt.Errorf("redundancy: unknown wire kind %d", buf[0])
+	}
+	return wireMsg{
+		kind:      k,
+		senderIdx: int(buf[1]),
+		virtSrc:   int(int32(binary.LittleEndian.Uint32(buf[2:]))),
+		tag:       int(int32(binary.LittleEndian.Uint32(buf[6:]))),
+		payload:   buf[wireHeaderLen:],
+	}, nil
+}
+
+// payloadHash is the digest Msg-PlusHash mode ships instead of the full
+// payload: FNV-64a, cheap and collision-resistant enough for detecting
+// the bit-flip corruptions RedMPI targets.
+func payloadHash(payload []byte) []byte {
+	h := fnv.New64a()
+	h.Write(payload) // hash.Hash.Write never returns an error
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, h.Sum64())
+	return out
+}
+
+// envelopePayload encodes the wildcard-protocol control record: the
+// sequence number of the wildcard operation on this control channel and
+// the virtual source (and original tag, for AnyTag operations) the leader
+// matched.
+func envelopePayload(seq uint64, virtSrc, tag int) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf, seq)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(int32(virtSrc)))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(int32(tag)))
+	return buf
+}
+
+// decodeEnvelope parses an envelope control record.
+func decodeEnvelope(buf []byte) (seq uint64, virtSrc, tag int, err error) {
+	if len(buf) != 16 {
+		return 0, 0, 0, fmt.Errorf("redundancy: envelope of %d bytes", len(buf))
+	}
+	seq = binary.LittleEndian.Uint64(buf)
+	virtSrc = int(int32(binary.LittleEndian.Uint32(buf[8:])))
+	tag = int(int32(binary.LittleEndian.Uint32(buf[12:])))
+	return seq, virtSrc, tag, nil
+}

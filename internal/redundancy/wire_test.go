@@ -1,0 +1,84 @@
+package redundancy
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestWireRoundTrip(t *testing.T) {
+	f := func(senderIdx uint8, virtSrc, tag uint16, payload []byte) bool {
+		buf := encodeWire(kindFull, int(senderIdx), int(virtSrc), int(tag), payload)
+		wm, err := decodeWire(buf)
+		if err != nil {
+			return false
+		}
+		return wm.kind == kindFull &&
+			wm.senderIdx == int(senderIdx) &&
+			wm.virtSrc == int(virtSrc) &&
+			wm.tag == int(tag) &&
+			bytes.Equal(wm.payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, err := decodeWire(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := decodeWire(make([]byte, wireHeaderLen-1)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	bad := encodeWire(kindFull, 0, 0, 0, nil)
+	bad[0] = 99
+	if _, err := decodeWire(bad); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	f := func(seq uint64, virtSrc, tag int32) bool {
+		s, v, tg, err := decodeEnvelope(envelopePayload(seq, int(virtSrc), int(tag)))
+		return err == nil && s == seq && v == int(virtSrc) && tg == int(tag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := decodeEnvelope(make([]byte, 15)); err == nil {
+		t.Error("short envelope accepted")
+	}
+}
+
+func TestPayloadHashStable(t *testing.T) {
+	a := payloadHash([]byte("same"))
+	b := payloadHash([]byte("same"))
+	if !bytes.Equal(a, b) {
+		t.Fatal("hash not deterministic")
+	}
+	if bytes.Equal(a, payloadHash([]byte("different"))) {
+		t.Fatal("distinct payloads hashed equal")
+	}
+	if len(a) != 8 {
+		t.Fatalf("hash length %d", len(a))
+	}
+}
+
+func TestVotePlurality(t *testing.T) {
+	good := []byte("good")
+	bad := []byte("bad!")
+	winner, agree, disagree := vote([][]byte{good, bad, good})
+	if !bytes.Equal(winner, good) || agree != 2 || disagree != 1 {
+		t.Fatalf("vote = %q/%d/%d", winner, agree, disagree)
+	}
+	// Tie resolves to the lowest replica's copy (first element).
+	winner, agree, disagree = vote([][]byte{good, bad})
+	if !bytes.Equal(winner, good) || agree != 1 || disagree != 1 {
+		t.Fatalf("tie vote = %q/%d/%d", winner, agree, disagree)
+	}
+	winner, agree, disagree = vote([][]byte{good})
+	if !bytes.Equal(winner, good) || agree != 1 || disagree != 0 {
+		t.Fatalf("single vote = %q/%d/%d", winner, agree, disagree)
+	}
+}

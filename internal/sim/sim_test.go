@@ -1,0 +1,412 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/stats"
+)
+
+// paperConfig is the §6 experimental setup: 128-process CG, 46 min base
+// run, α = 0.2, c = 120 s, R = 500 s, Daly interval, failures suppressed
+// during checkpoint/restart as in the paper's experiment.
+func paperConfig(mtbfHours, degree float64) Config {
+	return Config{
+		N:              128,
+		Degree:         degree,
+		Work:           46 * model.Minute,
+		Alpha:          0.2,
+		NodeMTBF:       mtbfHours * model.Hour,
+		CheckpointCost: 120,
+		RestartCost:    500,
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{},
+		{N: 1, Degree: 0.5, Work: 1, NodeMTBF: 1},
+		{N: 1, Degree: 1, Work: 0, NodeMTBF: 1},
+		{N: 1, Degree: 1, Work: 1, NodeMTBF: 0},
+		{N: 1, Degree: 1, Work: 1, NodeMTBF: 1, Alpha: 2},
+		{N: 1, Degree: 1, Work: 1, NodeMTBF: 1, CheckpointCost: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg, stats.NewStream(1)); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestFailureFreeRunExactTime(t *testing.T) {
+	// Effectively infinite MTBF: total = t_Red + checkpoints·c with the
+	// Daly interval resolved from the enormous MTBF (→ +Inf → disabled).
+	cfg := paperConfig(1e12, 2)
+	res, err := Simulate(cfg, stats.NewStream(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRed := model.RedundantTime(cfg.Work, cfg.Alpha, 2)
+	want := tRed + float64(res.Checkpoints)*cfg.CheckpointCost
+	if math.Abs(res.Total-want) > 1e-6 {
+		t.Fatalf("total %v, want %v (ckpts %d)", res.Total, want, res.Checkpoints)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("failures %d", res.Failures)
+	}
+}
+
+func TestFixedIntervalCheckpointCount(t *testing.T) {
+	// 1000 s of work at δ = 300 s: checkpoints at 300, 600, 900; the last
+	// 100 s finish without a final checkpoint.
+	cfg := Config{
+		N: 4, Degree: 1, Work: 1000, Alpha: 0,
+		NodeMTBF: 1e15, CheckpointCost: 10, RestartCost: 0, Interval: 300,
+	}
+	res, err := Simulate(cfg, stats.NewStream(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 3 {
+		t.Fatalf("checkpoints = %d, want 3", res.Checkpoints)
+	}
+	if math.Abs(res.Total-1030) > 1e-9 {
+		t.Fatalf("total %v, want 1030", res.Total)
+	}
+}
+
+func TestCheckpointingDisabled(t *testing.T) {
+	cfg := Config{
+		N: 2, Degree: 1, Work: 500, Alpha: 0,
+		NodeMTBF: 1e15, CheckpointCost: 10, Interval: -1,
+	}
+	res, err := Simulate(cfg, stats.NewStream(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoints != 0 || res.Total != 500 {
+		t.Fatalf("%+v", res)
+	}
+}
+
+func TestReproducibleWithSeed(t *testing.T) {
+	cfg := paperConfig(6, 2)
+	a, err := Run(cfg, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total.Mean != b.Total.Mean || a.MeanFailures != b.MeanFailures {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestFailuresOccurAtHighRate(t *testing.T) {
+	// 128 nodes at 6 h MTBF over a ≳46 min run: failures are essentially
+	// certain at 1x.
+	est, err := Run(paperConfig(6, 1), 30, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.MeanFailures < 1 {
+		t.Fatalf("mean failures %v, expected ≥ 1", est.MeanFailures)
+	}
+	if est.Total.Mean <= 46*model.Minute {
+		t.Fatalf("mean total %v not above base work", est.Total.Mean)
+	}
+	if est.MeanLostWork <= 0 {
+		t.Fatalf("lost work %v", est.MeanLostWork)
+	}
+}
+
+func TestRedundancyReducesFailureRate(t *testing.T) {
+	// Sphere exhaustion needs both replicas dead: at 2x the job failure
+	// count collapses relative to 1x.
+	e1, err := Run(paperConfig(6, 1), 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := Run(paperConfig(6, 2), 40, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.MeanFailures >= e1.MeanFailures/2 {
+		t.Fatalf("2x failures %v vs 1x %v — redundancy not effective",
+			e2.MeanFailures, e1.MeanFailures)
+	}
+}
+
+func TestPaperOrderingAtSixHours(t *testing.T) {
+	// Paper observation (1): at MTBF 6 h, higher redundancy wins:
+	// T(3x) < T(2x) < T(1x).
+	t3, err := Run(paperConfig(6, 3), 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Run(paperConfig(6, 2), 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := Run(paperConfig(6, 1), 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(t3.Total.Mean < t2.Total.Mean && t2.Total.Mean < t1.Total.Mean) {
+		t.Fatalf("ordering violated: 3x=%v 2x=%v 1x=%v",
+			t3.Total.Mean/60, t2.Total.Mean/60, t1.Total.Mean/60)
+	}
+}
+
+func TestPaperOrderingAtThirtyHours(t *testing.T) {
+	// Paper observation (2): at MTBF 30 h, 2x beats 3x (overhead exceeds
+	// the reliability gain).
+	t2, err := Run(paperConfig(30, 2), 80, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t3, err := Run(paperConfig(30, 3), 80, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3.Total.Mean <= t2.Total.Mean {
+		t.Fatalf("3x (%v min) should lose to 2x (%v min) at θ=30h",
+			t3.Total.Mean/60, t2.Total.Mean/60)
+	}
+}
+
+func TestMonotoneInMTBF(t *testing.T) {
+	// Less reliable nodes, slower completion (all else equal). Compare
+	// the extremes only — adjacent MTBF steps differ by less than the
+	// Monte-Carlo noise at moderate sample counts.
+	rich, err := Run(paperConfig(30, 2), 60, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poor, err := Run(paperConfig(6, 2), 60, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor.Total.Mean <= rich.Total.Mean {
+		t.Fatalf("θ=6h total %v should exceed θ=30h total %v",
+			poor.Total.Mean, rich.Total.Mean)
+	}
+}
+
+func TestAgreementWithAnalyticModel(t *testing.T) {
+	// The full-exposure simulation and Eq. 14 describe the same process;
+	// their predictions should agree within Monte-Carlo noise and model
+	// approximation error (the paper's own Fig. 12 shows the same level
+	// of deviation against real runs).
+	for _, tc := range []struct{ mtbf, degree float64 }{
+		{12, 2}, {24, 2}, {18, 3},
+	} {
+		cfg := paperConfig(tc.mtbf, tc.degree)
+		cfg.FailDuringCheckpoint = true
+		cfg.FailDuringRestart = true
+		est, err := Run(cfg, 200, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev, err := model.Evaluate(model.Params{
+			N:              cfg.N,
+			Work:           cfg.Work,
+			Alpha:          cfg.Alpha,
+			NodeMTBF:       cfg.NodeMTBF,
+			CheckpointCost: cfg.CheckpointCost,
+			RestartCost:    cfg.RestartCost,
+		}, tc.degree, model.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := stats.RelativeError(est.Total.Mean, ev.Total)
+		if rel > 0.30 {
+			t.Errorf("θ=%vh r=%v: sim %v min vs model %v min (rel %.2f)",
+				tc.mtbf, tc.degree, est.Total.Mean/60, ev.Total/60, rel)
+		}
+	}
+}
+
+func TestSimplifiedRegimeIsFaster(t *testing.T) {
+	// Suppressing failures during checkpoint/restart can only help.
+	full := paperConfig(6, 2)
+	full.FailDuringCheckpoint = true
+	full.FailDuringRestart = true
+	ef, err := Run(full, 100, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	es, err := Run(paperConfig(6, 2), 100, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Total.Mean > ef.Total.Mean*1.05 {
+		t.Fatalf("suppressed regime slower: %v vs %v", es.Total.Mean, ef.Total.Mean)
+	}
+}
+
+func TestMeasuredOverheadOverride(t *testing.T) {
+	// Feeding Table 5's measured 3x runtime (82 min) instead of Eq. 1's
+	// 64.4 min must dilate the simulated total accordingly.
+	base := paperConfig(30, 3)
+	modeled, err := Run(base, 50, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := base
+	measured.RedundantTime = 82 * model.Minute
+	observed, err := Run(measured, 50, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if observed.Total.Mean <= modeled.Total.Mean {
+		t.Fatalf("measured overhead (%v) should exceed modeled (%v)",
+			observed.Total.Mean, modeled.Total.Mean)
+	}
+}
+
+func TestNoProgressGuard(t *testing.T) {
+	// An impossible configuration (restart keeps failing) must hit the
+	// progress bound rather than loop forever.
+	cfg := Config{
+		N: 20, Degree: 1, Work: 10 * model.Hour, Alpha: 0,
+		NodeMTBF: 60, CheckpointCost: 30, RestartCost: 120,
+		Interval:             -1, // no checkpointing: restart from scratch
+		FailDuringRestart:    true,
+		FailDuringCheckpoint: true,
+		MaxTime:              3600,
+	}
+	_, err := Simulate(cfg, stats.NewStream(3))
+	if err == nil {
+		t.Fatal("hopeless configuration completed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(paperConfig(6, 2), 0, 1); err == nil {
+		t.Fatal("runs=0 accepted")
+	}
+}
+
+func TestJobFailureTimeDistribution(t *testing.T) {
+	// For n singleton spheres, job failure = min of n Exp(θ) draws, which
+	// is Exp(θ/n).
+	stream := stats.NewStream(17)
+	sizes := make([]int, 100)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	const theta = 1000.0
+	var sum float64
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		sum += jobFailureTime(stream, sizes, theta)
+	}
+	got := sum / draws
+	want := theta / 100
+	if stats.RelativeError(got, want) > 0.05 {
+		t.Fatalf("mean job failure time %v, want ≈ %v", got, want)
+	}
+}
+
+func TestLawSphereKinderToDualRedundancy(t *testing.T) {
+	// The exact sphere process produces fewer early failures at 2x than
+	// the exponentialised model rate — the divergence documented in
+	// EXPERIMENTS.md. Totals under LawSphere must come in at or below
+	// LawModelRate.
+	modelLaw := paperConfig(6, 2)
+	modelLaw.Law = LawModelRate
+	em, err := Run(modelLaw, 150, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sphereLaw := paperConfig(6, 2)
+	sphereLaw.Law = LawSphere
+	es, err := Run(sphereLaw, 150, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if es.Total.Mean > em.Total.Mean*1.02 {
+		t.Fatalf("sphere law (%v min) slower than model law (%v min)",
+			es.Total.Mean/60, em.Total.Mean/60)
+	}
+	if es.MeanFailures > em.MeanFailures {
+		t.Fatalf("sphere law failures %v above model law %v",
+			es.MeanFailures, em.MeanFailures)
+	}
+}
+
+func TestLawDefaultIsModelRate(t *testing.T) {
+	a := paperConfig(12, 2)
+	b := paperConfig(12, 2)
+	b.Law = LawModelRate
+	ea, err := Run(a, 30, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := Run(b, 30, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ea.Total.Mean != eb.Total.Mean {
+		t.Fatalf("zero law (%v) differs from explicit LawModelRate (%v)",
+			ea.Total.Mean, eb.Total.Mean)
+	}
+}
+
+func TestSphereDeathSlowerThanNodeDeath(t *testing.T) {
+	// A sphere of 2 dies at max(two exponentials): mean 1.5·θ.
+	stream := stats.NewStream(19)
+	const theta = 100.0
+	var sum float64
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		sum += jobFailureTime(stream, []int{2}, theta)
+	}
+	got := sum / draws
+	want := 1.5 * theta
+	if stats.RelativeError(got, want) > 0.05 {
+		t.Fatalf("sphere death mean %v, want ≈ %v", got, want)
+	}
+}
+
+func TestExpectedFailuresMatchEq11(t *testing.T) {
+	// Cross-validate the Monte Carlo against Eq. 11: n_f = T_total·λ.
+	cfg := paperConfig(12, 2)
+	cfg.FailDuringCheckpoint = true
+	cfg.FailDuringRestart = true
+	est, err := Run(cfg, 300, 97)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := model.Evaluate(model.Params{
+		N: cfg.N, Work: cfg.Work, Alpha: cfg.Alpha,
+		NodeMTBF: cfg.NodeMTBF, CheckpointCost: cfg.CheckpointCost,
+		RestartCost: cfg.RestartCost,
+	}, 2, model.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RelativeError(est.MeanFailures, ev.Failures) > 0.35 {
+		t.Fatalf("simulated failures %v vs Eq. 11 %v", est.MeanFailures, ev.Failures)
+	}
+}
+
+func TestCheckpointCountMatchesExpectation(t *testing.T) {
+	// In a failure-free run, the checkpoint count equals
+	// ceil(t_Red/δ) - 1 (no final checkpoint after the last segment).
+	cfg := paperConfig(1e12, 1)
+	cfg.Interval = 500
+	res, err := Simulate(cfg, stats.NewStream(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tRed := 46 * model.Minute
+	want := int(math.Ceil(tRed/500)) - 1
+	if res.Checkpoints != want {
+		t.Fatalf("checkpoints = %d, want %d", res.Checkpoints, want)
+	}
+}

@@ -1,0 +1,210 @@
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// Comm is the communicator endpoint for one rank of a World. It
+// implements mpi.Comm and mpi.CountTracker.
+type Comm struct {
+	world *World
+	rank  int
+
+	// Per-peer message totals for the checkpoint bookmark exchange.
+	sent []atomic.Uint64
+	recv []atomic.Uint64
+}
+
+var (
+	_ mpi.Comm         = (*Comm)(nil)
+	_ mpi.CountTracker = (*Comm)(nil)
+)
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// World returns the world this communicator belongs to.
+func (c *Comm) World() *World { return c.world }
+
+func (c *Comm) checkPeer(rank int) error {
+	if rank < 0 || rank >= c.world.size {
+		return fmt.Errorf("simmpi: peer %d of %d: %w", rank, c.world.size, mpi.ErrInvalidRank)
+	}
+	return nil
+}
+
+// Send delivers data to dst. Sends are eager and buffered: the message is
+// copied into the destination mailbox and the call returns. Sends from a
+// killed rank fail with mpi.ErrKilled; sends to a dead rank are silently
+// dropped (fail-stop peers just stop reading the network).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.checkPeer(dst); err != nil {
+		return err
+	}
+	if c.world.aborted.Load() {
+		return mpi.ErrAborted
+	}
+	if c.world.dead[c.rank].Load() {
+		return mpi.ErrKilled
+	}
+	c.sent[dst].Add(1)
+	if d := c.world.sendDelay; d > 0 {
+		// Emulated wire latency is charged to the sender whether or not
+		// the destination is alive, like a NIC pushing into the fabric.
+		time.Sleep(d)
+	}
+	if c.world.dead[dst].Load() {
+		return nil
+	}
+	// Copy at the boundary: the sender may reuse its buffer immediately.
+	var buf []byte
+	if data != nil {
+		buf = make([]byte, len(data))
+		copy(buf, data)
+	}
+	c.world.mailboxes[dst].deposit(c.rank, tag, buf)
+	return nil
+}
+
+// Recv blocks until a message matching (src, tag) arrives.
+func (c *Comm) Recv(src, tag int) (mpi.Message, error) {
+	if src != mpi.AnySource {
+		if err := c.checkPeer(src); err != nil {
+			return mpi.Message{}, err
+		}
+	}
+	msg, err := c.world.mailboxes[c.rank].receive(src, tag)
+	if err != nil {
+		return mpi.Message{}, err
+	}
+	c.recv[msg.Source].Add(1)
+	return msg, nil
+}
+
+// Probe blocks until a matching message is available without consuming it.
+func (c *Comm) Probe(src, tag int) (mpi.Status, error) {
+	if src != mpi.AnySource {
+		if err := c.checkPeer(src); err != nil {
+			return mpi.Status{}, err
+		}
+	}
+	return c.world.mailboxes[c.rank].probe(src, tag)
+}
+
+// Isend starts a non-blocking send. Because sends are eager, the
+// operation completes immediately; the returned request is a fulfilled
+// handle carrying any error.
+func (c *Comm) Isend(dst, tag int, data []byte) (mpi.Request, error) {
+	err := c.Send(dst, tag, data)
+	return &request{
+		done: true,
+		st:   mpi.Status{Source: c.rank, Tag: tag, Len: len(data)},
+		err:  err,
+	}, nil
+}
+
+// Irecv starts a non-blocking receive. Completion is lazy: the matching
+// happens at Wait or Test time, preserving post-order semantics for the
+// common post-then-waitall pattern.
+func (c *Comm) Irecv(src, tag int) (mpi.Request, error) {
+	if src != mpi.AnySource {
+		if err := c.checkPeer(src); err != nil {
+			return nil, err
+		}
+	}
+	return &request{comm: c, src: src, tag: tag, isRecv: true}, nil
+}
+
+// SentCounts implements mpi.CountTracker.
+func (c *Comm) SentCounts() []uint64 {
+	out := make([]uint64, len(c.sent))
+	for i := range c.sent {
+		out[i] = c.sent[i].Load()
+	}
+	return out
+}
+
+// RecvCounts implements mpi.CountTracker.
+func (c *Comm) RecvCounts() []uint64 {
+	out := make([]uint64, len(c.recv))
+	for i := range c.recv {
+		out[i] = c.recv[i].Load()
+	}
+	return out
+}
+
+// PendingMessages returns the number of deposited-but-unreceived messages
+// for this rank. The checkpoint coordinator uses it in tests to verify
+// quiescence.
+func (c *Comm) PendingMessages() int {
+	return c.world.mailboxes[c.rank].pending()
+}
+
+// request implements mpi.Request for simmpi operations.
+type request struct {
+	comm   *Comm
+	src    int
+	tag    int
+	isRecv bool
+
+	mu   sync.Mutex
+	done bool
+	st   mpi.Status
+	msg  mpi.Message
+	err  error
+}
+
+var _ mpi.Request = (*request)(nil)
+
+// Wait blocks until the operation completes.
+func (r *request) Wait() (mpi.Status, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return r.st, r.err
+	}
+	msg, err := r.comm.Recv(r.src, r.tag)
+	r.done = true
+	r.err = err
+	if err == nil {
+		r.msg = msg
+		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
+	}
+	return r.st, r.err
+}
+
+// Test polls for completion without blocking.
+func (r *request) Test() (bool, mpi.Status, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return true, r.st, r.err
+	}
+	msg, ok, err := r.comm.world.mailboxes[r.comm.rank].tryReceive(r.src, r.tag)
+	if !ok {
+		return false, mpi.Status{}, nil
+	}
+	r.done = true
+	r.err = err
+	if err == nil {
+		r.comm.recv[msg.Source].Add(1)
+		r.msg = msg
+		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
+	}
+	return true, r.st, r.err
+}
+
+// Message returns the received payload after completion.
+func (r *request) Message() mpi.Message {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.msg
+}

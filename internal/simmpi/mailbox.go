@@ -1,0 +1,157 @@
+package simmpi
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// envelope is a message in flight.
+type envelope struct {
+	source int
+	tag    int
+	data   []byte
+	seq    uint64 // arrival order, for FIFO matching across (source, tag)
+}
+
+// mailbox holds the unmatched messages addressed to one rank. Receivers
+// scan it under the lock for the earliest envelope matching their
+// (source, tag) selectors — exactly MPI's matching rule: FIFO per
+// (source, tag) pair, with wildcards selecting the earliest arrival among
+// all matching pairs.
+type mailbox struct {
+	world *World
+	owner int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []envelope
+	next  uint64
+}
+
+func newMailbox(w *World, owner int) *mailbox {
+	mb := &mailbox{world: w, owner: owner}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// broadcast wakes all waiters so they can re-check liveness predicates.
+func (mb *mailbox) broadcast() {
+	mb.mu.Lock()
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// deposit enqueues a message. Deposits to dead ranks or aborted worlds
+// are dropped, like packets to a crashed node.
+func (mb *mailbox) deposit(source, tag int, data []byte) {
+	if mb.world.aborted.Load() || mb.world.dead[mb.owner].Load() {
+		return
+	}
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, seq: mb.next})
+	mb.next++
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func matches(e envelope, src, tag int) bool {
+	return (src == mpi.AnySource || e.source == src) &&
+		(tag == mpi.AnyTag || e.tag == tag)
+}
+
+// errIfDown returns the error that should abort the owner's operation, or
+// nil if the owner may keep waiting for a message from src.
+func (mb *mailbox) errIfDown(src int) error {
+	if mb.world.aborted.Load() {
+		return mpi.ErrAborted
+	}
+	if mb.world.dead[mb.owner].Load() {
+		return mpi.ErrKilled
+	}
+	if src != mpi.AnySource && mb.world.dead[src].Load() {
+		return mpi.ErrPeerDead
+	}
+	return nil
+}
+
+// receive blocks until a message matching (src, tag) is available and
+// removes and returns it. It unblocks with an error when the owner is
+// killed, the world aborts, or a specific awaited peer dies first.
+// A message already delivered before the peer died is still returned:
+// death invalidates only *future* traffic.
+func (mb *mailbox) receive(src, tag int) (mpi.Message, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if idx, ok := mb.match(src, tag); ok {
+			e := mb.queue[idx]
+			mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
+			return mpi.Message{Source: e.source, Tag: e.tag, Data: e.data}, nil
+		}
+		if err := mb.errIfDown(src); err != nil {
+			return mpi.Message{}, err
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryReceive attempts a non-blocking matched receive.
+func (mb *mailbox) tryReceive(src, tag int) (mpi.Message, bool, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if idx, ok := mb.match(src, tag); ok {
+		e := mb.queue[idx]
+		mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
+		return mpi.Message{Source: e.source, Tag: e.tag, Data: e.data}, true, nil
+	}
+	if err := mb.errIfDown(src); err != nil {
+		return mpi.Message{}, true, err
+	}
+	return mpi.Message{}, false, nil
+}
+
+// probe blocks until a matching message is available and returns its
+// envelope without consuming it.
+func (mb *mailbox) probe(src, tag int) (mpi.Status, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if idx, ok := mb.match(src, tag); ok {
+			e := mb.queue[idx]
+			return mpi.Status{Source: e.source, Tag: e.tag, Len: len(e.data)}, nil
+		}
+		if err := mb.errIfDown(src); err != nil {
+			return mpi.Status{}, err
+		}
+		mb.cond.Wait()
+	}
+}
+
+// match finds the earliest-arrived queued envelope matching the
+// selectors. Linear scan: queues stay short because matching consumes
+// eagerly; envelopes carry seq so "earliest" is exact even though
+// removals reorder nothing (the queue is already arrival-ordered).
+func (mb *mailbox) match(src, tag int) (int, bool) {
+	for i, e := range mb.queue {
+		if matches(e, src, tag) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// pending returns the number of unmatched messages, for tests and the
+// bookmark-exchange verifier.
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+func isFailureErr(err error) bool {
+	return errors.Is(err, mpi.ErrKilled) ||
+		errors.Is(err, mpi.ErrPeerDead) ||
+		errors.Is(err, mpi.ErrAborted)
+}

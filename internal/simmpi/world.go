@@ -1,0 +1,184 @@
+// Package simmpi is the message-passing runtime substituting for Open MPI
+// in this reproduction: a World of ranks executing as goroutines inside
+// one process, communicating through matched mailboxes with MPI
+// point-to-point semantics (FIFO per (source, tag), wildcard receives,
+// buffered eager sends, non-blocking requests).
+//
+// The runtime also provides the failure surface the paper's experimental
+// framework needs: any rank can be killed at any time (fail-stop), after
+// which its own operations return mpi.ErrKilled, messages sent to it are
+// dropped, and receives posted against it complete with mpi.ErrPeerDead.
+// An entire World can be aborted, unblocking every rank with
+// mpi.ErrAborted — this is how the orchestrator tears a job down when a
+// whole replica sphere has died and a restart from checkpoint is needed.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// World is a set of communicating ranks, the analogue of an MPI job's
+// MPI_COMM_WORLD plus its runtime.
+type World struct {
+	size      int
+	sendDelay time.Duration
+	mailboxes []*mailbox
+	comms     []*Comm
+
+	dead    []atomic.Bool
+	aborted atomic.Bool
+
+	// deaths counts kills, used by tests and statistics.
+	deaths atomic.Int64
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithSendDelay makes every physical Send cost the sender the given
+// latency before the message is deposited. In-process channel transfer is
+// orders of magnitude faster than a cluster interconnect; this option
+// restores a realistic communication/computation ratio α and, because the
+// redundancy layer fans each virtual send into r physical sends, it makes
+// communication time dilate linearly in the redundancy degree exactly as
+// Eq. 1 of the paper models.
+func WithSendDelay(d time.Duration) Option {
+	return func(w *World) { w.sendDelay = d }
+}
+
+// NewWorld creates a world with n ranks, all alive.
+func NewWorld(n int, opts ...Option) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("simmpi: world size %d: %w", n, mpi.ErrInvalidRank)
+	}
+	w := &World{
+		size:      n,
+		mailboxes: make([]*mailbox, n),
+		comms:     make([]*Comm, n),
+		dead:      make([]atomic.Bool, n),
+	}
+	for _, opt := range opts {
+		opt(w)
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox(w, i)
+	}
+	for i := range w.comms {
+		w.comms[i] = &Comm{world: w, rank: i,
+			sent: make([]atomic.Uint64, n),
+			recv: make([]atomic.Uint64, n),
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Comm returns the communicator endpoint for the given rank.
+func (w *World) Comm(rank int) (*Comm, error) {
+	if rank < 0 || rank >= w.size {
+		return nil, fmt.Errorf("simmpi: rank %d of %d: %w", rank, w.size, mpi.ErrInvalidRank)
+	}
+	return w.comms[rank], nil
+}
+
+// Kill marks a rank failed (fail-stop). Its pending and future operations
+// error, messages addressed to it are dropped, and receives posted
+// against it by peers fail with mpi.ErrPeerDead. Killing a dead rank is a
+// no-op.
+func (w *World) Kill(rank int) {
+	if rank < 0 || rank >= w.size {
+		return
+	}
+	if w.dead[rank].Swap(true) {
+		return
+	}
+	w.deaths.Add(1)
+	// Liveness changed: wake every waiter so it can re-evaluate.
+	for _, mb := range w.mailboxes {
+		mb.broadcast()
+	}
+}
+
+// Alive reports whether the rank is still alive.
+func (w *World) Alive(rank int) bool {
+	if rank < 0 || rank >= w.size {
+		return false
+	}
+	return !w.dead[rank].Load()
+}
+
+// AliveCount returns the number of live ranks.
+func (w *World) AliveCount() int {
+	n := 0
+	for i := 0; i < w.size; i++ {
+		if !w.dead[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// Deaths returns the number of kills so far.
+func (w *World) Deaths() int { return int(w.deaths.Load()) }
+
+// Abort tears the world down: every blocked or future operation on any
+// rank returns mpi.ErrAborted. Used on job failure before a restart.
+func (w *World) Abort() {
+	if w.aborted.Swap(true) {
+		return
+	}
+	for _, mb := range w.mailboxes {
+		mb.broadcast()
+	}
+}
+
+// Aborted reports whether the world has been aborted.
+func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// RankError pairs a rank with the error its function returned.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+func (e RankError) Unwrap() error { return e.Err }
+
+// Run executes fn once per rank, each on its own goroutine, and waits for
+// all of them. It returns the first "real" failure: errors caused by
+// kills and aborts (mpi.ErrKilled, mpi.ErrPeerDead, mpi.ErrAborted) are
+// expected under failure injection and reported via the second return
+// value instead.
+func (w *World) Run(fn func(c *Comm) error) (appErr error, failureErrs []RankError) {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for i := 0; i < w.size; i++ {
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = fn(w.comms[rank])
+		}(i)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		if isFailureErr(err) {
+			failureErrs = append(failureErrs, RankError{Rank: rank, Err: err})
+			continue
+		}
+		if appErr == nil {
+			appErr = RankError{Rank: rank, Err: err}
+		}
+	}
+	return appErr, failureErrs
+}

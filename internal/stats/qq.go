@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// QQPoint is one point of a quantile-quantile plot: the q-th quantile of
+// the observed sample against the q-th quantile of the model sample.
+type QQPoint struct {
+	Q        float64
+	Observed float64
+	Model    float64
+}
+
+// QQ computes n evenly spaced quantile-quantile points comparing the
+// observed sample against the modeled sample. The paper reports that "a
+// Q-Q plot of the modeled and observed values indicates a close fit"
+// (§6, discussion of Figure 12); this is the data behind that plot.
+func QQ(observed, model []float64, n int) []QQPoint {
+	if n <= 0 || len(observed) == 0 || len(model) == 0 {
+		return nil
+	}
+	obs := make([]float64, len(observed))
+	copy(obs, observed)
+	sort.Float64s(obs)
+	mod := make([]float64, len(model))
+	copy(mod, model)
+	sort.Float64s(mod)
+
+	pts := make([]QQPoint, 0, n)
+	for i := 0; i < n; i++ {
+		q := (float64(i) + 0.5) / float64(n)
+		pts = append(pts, QQPoint{
+			Q:        q,
+			Observed: quantileSorted(obs, q),
+			Model:    quantileSorted(mod, q),
+		})
+	}
+	return pts
+}
+
+// QQFit summarises how well a Q-Q point set tracks the identity line:
+// it returns the Pearson correlation of observed vs model quantiles and
+// the mean absolute relative deviation from y = x.
+func QQFit(pts []QQPoint) (corr, meanRelDev float64) {
+	if len(pts) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	var dev kahan
+	for i, p := range pts {
+		xs[i] = p.Model
+		ys[i] = p.Observed
+		dev.add(RelativeError(p.Observed, p.Model))
+	}
+	return Correlation(xs, ys), dev.sum / float64(len(pts))
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] of the
+// sample and returns the bin left edges and counts.
+func Histogram(xs []float64, nbins int) (edges []float64, counts []int) {
+	if nbins <= 0 || len(xs) == 0 {
+		return nil, nil
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(nbins)
+	edges = make([]float64, nbins)
+	counts = make([]int, nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, x := range xs {
+		bin := int((x - lo) / width)
+		if bin >= nbins {
+			bin = nbins - 1
+		}
+		counts[bin]++
+	}
+	return edges, counts
+}

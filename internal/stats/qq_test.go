@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQQIdenticalSamples(t *testing.T) {
+	s := NewStream(1)
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = s.Exp(2)
+	}
+	pts := QQ(xs, xs, 20)
+	if len(pts) != 20 {
+		t.Fatalf("got %d points, want 20", len(pts))
+	}
+	for _, p := range pts {
+		if p.Observed != p.Model {
+			t.Fatalf("identical samples should give identity Q-Q, got %+v", p)
+		}
+	}
+	corr, dev := QQFit(pts)
+	if math.Abs(corr-1) > 1e-9 || dev > 1e-12 {
+		t.Fatalf("QQFit on identity = (%v, %v), want (1, 0)", corr, dev)
+	}
+}
+
+func TestQQSameDistributionCloseFit(t *testing.T) {
+	a, b := NewStream(10), NewStream(20)
+	xs := make([]float64, 50000)
+	ys := make([]float64, 50000)
+	for i := range xs {
+		xs[i] = a.Exp(3)
+		ys[i] = b.Exp(3)
+	}
+	corr, dev := QQFit(QQ(xs, ys, 50))
+	if corr < 0.999 {
+		t.Errorf("correlation = %v, want > 0.999 for same distribution", corr)
+	}
+	if dev > 0.05 {
+		t.Errorf("mean relative deviation = %v, want < 0.05", dev)
+	}
+}
+
+func TestQQDifferentScaleDetected(t *testing.T) {
+	a, b := NewStream(10), NewStream(20)
+	xs := make([]float64, 20000)
+	ys := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = a.Exp(3)
+		ys[i] = b.Exp(6)
+	}
+	_, dev := QQFit(QQ(xs, ys, 50))
+	if dev < 0.3 {
+		t.Errorf("mean relative deviation = %v; 2x scale difference should exceed 0.3", dev)
+	}
+}
+
+func TestQQEmpty(t *testing.T) {
+	if pts := QQ(nil, []float64{1}, 10); pts != nil {
+		t.Errorf("QQ with empty observed = %v, want nil", pts)
+	}
+	if pts := QQ([]float64{1}, []float64{1}, 0); pts != nil {
+		t.Errorf("QQ with n=0 = %v, want nil", pts)
+	}
+	corr, dev := QQFit(nil)
+	if !math.IsNaN(corr) || !math.IsNaN(dev) {
+		t.Errorf("QQFit(nil) = (%v, %v), want NaNs", corr, dev)
+	}
+}
+
+func TestHistogramCountsSum(t *testing.T) {
+	s := NewStream(4)
+	xs := make([]float64, 1234)
+	for i := range xs {
+		xs[i] = s.Float64() * 10
+	}
+	edges, counts := Histogram(xs, 7)
+	if len(edges) != 7 || len(counts) != 7 {
+		t.Fatalf("got %d edges, %d counts, want 7 each", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Fatalf("histogram counts sum to %d, want %d", total, len(xs))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			t.Fatalf("edges not increasing: %v", edges)
+		}
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	_, counts := Histogram([]float64{5, 5, 5}, 3)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("constant-sample histogram lost values: %v", counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	if e, c := Histogram(nil, 5); e != nil || c != nil {
+		t.Error("Histogram(nil) should return nils")
+	}
+	if e, c := Histogram([]float64{1}, 0); e != nil || c != nil {
+		t.Error("Histogram with 0 bins should return nils")
+	}
+}

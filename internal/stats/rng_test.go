@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamReproducible(t *testing.T) {
+	a := NewStream(42)
+	b := NewStream(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Float64(), b.Float64(); got != want {
+			t.Fatalf("draw %d: streams with equal seeds diverged: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestStreamDifferentSeedsDiverge(t *testing.T) {
+	a := NewStream(1)
+	b := NewStream(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("streams with different seeds produced %d/100 equal draws", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewStream(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	if c1.Float64() == c2.Float64() && c1.Float64() == c2.Float64() {
+		t.Fatal("sibling child streams produced identical draws")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := NewStream(123)
+	const mean = 3.5
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Exp(mean)
+	}
+	got := sum / n
+	if RelativeError(got, mean) > 0.02 {
+		t.Fatalf("exponential sample mean = %v, want ≈ %v", got, mean)
+	}
+}
+
+func TestExpRateMatchesExp(t *testing.T) {
+	a := NewStream(9)
+	b := NewStream(9)
+	for i := 0; i < 100; i++ {
+		if got, want := a.ExpRate(0.25), b.Exp(4.0); got != want {
+			t.Fatalf("ExpRate(0.25) and Exp(4) diverged on draw %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+func TestExpAlwaysPositive(t *testing.T) {
+	s := NewStream(5)
+	f := func(seedDelta uint8) bool {
+		v := s.Exp(float64(seedDelta%20) + 0.1)
+		return v >= 0 && !math.IsInf(v, 0) && !math.IsNaN(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	NewStream(1).Exp(0)
+}
+
+func TestExpMedianMatchesTheory(t *testing.T) {
+	// Median of Exp(mean) is mean*ln2.
+	s := NewStream(77)
+	const mean = 10.0
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = s.Exp(mean)
+	}
+	got := Quantile(xs, 0.5)
+	want := mean * math.Ln2
+	if RelativeError(got, want) > 0.03 {
+		t.Fatalf("exponential median = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 20, 200} {
+		s := NewStream(int64(mean * 100))
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += float64(s.Poisson(mean))
+		}
+		got := sum / n
+		if RelativeError(got, mean) > 0.05 {
+			t.Fatalf("Poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	s := NewStream(1)
+	for i := 0; i < 100; i++ {
+		if got := s.Poisson(0); got != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", got)
+		}
+	}
+}
+
+func TestPoissonNonNegative(t *testing.T) {
+	s := NewStream(3)
+	for i := 0; i < 10000; i++ {
+		if got := s.Poisson(100); got < 0 {
+			t.Fatalf("Poisson(100) = %d < 0", got)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegativeMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	NewStream(1).Poisson(-1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := NewStream(11)
+	p := s.Perm(50)
+	seen := make(map[int]bool, len(p))
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) is not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+// The failure injector depends on the memorylessness of the exponential:
+// the distribution of X-c given X>c equals the distribution of X.
+func TestExpMemoryless(t *testing.T) {
+	s := NewStream(31)
+	const mean, cut = 5.0, 2.0
+	var tail []float64
+	for i := 0; i < 400000 && len(tail) < 100000; i++ {
+		if x := s.Exp(mean); x > cut {
+			tail = append(tail, x-cut)
+		}
+	}
+	got := Mean(tail)
+	if RelativeError(got, mean) > 0.03 {
+		t.Fatalf("E[X-c | X>c] = %v, want ≈ %v (memorylessness)", got, mean)
+	}
+}

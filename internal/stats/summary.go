@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n-1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes descriptive statistics for xs. It returns the zero
+// Summary for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{
+		N:      len(xs),
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+		Mean:   Mean(xs),
+		Median: Quantile(xs, 0.5),
+	}
+	var sq kahan
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+		d := x - s.Mean
+		sq.add(d * d)
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(sq.sum / float64(s.N-1))
+	}
+	return s
+}
+
+// kahan is a compensated summation accumulator; long Monte-Carlo runs sum
+// millions of small increments and plain float64 accumulation drifts.
+type kahan struct {
+	sum float64
+	c   float64
+}
+
+func (k *kahan) add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the compensated (Kahan) sum of xs.
+func Sum(xs []float64) float64 {
+	var k kahan
+	for _, x := range xs {
+		k.add(x)
+	}
+	return k.sum
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics. It copies its input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Correlation returns the Pearson correlation coefficient of the paired
+// samples xs and ys. It returns NaN if the lengths differ, the sample is
+// smaller than two, or either sample has zero variance.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy kahan
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy.add(dx * dy)
+		sxx.add(dx * dx)
+		syy.add(dy * dy)
+	}
+	den := math.Sqrt(sxx.sum * syy.sum)
+	if den == 0 {
+		return math.NaN()
+	}
+	return sxy.sum / den
+}
+
+// RelativeError returns |got-want| / |want|, or |got| when want is zero.
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
