@@ -124,6 +124,34 @@ func BenchmarkTable4CombinedCRRedundancy(b *testing.B) {
 	b.ReportMetric(best6h, "best_r@6h")
 }
 
+// benchTable4AtParallelism runs the full Table 4 grid pinned to the given
+// worker count; the engine guarantees identical output at every setting,
+// so the serial/parallel pair measures pure scheduling speedup.
+func benchTable4AtParallelism(b *testing.B, workers int) {
+	b.Helper()
+	p := table4Params(150)
+	p.Parallelism = workers
+	var best6h float64
+	for i := 0; i < b.N; i++ {
+		res, err := expt.Table4(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best6h = res.BestDegree[0]
+	}
+	b.ReportMetric(best6h, "best_r@6h")
+}
+
+// BenchmarkTable4Serial is the pre-parallel baseline: one worker walks
+// all 45 cells sequentially.
+func BenchmarkTable4Serial(b *testing.B) { benchTable4AtParallelism(b, 1) }
+
+// BenchmarkTable4Parallel spreads the 45-cell grid across GOMAXPROCS
+// workers. Compare against BenchmarkTable4Serial; at GOMAXPROCS ≥ 4 the
+// grid speedup is expected to exceed 3x while the emitted matrix stays
+// byte-identical (see TestTable4DeterministicAcrossParallelism).
+func BenchmarkTable4Parallel(b *testing.B) { benchTable4AtParallelism(b, 0) }
+
 func BenchmarkFigure8Lines(b *testing.B) {
 	res, err := expt.Table4(table4Params(80))
 	if err != nil {
@@ -190,7 +218,7 @@ func BenchmarkFigure10Overhead(b *testing.B) {
 func BenchmarkFigure11SimplifiedModel(b *testing.B) {
 	var t1x6h float64
 	for i := 0; i < b.N; i++ {
-		_, minutes, err := expt.Figure11()
+		_, minutes, err := expt.Figure11(0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -206,7 +234,7 @@ func BenchmarkFigure12ObservedVsModeled(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	_, minutes, err := expt.Figure11()
+	_, minutes, err := expt.Figure11(0)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -5,16 +5,25 @@
 //
 //	paperbench -all                 # everything (table4 runs Monte Carlo)
 //	paperbench -exp table4 -runs 400
+//	paperbench -exp table4 -parallel 1   # force the sequential engine (same output)
 //	paperbench -exp fig13 -csv
 //	paperbench -list
+//
+// Monte-Carlo and model grids run across -parallel worker goroutines
+// (default GOMAXPROCS). Seeding is hierarchical and index-based
+// (stats.Substream), so the emitted tables are byte-identical at every
+// parallelism level. Per-experiment wall times go to stderr (-times=false
+// to silence).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/expt"
 )
@@ -32,10 +41,12 @@ type generator struct {
 }
 
 type options struct {
-	runs int
-	seed int64
-	csv  bool
-	live bool
+	runs     int
+	seed     int64
+	csv      bool
+	live     bool
+	parallel int
+	times    bool
 }
 
 func run(args []string) error {
@@ -46,13 +57,15 @@ func run(args []string) error {
 		list = fs.Bool("list", false, "list experiment ids")
 		runs = fs.Int("runs", 200, "Monte-Carlo runs per cell for table4/fig8/fig9/fig12")
 		seed = fs.Int64("seed", 1, "Monte-Carlo seed")
-		csv  = fs.Bool("csv", false, "emit CSV instead of aligned text where applicable")
-		live = fs.Bool("live", false, "run table5 live on the functional stack (slower)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text where applicable")
+		live     = fs.Bool("live", false, "run table5 live on the functional stack (slower)")
+		parallel = fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS); results are identical at every setting")
+		times    = fs.Bool("times", true, "report per-experiment wall time on stderr")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	opts := options{runs: *runs, seed: *seed, csv: *csv, live: *live}
+	opts := options{runs: *runs, seed: *seed, csv: *csv, live: *live, parallel: *parallel, times: *times}
 	gens := generators()
 
 	if *list {
@@ -72,12 +85,17 @@ func run(args []string) error {
 			ids = append(ids, id)
 		}
 		sort.Strings(ids)
+		start := time.Now()
 		for _, id := range ids {
-			out, err := gens[id].emit(opts)
+			out, err := emitTimed(id, gens[id], opts)
 			if err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}
 			fmt.Println(out)
+		}
+		if opts.times {
+			fmt.Fprintf(os.Stderr, "paperbench: all experiments in %v (parallelism %d)\n",
+				time.Since(start).Round(time.Millisecond), resolvedParallelism(opts))
 		}
 		return nil
 	}
@@ -85,16 +103,38 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("need -all, -list or -exp <id>")
 	}
-	g, ok := gens[strings.ToLower(*exp)]
+	id := strings.ToLower(*exp)
+	g, ok := gens[id]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (try -list)", *exp)
 	}
-	out, err := g.emit(opts)
+	out, err := emitTimed(id, g, opts)
 	if err != nil {
 		return err
 	}
 	fmt.Println(out)
 	return nil
+}
+
+// emitTimed runs one generator and reports its wall time on stderr, so
+// the timing report never pollutes the machine-readable stdout.
+func emitTimed(id string, g generator, opts options) (string, error) {
+	start := time.Now()
+	out, err := g.emit(opts)
+	if err != nil {
+		return "", err
+	}
+	if opts.times {
+		fmt.Fprintf(os.Stderr, "paperbench: %-8s %v\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return out, nil
+}
+
+func resolvedParallelism(opts options) int {
+	if opts.parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return opts.parallel
 }
 
 func renderTable(t *expt.Table, csv bool) string {
@@ -115,6 +155,7 @@ func table4Result(opts options) (*expt.Table4Result, error) {
 	p := expt.DefaultTable4Params()
 	p.Runs = opts.runs
 	p.Seed = opts.seed
+	p.Parallelism = opts.parallel
 	res, err := expt.Table4(p)
 	if err != nil {
 		return nil, err
@@ -190,7 +231,7 @@ func generators() map[string]generator {
 			return f.Format(), nil
 		}},
 		"fig11": {"simplified §6 model performance", func(o options) (string, error) {
-			f, _, err := expt.Figure11()
+			f, _, err := expt.Figure11(o.parallel)
 			if err != nil {
 				return "", err
 			}
@@ -201,7 +242,7 @@ func generators() map[string]generator {
 			if err != nil {
 				return "", err
 			}
-			_, mins, err := expt.Figure11()
+			_, mins, err := expt.Figure11(o.parallel)
 			if err != nil {
 				return "", err
 			}
@@ -212,20 +253,26 @@ func generators() map[string]generator {
 			return res.Figure.Format(), nil
 		}},
 		"fig13": {"weak-scaling wallclock to 30k processes + crossovers", func(o options) (string, error) {
-			res, err := expt.Scaling(expt.DefaultScalingParams(), 30000, "fig13")
+			res, err := expt.Scaling(scalingParams(o), 30000, "fig13")
 			if err != nil {
 				return "", err
 			}
 			return res.Figure.Format(), nil
 		}},
 		"fig14": {"weak-scaling wallclock to 200k processes + throughput", func(o options) (string, error) {
-			res, err := expt.Scaling(expt.DefaultScalingParams(), 200000, "fig14")
+			res, err := expt.Scaling(scalingParams(o), 200000, "fig14")
 			if err != nil {
 				return "", err
 			}
 			return res.Figure.Format(), nil
 		}},
 	}
+}
+
+func scalingParams(o options) expt.ScalingParams {
+	p := expt.DefaultScalingParams()
+	p.Parallelism = o.parallel
+	return p
 }
 
 func figureCurve(idx int) func(options) (string, error) {

@@ -243,27 +243,51 @@ func TestTable5StaticRows(t *testing.T) {
 }
 
 func TestObservedRedundantTimeInterpolation(t *testing.T) {
-	// Exact at measured degrees.
-	if got := observedRedundantTime(1); got != 46*model.Minute {
+	mustObserved := func(r float64) float64 {
+		t.Helper()
+		got, err := observedRedundantTime(r)
+		if err != nil {
+			t.Fatalf("r=%v: %v", r, err)
+		}
+		return got
+	}
+	// Exact at the measured boundaries.
+	if got := mustObserved(1); got != 46*model.Minute {
 		t.Errorf("r=1: %v", got)
 	}
-	if got := observedRedundantTime(3); got != 82*model.Minute {
+	if got := mustObserved(3); got != 82*model.Minute {
 		t.Errorf("r=3: %v", got)
 	}
 	// Interpolated between 1x (46) and 1.25x (55).
-	got := observedRedundantTime(1.125)
+	got := mustObserved(1.125)
 	want := 50.5 * model.Minute
 	if math.Abs(got-want) > 1e-9 {
 		t.Errorf("r=1.125: %v, want %v", got, want)
 	}
+	// Interpolated between 2.5x (76) and 2.75x (78).
+	got = mustObserved(2.6)
+	want = 76.8 * model.Minute
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("r=2.6: %v, want %v", got, want)
+	}
 	// Clamped beyond the sweep.
-	if got := observedRedundantTime(3.5); got != 82*model.Minute {
+	if got := mustObserved(3.5); got != 82*model.Minute {
 		t.Errorf("r=3.5: %v", got)
 	}
 }
 
+func TestObservedRedundantTimeRejectsOutOfRange(t *testing.T) {
+	// Degrees below the measured range used to fall through to silent
+	// extrapolation; they must error now.
+	for _, r := range []float64{0, 0.5, 0.999, -1, math.NaN()} {
+		if _, err := observedRedundantTime(r); err == nil {
+			t.Errorf("r=%v accepted", r)
+		}
+	}
+}
+
 func TestFigure11SimplifiedModel(t *testing.T) {
-	f, minutes, err := Figure11()
+	f, minutes, err := Figure11(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +315,7 @@ func TestFigure12Fit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, modelMinutes, err := Figure11()
+	_, modelMinutes, err := Figure11(0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -159,16 +159,20 @@ func Figures4to6() ([]FigureCurve, error) {
 
 // Figure11 evaluates the Section 6 simplified model (the one the paper
 // overlays against its measurements): completion time in minutes over the
-// degree sweep, one series per MTBF.
-func Figure11() (*Figure, [][]float64, error) {
+// degree sweep, one series per MTBF. The MTBF rows evaluate across
+// `parallelism` workers (0 = GOMAXPROCS); rows are assembled by index so
+// the figure is identical at every setting.
+func Figure11(parallelism int) (*Figure, [][]float64, error) {
 	f := &Figure{
 		ID:     "fig11",
 		Title:  "Modeled Application Performance (simplified §6 model)",
 		XLabel: "degree",
 		YLabel: "minutes",
 	}
-	minutes := make([][]float64, 0, len(MTBFHours))
-	for _, mtbf := range MTBFHours {
+	minutes := make([][]float64, len(MTBFHours))
+	series := make([]Series, len(MTBFHours))
+	err := forEach(resolveParallelism(parallelism), len(MTBFHours), func(i int) error {
+		mtbf := MTBFHours[i]
 		params := model.Params{
 			N:              128,
 			Work:           46 * model.Minute,
@@ -182,16 +186,21 @@ func Figure11() (*Figure, [][]float64, error) {
 		for _, d := range Degrees {
 			ev, err := model.EvaluateSimplified(params, d, model.Options{})
 			if err != nil {
-				return nil, nil, fmt.Errorf("fig11 θ=%v r=%v: %w", mtbf, d, err)
+				return fmt.Errorf("fig11 θ=%v r=%v: %w", mtbf, d, err)
 			}
 			mins := ev.Total / model.Minute
 			s.X = append(s.X, d)
 			s.Y = append(s.Y, mins)
 			row = append(row, mins)
 		}
-		f.Series = append(f.Series, s)
-		minutes = append(minutes, row)
+		series[i] = s
+		minutes[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
+	f.Series = series
 	f.Notes = append(f.Notes,
 		"T = t_Red·(1 + c/δ_opt + λ_sys·R); the paper's printed middle term √(2cΘ) is a typo (units)")
 	return f, minutes, nil

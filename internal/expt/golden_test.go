@@ -1,0 +1,186 @@
+package expt
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// update regenerates the golden files instead of asserting against them:
+//
+//	go test ./internal/expt -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenRuns is the small fixed Monte-Carlo sample used for the golden
+// artefacts: large enough that every cell completes, small enough that
+// the whole suite regenerates in seconds. The rendered output is a pure
+// function of (seed, runs) at every parallelism level, which is exactly
+// what this suite locks down.
+const goldenRuns = 20
+
+// goldenArtefacts renders every numbered artefact of the paper the same
+// way cmd/paperbench emits it. The Monte-Carlo results (table4 family)
+// are shared across artefacts, like paperbench -all does.
+func goldenArtefacts(t *testing.T) map[string]string {
+	t.Helper()
+	out := make(map[string]string)
+
+	out["table1"] = Table1().Format()
+
+	t2, _, err := Table2(DefaultBreakdownParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table2"] = t2.Format()
+
+	t3, _, err := Table3(DefaultBreakdownParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table3"] = t3.Format()
+
+	fig2, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fig2"] = fig2.Format()
+
+	curves, err := Figures4to6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fc := range curves {
+		out[fc.Figure.ID] = fc.Figure.Format()
+	}
+
+	p := DefaultTable4Params()
+	p.Runs = goldenRuns
+	t4, err := Table4(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["table4"] = t4.Table.Format()
+	out["fig8"] = Figure8(t4).Format()
+	out["fig9"] = Figure9(t4).Format()
+
+	t5, fig10 := Table5()
+	out["table5"] = t5.Format()
+	out["fig10"] = fig10.Format()
+
+	fig11, modelMinutes, err := Figure11(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fig11"] = fig11.Format()
+
+	fig12, err := Figure12(t4, modelMinutes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["fig12"] = fig12.Figure.Format()
+
+	for _, sc := range []struct {
+		id   string
+		maxN int
+	}{{"fig13", 30000}, {"fig14", 200000}} {
+		res, err := Scaling(DefaultScalingParams(), sc.maxN, sc.id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[sc.id] = res.Figure.Format()
+	}
+	return out
+}
+
+// goldenIDs is the fixed artefact list — every numbered table and figure
+// of the paper (fig3 and fig7 are schematic diagrams with no data).
+var goldenIDs = []string{
+	"table1", "table2", "table3", "table4", "table5",
+	"fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14",
+}
+
+func TestGoldenArtefacts(t *testing.T) {
+	arts := goldenArtefacts(t)
+	if len(arts) != len(goldenIDs) {
+		t.Fatalf("rendered %d artefacts, expected %d", len(arts), len(goldenIDs))
+	}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			got, ok := arts[id]
+			if !ok {
+				t.Fatalf("artefact %s not rendered", id)
+			}
+			path := filepath.Join("testdata", "golden", id+".txt")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test ./internal/expt -run TestGolden -update)", err)
+			}
+			if got != string(want) {
+				t.Fatalf("%s drifted from golden output.\n--- got ---\n%s\n--- want ---\n%s\n"+
+					"(if the change is intentional, regenerate with -update)", id, got, want)
+			}
+		})
+	}
+}
+
+// TestGoldenTable4StableAcrossParallelism re-renders the golden table4 at
+// explicit parallelism levels and diffs against the committed file — the
+// end-to-end proof that the parallel engine cannot drift the artefacts.
+func TestGoldenTable4StableAcrossParallelism(t *testing.T) {
+	want, err := os.ReadFile(filepath.Join("testdata", "golden", "table4.txt"))
+	if err != nil {
+		if *update {
+			t.Skip("golden files being regenerated")
+		}
+		t.Fatal(err)
+	}
+	for _, par := range []int{1, 4} {
+		p := DefaultTable4Params()
+		p.Runs = goldenRuns
+		p.Parallelism = par
+		res, err := Table4(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Table.Format(); got != string(want) {
+			t.Fatalf("parallelism %d drifted from golden table4:\n%s", par, got)
+		}
+	}
+}
+
+// TestGoldenFilesHaveNoStrays keeps testdata/golden in lockstep with the
+// artefact list: a file without a generator (or vice versa) fails.
+func TestGoldenFilesHaveNoStrays(t *testing.T) {
+	if *update {
+		t.Skip("golden files being regenerated")
+	}
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := make(map[string]bool, len(goldenIDs))
+	for _, id := range goldenIDs {
+		known[id+".txt"] = true
+	}
+	for _, e := range entries {
+		if !known[e.Name()] {
+			t.Errorf("stray golden file %s", e.Name())
+		}
+		delete(known, e.Name())
+	}
+	for name := range known {
+		t.Errorf("missing golden file %s", name)
+	}
+}

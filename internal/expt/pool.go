@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// resolveParallelism maps the shared Parallelism knob used across the
+// experiment generators onto a concrete worker count: zero (or negative)
+// means runtime.GOMAXPROCS(0), anything else is taken literally.
+func resolveParallelism(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// forEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and waits for all of them. Callers must write their results
+// into index-addressed slots so the output is independent of scheduling;
+// forEach guarantees the same for errors by reporting the lowest-index
+// failure. After any failure no new indexes are handed out (in-flight
+// calls drain). workers <= 0 means GOMAXPROCS.
+func forEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if errs[i] = fn(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

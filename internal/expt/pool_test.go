@@ -1,0 +1,143 @@
+package expt
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 3, 16, 0} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		if err := forEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := forEach(4, 0, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachReportsLowestIndexError(t *testing.T) {
+	// Indexes 3 and 7 both fail; the lowest recorded index must win
+	// regardless of worker scheduling.
+	for _, workers := range []int{1, 4} {
+		err := forEach(workers, 10, func(i int) error {
+			if i == 3 || i == 7 {
+				return fmt.Errorf("fail@%d", i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatalf("workers=%d: error swallowed", workers)
+		}
+		if err.Error() != "fail@3" {
+			t.Fatalf("workers=%d: got %q, want fail@3", workers, err)
+		}
+	}
+}
+
+func TestForEachStopsHandingOutAfterFailure(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := forEach(1, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatal(err)
+	}
+	if got := ran.Load(); got != 3 {
+		t.Fatalf("sequential path ran %d items after failure at index 2", got)
+	}
+}
+
+func TestTable4DeterministicAcrossParallelism(t *testing.T) {
+	// Same seed ⇒ byte-identical Table4Result at parallelism 1, 4, and
+	// GOMAXPROCS: cell seeds derive from the cell index and trial streams
+	// from stats.Substream, so scheduling cannot leak into the matrix.
+	base := DefaultTable4Params()
+	base.Runs = 25
+	var ref *Table4Result
+	var refText string
+	for i, par := range []int{1, 4, 0} {
+		p := base
+		p.Parallelism = par
+		res, err := Table4(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := res.Table.Format()
+		if i == 0 {
+			ref, refText = res, text
+			continue
+		}
+		if !reflect.DeepEqual(res.Minutes, ref.Minutes) ||
+			!reflect.DeepEqual(res.BestDegree, ref.BestDegree) {
+			t.Fatalf("parallelism %d: matrix diverged from sequential", par)
+		}
+		if text != refText {
+			t.Fatalf("parallelism %d: rendered table diverged:\n%s\nvs\n%s", par, text, refText)
+		}
+	}
+}
+
+func TestFigure11DeterministicAcrossParallelism(t *testing.T) {
+	fSeq, minSeq, err := Figure11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{4, 0} {
+		f, mins, err := Figure11(par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(mins, minSeq) {
+			t.Fatalf("parallelism %d: minutes diverged", par)
+		}
+		if f.Format() != fSeq.Format() {
+			t.Fatalf("parallelism %d: rendered figure diverged", par)
+		}
+	}
+}
+
+func TestScalingDeterministicAcrossParallelism(t *testing.T) {
+	seq := DefaultScalingParams()
+	seq.Parallelism = 1
+	ref, err := Scaling(seq, 30000, "fig13")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{4, 0} {
+		p := DefaultScalingParams()
+		p.Parallelism = par
+		res, err := Scaling(p, 30000, "fig13")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Crossover12 != ref.Crossover12 || res.Crossover13 != ref.Crossover13 ||
+			res.Crossover23 != ref.Crossover23 || res.TwoForOne != ref.TwoForOne {
+			t.Fatalf("parallelism %d: crossovers diverged", par)
+		}
+		if res.Figure.Format() != ref.Figure.Format() {
+			t.Fatalf("parallelism %d: rendered figure diverged", par)
+		}
+	}
+}

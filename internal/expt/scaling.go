@@ -19,6 +19,10 @@ type ScalingParams struct {
 	RestartCost    float64
 	// Degrees are the curves to plot.
 	Degrees []float64
+	// Parallelism is the worker count for the process-count grid and the
+	// crossover searches; zero means GOMAXPROCS. Results are identical at
+	// every setting.
+	Parallelism int
 }
 
 // DefaultScalingParams returns the calibrated Figure 13/14 configuration:
@@ -88,8 +92,19 @@ func Scaling(p ScalingParams, maxN int, figID string) (*ScalingResult, error) {
 	if p.Degrees == nil {
 		p.Degrees = DefaultScalingParams().Degrees
 	}
+	workers := resolveParallelism(p.Parallelism)
 	ns := logGrid(100, maxN, 8)
-	pts, err := model.WeakScalingCurve(p.modelParams(0), ns, p.Degrees, model.Options{})
+	// Each grid point is an independent model evaluation; fan them out
+	// across the pool and assemble by index.
+	pts := make([]model.ScalingPoint, len(ns))
+	err := forEach(workers, len(ns), func(i int) error {
+		out, err := model.WeakScalingCurve(p.modelParams(0), ns[i:i+1], p.Degrees, model.Options{})
+		if err != nil {
+			return err
+		}
+		pts[i] = out[0]
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -113,17 +128,34 @@ func Scaling(p ScalingParams, maxN int, figID string) (*ScalingResult, error) {
 	}
 
 	res := &ScalingResult{Figure: f}
-	searchHi := 4_000_000
-	if res.Crossover12, err = model.Crossover(p.modelParams(0), 1, 2, 2, searchHi, model.Options{}); err != nil {
-		return nil, err
+	// The four bisection searches are independent; run them concurrently.
+	const searchHi = 4_000_000
+	searches := []struct {
+		dst *int
+		run func() (int, error)
+	}{
+		{&res.Crossover12, func() (int, error) {
+			return model.Crossover(p.modelParams(0), 1, 2, 2, searchHi, model.Options{})
+		}},
+		{&res.Crossover13, func() (int, error) {
+			return model.Crossover(p.modelParams(0), 1, 3, 2, searchHi, model.Options{})
+		}},
+		{&res.Crossover23, func() (int, error) {
+			return model.Crossover(p.modelParams(0), 2, 3, 2, 40_000_000, model.Options{})
+		}},
+		{&res.TwoForOne, func() (int, error) {
+			return model.ThroughputBreakEven(p.modelParams(0), 2, 2, 2, searchHi, model.Options{})
+		}},
 	}
-	if res.Crossover13, err = model.Crossover(p.modelParams(0), 1, 3, 2, searchHi, model.Options{}); err != nil {
-		return nil, err
-	}
-	if res.Crossover23, err = model.Crossover(p.modelParams(0), 2, 3, 2, 40_000_000, model.Options{}); err != nil {
-		return nil, err
-	}
-	if res.TwoForOne, err = model.ThroughputBreakEven(p.modelParams(0), 2, 2, 2, searchHi, model.Options{}); err != nil {
+	err = forEach(workers, len(searches), func(i int) error {
+		n, err := searches[i].run()
+		if err != nil {
+			return err
+		}
+		*searches[i].dst = n
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 	f.Notes = append(f.Notes,

@@ -50,6 +50,10 @@ type Table4Params struct {
 	Runs int
 	// Seed drives the simulation.
 	Seed int64
+	// Parallelism is the worker count for the 45-cell (MTBF × degree)
+	// grid; zero means GOMAXPROCS. Cell seeds derive from the cell index,
+	// so the result is identical at every setting.
+	Parallelism int
 }
 
 // DefaultTable4Params mirrors the paper's measured constants.
@@ -76,10 +80,19 @@ type Table4Result struct {
 }
 
 // observedRedundantTime interpolates the measured dilation for degree r.
-func observedRedundantTime(r float64) float64 {
+// The measurements only cover r ∈ [1, 3]: degrees below the first
+// measured point (or NaN) are an error — redundancy degrees below 1 have
+// no meaning in the paper's model — while degrees above the last measured
+// point clamp to the 3x value (full triple redundancy is the physical
+// ceiling of the testbed).
+func observedRedundantTime(r float64) (float64, error) {
+	if math.IsNaN(r) || r < Degrees[0] {
+		return 0, fmt.Errorf("expt: degree %v outside measured range [%g, %g]",
+			r, Degrees[0], Degrees[len(Degrees)-1])
+	}
 	for i, d := range Degrees {
 		if math.Abs(d-r) < 1e-9 {
-			return PaperObservedRedundantMinutes[i] * model.Minute
+			return PaperObservedRedundantMinutes[i] * model.Minute, nil
 		}
 	}
 	// Linear interpolation between surrounding measured degrees.
@@ -88,10 +101,10 @@ func observedRedundantTime(r float64) float64 {
 			frac := (r - Degrees[i-1]) / (Degrees[i] - Degrees[i-1])
 			mins := PaperObservedRedundantMinutes[i-1] +
 				frac*(PaperObservedRedundantMinutes[i]-PaperObservedRedundantMinutes[i-1])
-			return mins * model.Minute
+			return mins * model.Minute, nil
 		}
 	}
-	return PaperObservedRedundantMinutes[len(Degrees)-1] * model.Minute
+	return PaperObservedRedundantMinutes[len(Degrees)-1] * model.Minute, nil
 }
 
 // Table4 runs the Monte-Carlo reproduction of the paper's cluster
@@ -115,30 +128,50 @@ func Table4(p Table4Params) (*Table4Result, error) {
 			}()...),
 		},
 	}
-	seed := p.Seed
-	for _, mtbf := range MTBFHours {
+	// The 45-cell grid runs across the worker pool. Each cell's seed is
+	// p.Seed + 1 + its row-major index — the same mapping the sequential
+	// loop used — and each cell runs its trials on one worker (the grid
+	// itself saturates the pool), so the matrix is bit-identical at every
+	// parallelism level.
+	nCells := len(MTBFHours) * len(Degrees)
+	estimates := make([]sim.Estimate, nCells)
+	err := forEach(resolveParallelism(p.Parallelism), nCells, func(k int) error {
+		i, j := k/len(Degrees), k%len(Degrees)
+		mtbf, degree := MTBFHours[i], Degrees[j]
+		cfg := sim.Config{
+			N:              p.N,
+			Degree:         degree,
+			Work:           p.WorkMinutes * model.Minute,
+			Alpha:          p.Alpha,
+			NodeMTBF:       mtbf * model.Hour,
+			CheckpointCost: p.CheckpointCost,
+			RestartCost:    p.RestartCost,
+			Parallelism:    1,
+		}
+		if p.UseObservedOverhead {
+			rt, err := observedRedundantTime(degree)
+			if err != nil {
+				return fmt.Errorf("table4 θ=%vh r=%v: %w", mtbf, degree, err)
+			}
+			cfg.RedundantTime = rt
+		}
+		est, err := sim.Run(cfg, p.Runs, p.Seed+1+int64(k))
+		if err != nil {
+			return fmt.Errorf("table4 θ=%vh r=%v: %w", mtbf, degree, err)
+		}
+		estimates[k] = est
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, mtbf := range MTBFHours {
 		row := make([]float64, len(Degrees))
 		cells := []string{fmt.Sprintf("%.0f hrs", mtbf)}
 		best := math.Inf(1)
 		bestDeg := 1.0
 		for j, degree := range Degrees {
-			cfg := sim.Config{
-				N:              p.N,
-				Degree:         degree,
-				Work:           p.WorkMinutes * model.Minute,
-				Alpha:          p.Alpha,
-				NodeMTBF:       mtbf * model.Hour,
-				CheckpointCost: p.CheckpointCost,
-				RestartCost:    p.RestartCost,
-			}
-			if p.UseObservedOverhead {
-				cfg.RedundantTime = observedRedundantTime(degree)
-			}
-			seed++
-			est, err := sim.Run(cfg, p.Runs, seed)
-			if err != nil {
-				return nil, fmt.Errorf("table4 θ=%vh r=%v: %w", mtbf, degree, err)
-			}
+			est := estimates[i*len(Degrees)+j]
 			row[j] = est.Total.Mean / model.Minute
 			cells = append(cells, formatMinutes(est.Total.Mean))
 			if est.Total.Mean < best {

@@ -19,6 +19,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/stats"
@@ -61,6 +64,12 @@ type Config struct {
 	// MaxTime aborts a run whose simulated clock exceeds this bound
 	// (seconds); zero means 10000× the work, a generous progress bound.
 	MaxTime float64
+	// Parallelism is the number of worker goroutines Run spreads its
+	// trials across; zero means runtime.GOMAXPROCS(0), one forces the
+	// sequential path. Results are bit-identical at every setting: trial
+	// i always draws from stats.Substream(seed, i) and the reduction
+	// walks trials in index order.
+	Parallelism int
 }
 
 // Validate checks the configuration.
@@ -80,6 +89,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("sim: CheckpointCost = %v", cfg.CheckpointCost)
 	case cfg.RestartCost < 0:
 		return fmt.Errorf("sim: RestartCost = %v", cfg.RestartCost)
+	case cfg.Parallelism < 0:
+		return fmt.Errorf("sim: Parallelism = %d", cfg.Parallelism)
 	}
 	return nil
 }
@@ -310,29 +321,74 @@ type Estimate struct {
 }
 
 // Run performs `runs` independent simulations seeded from seed and
-// aggregates them.
+// aggregates them. Trials execute across cfg.Parallelism worker
+// goroutines (default GOMAXPROCS); trial i always draws from
+// stats.Substream(seed, i), so the estimate is bit-identical at every
+// parallelism level and across run-to-run scheduling.
 func Run(cfg Config, runs int, seed int64) (Estimate, error) {
 	if runs <= 0 {
 		return Estimate{}, fmt.Errorf("sim: runs = %d", runs)
 	}
-	stream := stats.NewStream(seed)
-	totals := make([]float64, 0, runs)
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > runs {
+		workers = runs
+	}
+	results := make([]RunResult, runs)
+	errs := make([]error, runs)
+	if workers == 1 {
+		for i := 0; i < runs; i++ {
+			if results[i], errs[i] = Simulate(cfg, stats.Substream(seed, i)); errs[i] != nil {
+				break
+			}
+		}
+	} else {
+		// Workers claim trial indexes from a shared counter; each trial's
+		// stream and result slot depend only on its index, never on which
+		// worker runs it. A failed trial stops the hand-out (in-flight
+		// trials drain) and the lowest-index error is reported.
+		var next atomic.Int64
+		var failed atomic.Bool
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= runs || failed.Load() {
+						return
+					}
+					if results[i], errs[i] = Simulate(cfg, stats.Substream(seed, i)); errs[i] != nil {
+						failed.Store(true)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	est := Estimate{Runs: runs}
-	var failures, ckpts, lost float64
-	for i := 0; i < runs; i++ {
-		res, err := Simulate(cfg, stream.Split())
+	for i, err := range errs {
 		if err != nil {
 			return est, fmt.Errorf("run %d: %w", i, err)
 		}
-		totals = append(totals, res.Total)
-		failures += float64(res.Failures)
-		ckpts += float64(res.Checkpoints)
-		lost += res.LostWork
-		est.Interval = res.Interval
 	}
+	// Deterministic reduction: fold per-trial statistics in trial order
+	// with compensated summation, independent of the worker count.
+	totals := make([]float64, runs)
+	var failures, ckpts, lost stats.Accumulator
+	for i, res := range results {
+		totals[i] = res.Total
+		failures.Add(float64(res.Failures))
+		ckpts.Add(float64(res.Checkpoints))
+		lost.Add(res.LostWork)
+	}
+	est.Interval = results[0].Interval
 	est.Total = stats.Summarize(totals)
-	est.MeanFailures = failures / float64(runs)
-	est.MeanCheckpoints = ckpts / float64(runs)
-	est.MeanLostWork = lost / float64(runs)
+	est.MeanFailures = failures.Sum() / float64(runs)
+	est.MeanCheckpoints = ckpts.Sum() / float64(runs)
+	est.MeanLostWork = lost.Sum() / float64(runs)
 	return est, nil
 }

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"fmt"
 	"math"
+	"reflect"
+	"sync"
 	"testing"
 
 	"repro/internal/model"
@@ -102,6 +105,115 @@ func TestReproducibleWithSeed(t *testing.T) {
 	}
 	if a.Total.Mean != b.Total.Mean || a.MeanFailures != b.MeanFailures {
 		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunDeterministicAcrossParallelism(t *testing.T) {
+	// The tentpole guarantee: same seed ⇒ byte-identical Estimate at
+	// parallelism 1, 4, and GOMAXPROCS. The worker pool hands trials out
+	// through an atomic counter, so scheduling differs run to run; only
+	// the Substream derivation plus the index-ordered reduction keep the
+	// output bit-stable.
+	base := paperConfig(6, 2)
+	var ref Estimate
+	for i, par := range []int{1, 4, 0} {
+		cfg := base
+		cfg.Parallelism = par
+		est, err := Run(cfg, 64, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = est
+			continue
+		}
+		if !reflect.DeepEqual(est, ref) {
+			t.Fatalf("parallelism %d diverged from sequential:\n%+v\nvs\n%+v", par, est, ref)
+		}
+	}
+}
+
+func TestRunMatchesSequentialSubstreamLoop(t *testing.T) {
+	// Guards the Split() → Substream migration: Run at any parallelism
+	// is exactly `runs` independent Simulate calls on Substream(seed, i)
+	// reduced in index order — verified here against a hand-rolled
+	// sequential loop.
+	cfg := paperConfig(12, 2)
+	const runs, seed = 40, 9
+	est, err := Run(cfg, runs, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := make([]float64, runs)
+	var failures, ckpts, lost stats.Accumulator
+	var interval float64
+	for i := 0; i < runs; i++ {
+		res, err := Simulate(cfg, stats.Substream(seed, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		totals[i] = res.Total
+		failures.Add(float64(res.Failures))
+		ckpts.Add(float64(res.Checkpoints))
+		lost.Add(res.LostWork)
+		if i == 0 {
+			interval = res.Interval
+		}
+	}
+	want := Estimate{
+		Runs:            runs,
+		Total:           stats.Summarize(totals),
+		MeanFailures:    failures.Sum() / runs,
+		MeanCheckpoints: ckpts.Sum() / runs,
+		MeanLostWork:    lost.Sum() / runs,
+		Interval:        interval,
+	}
+	if !reflect.DeepEqual(est, want) {
+		t.Fatalf("Run diverged from the sequential Substream loop:\n%+v\nvs\n%+v", est, want)
+	}
+}
+
+func TestRunParallelStress(t *testing.T) {
+	// Exercise the worker pool hard under the race detector: many
+	// concurrent Run invocations, each fanning out its own workers, all
+	// of which must agree with the sequential reference.
+	cfg := paperConfig(6, 1.75)
+	cfg.Parallelism = 1
+	ref, err := Run(cfg, 50, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := 0; g < len(errs); g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := cfg
+			c.Parallelism = 1 + g%5
+			est, err := Run(c, 50, 21)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if !reflect.DeepEqual(est, ref) {
+				errs[g] = fmt.Errorf("goroutine %d (parallelism %d) diverged", g, c.Parallelism)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestRunRejectsNegativeParallelism(t *testing.T) {
+	cfg := paperConfig(6, 2)
+	cfg.Parallelism = -1
+	if _, err := Run(cfg, 4, 1); err == nil {
+		t.Fatal("negative parallelism accepted")
 	}
 }
 

@@ -28,8 +28,39 @@ func NewStream(seed int64) *Stream {
 // distinct parent draws are statistically independent for our purposes and
 // keep per-component reproducibility even when components draw in
 // nondeterministic interleavings.
+//
+// Split is order-dependent: the k-th child depends on every draw the
+// parent made before it, so it only yields reproducible child streams
+// when the split points themselves are sequenced deterministically. At
+// fan-out points where work is distributed across goroutines, use
+// Substream instead — it derives the child purely from (seed, index).
 func (s *Stream) Split() *Stream {
 	return NewStream(s.rng.Int63())
+}
+
+// Substream returns the index-th child stream of a root seed. The
+// derivation is a pure function of (seed, index) — a SplitMix64 step and
+// finalizer — so trial i receives the same stream no matter which worker
+// claims it or in what order trials are scheduled. This is what makes the
+// parallel Monte-Carlo engine bit-reproducible at any parallelism level.
+func Substream(seed int64, index int) *Stream {
+	return NewStream(SubstreamSeed(seed, index))
+}
+
+// SubstreamSeed derives the index-th child seed of a root seed using the
+// SplitMix64 generator: the child seed is the output of the (index+1)-th
+// SplitMix64 step starting from the root state. The golden-ratio
+// increment guarantees distinct states for distinct indexes and the
+// finalizer decorrelates adjacent ones. index must be non-negative.
+func SubstreamSeed(seed int64, index int) int64 {
+	if index < 0 {
+		panic(fmt.Sprintf("stats: substream index must be non-negative, got %d", index))
+	}
+	x := uint64(seed) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
 }
 
 // Float64 returns a uniform draw in [0, 1).

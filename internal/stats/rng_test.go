@@ -39,6 +39,106 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestSubstreamPureInSeedAndIndex(t *testing.T) {
+	// Substream is a pure function of (seed, index): deriving children in
+	// any order, or repeatedly, yields identical streams.
+	for _, idx := range []int{3, 0, 7, 3} {
+		a := Substream(42, idx)
+		b := Substream(42, idx)
+		for d := 0; d < 100; d++ {
+			if got, want := a.Float64(), b.Float64(); got != want {
+				t.Fatalf("index %d draw %d: %v vs %v", idx, d, got, want)
+			}
+		}
+	}
+}
+
+func TestSubstreamSiblingsDiverge(t *testing.T) {
+	// Adjacent indexes and adjacent seeds must yield decorrelated
+	// streams — the SplitMix64 finalizer's job.
+	pairs := [][2]*Stream{
+		{Substream(1, 0), Substream(1, 1)},
+		{Substream(1, 5), Substream(2, 5)},
+		{Substream(0, 0), Substream(0, 1)},
+	}
+	for i, p := range pairs {
+		same := 0
+		for d := 0; d < 100; d++ {
+			if p[0].Float64() == p[1].Float64() {
+				same++
+			}
+		}
+		if same > 5 {
+			t.Fatalf("pair %d: %d/100 equal draws", i, same)
+		}
+	}
+}
+
+func TestSubstreamSeedNoCollisions(t *testing.T) {
+	seen := make(map[int64]bool, 40000)
+	for _, seed := range []int64{0, 1, -1, 1 << 40} {
+		for idx := 0; idx < 10000; idx++ {
+			s := SubstreamSeed(seed, idx)
+			if seen[s] {
+				t.Fatalf("collision at seed=%d index=%d", seed, idx)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestSubstreamSeedNegativeIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubstreamSeed(1, -1) did not panic")
+		}
+	}()
+	SubstreamSeed(1, -1)
+}
+
+func TestSubstreamUniformAcrossIndexes(t *testing.T) {
+	// First draws across many substreams of one seed behave like uniform
+	// [0,1) samples — the cross-stream independence the Monte-Carlo
+	// engine relies on.
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += Substream(99, i).Float64()
+	}
+	if got := sum / n; RelativeError(got, 0.5) > 0.02 {
+		t.Fatalf("mean of first draws = %v, want ≈ 0.5", got)
+	}
+}
+
+func TestAccumulatorMatchesSum(t *testing.T) {
+	// The incremental Accumulator must agree bit-for-bit with the batch
+	// Sum — sim.Run's parallel reduction relies on this equivalence.
+	s := NewStream(13)
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = s.Exp(3600)
+	}
+	var a Accumulator
+	for _, x := range xs {
+		a.Add(x)
+	}
+	if got, want := a.Sum(), Sum(xs); got != want {
+		t.Fatalf("Accumulator %v vs Sum %v", got, want)
+	}
+}
+
+func TestAccumulatorCompensates(t *testing.T) {
+	// 10^6 additions of 0.1: the compensated sum stays within a few ulps
+	// of the true value where naive accumulation drifts.
+	var a Accumulator
+	for i := 0; i < 1_000_000; i++ {
+		a.Add(0.1)
+	}
+	if math.Abs(a.Sum()-100000) > 1e-9 {
+		t.Fatalf("compensated sum = %.12f, want 100000", a.Sum())
+	}
+}
+
 func TestExpMean(t *testing.T) {
 	s := NewStream(123)
 	const mean = 3.5

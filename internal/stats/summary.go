@@ -55,6 +55,20 @@ func (k *kahan) add(x float64) {
 	k.sum = t
 }
 
+// Accumulator is a compensated (Kahan) summation accumulator for callers
+// that reduce large samples incrementally — e.g. the parallel Monte-Carlo
+// engine folding per-trial statistics in trial order. The zero value is
+// ready to use.
+type Accumulator struct {
+	k kahan
+}
+
+// Add folds x into the accumulator.
+func (a *Accumulator) Add(x float64) { a.k.add(x) }
+
+// Sum returns the compensated running sum.
+func (a *Accumulator) Sum() float64 { return a.k.sum }
+
 // Sum returns the compensated (Kahan) sum of xs.
 func Sum(xs []float64) float64 {
 	var k kahan
