@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -47,6 +49,9 @@ type options struct {
 	live     bool
 	parallel int
 	times    bool
+	// reg accumulates per-experiment wall times (expt_wall_ms_<id>
+	// gauges) alongside the -times stderr report; nil disables.
+	reg *obs.Registry
 }
 
 func run(args []string) error {
@@ -61,11 +66,41 @@ func run(args []string) error {
 		live     = fs.Bool("live", false, "run table5 live on the functional stack (slower)")
 		parallel = fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS); results are identical at every setting")
 		times    = fs.Bool("times", true, "report per-experiment wall time on stderr")
+		metricsF = fs.String("metrics", "", "write a metrics snapshot (per-experiment wall times) as JSON to this file")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this address while experiments run")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	opts := options{runs: *runs, seed: *seed, csv: *csv, live: *live, parallel: *parallel, times: *times}
+	if *metricsF != "" {
+		opts.reg = obs.NewRegistry()
+		defer func() {
+			data, err := json.MarshalIndent(opts.reg.Snapshot(), "", "  ")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: metrics:", err)
+				return
+			}
+			if err := os.WriteFile(*metricsF, append(data, '\n'), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: metrics:", err)
+			}
+		}()
+	}
+	if *pprofA != "" || *cpuProf != "" || *memProf != "" {
+		stop, err := obs.StartProfiling(obs.ProfileConfig{
+			Addr: *pprofA, CPUFile: *cpuProf, HeapFile: *memProf,
+		})
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := stop(); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench: profiling:", err)
+			}
+		}()
+	}
 	gens := generators()
 
 	if *list {
@@ -117,15 +152,18 @@ func run(args []string) error {
 }
 
 // emitTimed runs one generator and reports its wall time on stderr, so
-// the timing report never pollutes the machine-readable stdout.
+// the timing report never pollutes the machine-readable stdout. The same
+// wall time lands in the metrics snapshot as an expt_wall_ms_<id> gauge.
 func emitTimed(id string, g generator, opts options) (string, error) {
 	start := time.Now()
 	out, err := g.emit(opts)
 	if err != nil {
 		return "", err
 	}
+	elapsed := time.Since(start)
+	opts.reg.Gauge("expt_wall_ms_" + id).Set(elapsed.Milliseconds())
 	if opts.times {
-		fmt.Fprintf(os.Stderr, "paperbench: %-8s %v\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "paperbench: %-8s %v\n", id, elapsed.Round(time.Millisecond))
 	}
 	return out, nil
 }

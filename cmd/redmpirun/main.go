@@ -11,14 +11,19 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/apps"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 )
 
@@ -46,6 +51,17 @@ func run(args []string) error {
 		compute  = fs.Duration("compute", time.Millisecond, "emulated per-step compute time")
 		sendLat  = fs.Duration("send-latency", 0, "emulated per-message wire latency")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-attempt watchdog")
+		compress = fs.Bool("compress", false, "DEFLATE-compress checkpoint images")
+
+		kill     = fs.String("kill", "", "deterministic kill list rank[@offset],... (e.g. 2@0s,3@50ms); replaces -mtbf draws")
+		killOnce = fs.Bool("kill-once", false, "apply -kill to the first attempt only (forces exactly one restart cycle)")
+		corrupt  = fs.String("corrupt", "", "physical ranks injecting silent data corruption, comma-separated")
+
+		metricsF = fs.String("metrics", "", "write the job metrics snapshot as JSON to this file and print the rendered table")
+		traceF   = fs.String("trace", "", "write the structured event trace as JSONL to this file")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +81,47 @@ func run(args []string) error {
 		AttemptTimeout: *timeout,
 		ComputeDelay:   *compute,
 		SendDelay:      *sendLat,
+		ScheduleOnce:   *killOnce,
+	}
+	if *kill != "" {
+		schedule, err := parseKillList(*kill)
+		if err != nil {
+			return err
+		}
+		cfg.FailureSchedule = schedule
+	}
+	if *corrupt != "" {
+		ranks, err := parseRankList(*corrupt)
+		if err != nil {
+			return err
+		}
+		cfg.CorruptRanks = ranks
+	}
+
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	var tracer *obs.Tracer
+	var traceFile *os.File
+	if *traceF != "" {
+		traceFile, err = os.Create(*traceF)
+		if err != nil {
+			return err
+		}
+		tracer = obs.NewTracer(traceFile)
+		cfg.Tracer = tracer
+	}
+	if *pprofA != "" || *cpuProf != "" || *memProf != "" {
+		stop, perr := obs.StartProfiling(obs.ProfileConfig{
+			Addr: *pprofA, CPUFile: *cpuProf, HeapFile: *memProf,
+		})
+		if perr != nil {
+			return perr
+		}
+		defer func() {
+			if serr := stop(); serr != nil {
+				fmt.Fprintln(os.Stderr, "redmpirun: profiling:", serr)
+			}
+		}()
 	}
 	switch *mode {
 	case "all":
@@ -81,6 +138,13 @@ func run(args []string) error {
 		}
 		cfg.Storage = store
 	}
+	if *compress {
+		inner := cfg.Storage
+		if inner == nil {
+			inner = checkpoint.NewMemStorage()
+		}
+		cfg.Storage = &checkpoint.CompressedStorage{Inner: inner, Obs: reg}
+	}
 
 	fmt.Printf("launching %s: N=%d r=%g (%d physical ranks under Eq. 8)\n",
 		*appName, *np, *degree, mustPhysical(*np, *degree))
@@ -96,6 +160,20 @@ func run(args []string) error {
 	fmt.Printf("redundancy layer: %d physical sends, %d deliveries, %d mismatches, %d corrections\n",
 		res.Redundancy.PhysicalSends, res.Redundancy.Deliveries,
 		res.Redundancy.Mismatches, res.Redundancy.Corrections)
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			return err
+		}
+	}
+	if *metricsF != "" {
+		if err := writeMetrics(*metricsF, res.Metrics); err != nil {
+			return err
+		}
+		fmt.Print(res.Metrics.Format())
+	}
 	if runErr != nil {
 		return runErr
 	}
@@ -103,6 +181,62 @@ func run(args []string) error {
 		fmt.Println("result:", describe(res.CompletedApps[0]))
 	}
 	return nil
+}
+
+// writeMetrics serialises the snapshot as indented JSON.
+func writeMetrics(path string, snap obs.Snapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// parseKillList parses "rank[@offset],..." into a deterministic kill
+// schedule; a bare rank kills at t=0.
+func parseKillList(spec string) ([]failure.Kill, error) {
+	var out []failure.Kill
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rankStr, afterStr, hasAt := strings.Cut(part, "@")
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kill entry %q: %w", part, err)
+		}
+		k := failure.Kill{Rank: rank}
+		if hasAt {
+			after, err := time.ParseDuration(afterStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad -kill offset %q: %w", part, err)
+			}
+			k.After = after
+		}
+		out = append(out, k)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -kill list %q", spec)
+	}
+	return out, nil
+}
+
+// parseRankList parses a comma-separated physical rank list.
+func parseRankList(spec string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rank, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -corrupt entry %q: %w", part, err)
+		}
+		out = append(out, rank)
+	}
+	return out, nil
 }
 
 func mustPhysical(n int, degree float64) int {

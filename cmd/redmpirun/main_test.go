@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// TestGoldenMetricsSnapshot locks down the metrics snapshot of a small
+// fixed-seed job that exercises every subsystem: a deterministic
+// first-attempt sphere kill forces one restart, and one corrupt replica
+// forces mismatch voting. Every run of this command line must produce
+// exactly these counters.
+func TestGoldenMetricsSnapshot(t *testing.T) {
+	metricsPath := filepath.Join(t.TempDir(), "metrics.json")
+	args := []string{
+		"-app", "cg", "-np", "4", "-r", "2",
+		"-grid", "6", "-iters", "30",
+		"-interval", "10", "-compute", "2ms",
+		"-max-restarts", "3",
+		"-kill", "2,3", "-kill-once",
+		"-corrupt", "5",
+		"-metrics", metricsPath,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+
+	// Spot-check the acceptance counters before golden comparison, so a
+	// stale golden file cannot mask a dead counter.
+	for _, name := range []string{
+		"simmpi_sends_total", "redundancy_votes_total",
+		"redundancy_mismatches_total", "checkpoint_committed_total",
+		"runner_restarts_total", "failure_kills_total",
+	} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("%s = 0, want nonzero", name)
+		}
+	}
+
+	// Wall-time derived counters are the only nondeterministic ones;
+	// everything else must be byte-identical run to run.
+	got := snap.FilterCounters(func(name string) bool {
+		return !strings.Contains(name, "_ms")
+	}).Format()
+
+	path := filepath.Join("testdata", "golden", "metrics.txt")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with: go test ./cmd/redmpirun -run TestGolden -update)", err)
+	}
+	if got != string(want) {
+		t.Errorf("metrics snapshot drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTraceOutputParsesAndIsOrdered checks the JSONL trace file: every
+// line is a JSON event, and events are sorted by (rank, seq).
+func TestTraceOutputParsesAndIsOrdered(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "trace.jsonl")
+	args := []string{
+		"-app", "cg", "-np", "4", "-r", "2",
+		"-grid", "6", "-iters", "30",
+		"-interval", "10", "-compute", "2ms",
+		"-max-restarts", "3",
+		"-kill", "2,3", "-kill-once",
+		"-trace", tracePath,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace has %d events, want at least attempt/kill/commit activity", len(lines))
+	}
+	var events []obs.Event
+	for i, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line %d is not JSON: %v", i, err)
+		}
+		events = append(events, ev)
+	}
+	kinds := map[string]bool{}
+	for i, ev := range events {
+		kinds[ev.Kind] = true
+		if i == 0 {
+			continue
+		}
+		prev := events[i-1]
+		if ev.Rank < prev.Rank || (ev.Rank == prev.Rank && ev.Seq <= prev.Seq) {
+			t.Errorf("events out of order at line %d: %+v after %+v", i, ev, prev)
+		}
+	}
+	for _, want := range []string{"attempt_start", "attempt_end", "kill", "ckpt_commit", "run_end"} {
+		if !kinds[want] {
+			t.Errorf("trace missing %q events (saw %v)", want, kinds)
+		}
+	}
+}
+
+func TestParseKillList(t *testing.T) {
+	kills, err := parseKillList("2@0s, 3@50ms,7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kills) != 3 || kills[0].Rank != 2 || kills[1].After.Milliseconds() != 50 || kills[2].Rank != 7 {
+		t.Fatalf("parsed %+v", kills)
+	}
+	for _, bad := range []string{"", "x", "2@", "2@x"} {
+		if _, err := parseKillList(bad); err == nil {
+			t.Errorf("parseKillList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMainSmokeAllApps(t *testing.T) {
+	for _, app := range []string{"cg", "stencil", "taskfarm"} {
+		app := app
+		t.Run(app, func(t *testing.T) {
+			args := []string{"-app", app, "-np", "2", "-r", "1", "-iters", "4", "-grid", "4", "-compute", "0s"}
+			if err := run(args); err != nil {
+				t.Fatalf("%s: %v", app, err)
+			}
+		})
+	}
+}
+
+func Example_metricsShape() {
+	// Document the snapshot JSON shape the -metrics flag emits.
+	reg := obs.NewRegistry()
+	reg.Counter("simmpi_sends_total").Add(3)
+	data, _ := json.Marshal(reg.Snapshot())
+	fmt.Println(string(data))
+	// Output: {"counters":[{"name":"simmpi_sends_total","value":3}]}
+}

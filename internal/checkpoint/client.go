@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // ErrNotQuiescent reports that the bookmark exchange found in-flight
@@ -31,6 +32,14 @@ type Config struct {
 	// BookmarkRetries is how many barrier-separated re-reads of the
 	// totals to attempt before declaring ErrNotQuiescent. Defaults to 3.
 	BookmarkRetries int
+	// Obs, when non-nil, receives the protocol's counters (snapshots
+	// attempted/committed, bytes written, bookmark retries, quiescence
+	// failures, restores). Clients of one job should share a registry.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives commit/restore/retry events. Only
+	// the writer replica of each rank emits, so each virtual rank owns
+	// one deterministic event stream.
+	Trace *obs.Tracer
 }
 
 // Client coordinates snapshots and restores for one rank (or one replica
@@ -44,6 +53,19 @@ type Client struct {
 	// Stats.
 	checkpoints int
 	restores    int
+
+	met clientMetrics
+}
+
+// clientMetrics holds the protocol's registry instruments (nil and
+// therefore no-ops when Config.Obs is nil).
+type clientMetrics struct {
+	attempted    *obs.Counter
+	committed    *obs.Counter
+	bytesWritten *obs.Counter
+	retries      *obs.Counter
+	notQuiescent *obs.Counter
+	restores     *obs.Counter
 }
 
 // NewClient creates a checkpoint client over the given communicator.
@@ -54,7 +76,16 @@ func NewClient(comm mpi.Comm, cfg Config) (*Client, error) {
 	if cfg.BookmarkRetries <= 0 {
 		cfg.BookmarkRetries = 3
 	}
-	return &Client{comm: comm, cfg: cfg}, nil
+	cl := &Client{comm: comm, cfg: cfg}
+	cl.met = clientMetrics{
+		attempted:    cfg.Obs.Counter("checkpoint_attempted_total"),
+		committed:    cfg.Obs.Counter("checkpoint_committed_total"),
+		bytesWritten: cfg.Obs.Counter("checkpoint_bytes_written_total"),
+		retries:      cfg.Obs.Counter("checkpoint_bookmark_retries_total"),
+		notQuiescent: cfg.Obs.Counter("checkpoint_not_quiescent_total"),
+		restores:     cfg.Obs.Counter("checkpoint_restores_total"),
+	}
+	return cl, nil
 }
 
 // Checkpoints returns how many snapshots this client has completed.
@@ -93,11 +124,19 @@ func (cl *Client) MaybeCheckpoint(step int, state []byte, writer bool) (bool, er
 // The generation number is agreed by broadcasting rank 0's view, so
 // clients that joined after a restart stay aligned.
 func (cl *Client) Checkpoint(state []byte, writer bool) error {
+	// Job-level counters are bumped by the writer replica of rank 0
+	// only: the protocol is collective, so every rank (and under
+	// redundancy, every replica) runs this code, and counting on one
+	// deterministic participant keeps "attempted == generations tried".
+	lead := writer && cl.comm.Rank() == 0
+	if lead {
+		cl.met.attempted.Inc()
+	}
 	if err := mpi.Barrier(cl.comm); err != nil {
 		return fmt.Errorf("checkpoint barrier: %w", err)
 	}
 	if !cl.cfg.SkipBookmark {
-		if err := cl.bookmarkExchange(); err != nil {
+		if err := cl.bookmarkExchange(lead); err != nil {
 			return err
 		}
 	}
@@ -110,6 +149,7 @@ func (cl *Client) Checkpoint(state []byte, writer bool) error {
 		if err := cl.cfg.Storage.Write(gen, cl.comm.Rank(), state); err != nil {
 			return fmt.Errorf("checkpoint write: %w", err)
 		}
+		cl.met.bytesWritten.Add(uint64(len(state)))
 	}
 	if err := mpi.Barrier(cl.comm); err != nil {
 		return fmt.Errorf("checkpoint commit barrier: %w", err)
@@ -117,6 +157,12 @@ func (cl *Client) Checkpoint(state []byte, writer bool) error {
 	if cl.comm.Rank() == 0 {
 		if err := cl.cfg.Storage.Commit(gen, cl.comm.Size()); err != nil {
 			return fmt.Errorf("checkpoint commit: %w", err)
+		}
+		if lead {
+			cl.met.committed.Inc()
+			cl.cfg.Trace.Emit("ckpt_commit", 0, -1, int(gen), map[string]any{
+				"ranks": cl.comm.Size(),
+			})
 		}
 	}
 	// Final barrier so no rank races ahead and checkpoints generation
@@ -153,13 +199,20 @@ func (cl *Client) agreeGeneration() (uint64, error) {
 }
 
 // bookmarkExchange verifies channel quiescence from message totals.
-func (cl *Client) bookmarkExchange() error {
+// lead marks the single replica that owns the job-level counters.
+func (cl *Client) bookmarkExchange(lead bool) error {
 	tracker, ok := cl.comm.(mpi.CountTracker)
 	if !ok {
 		return nil // transport does not expose totals; trust the caller
 	}
 	n := cl.comm.Size()
 	for attempt := 0; attempt < cl.cfg.BookmarkRetries; attempt++ {
+		if attempt > 0 && lead {
+			cl.met.retries.Inc()
+			cl.cfg.Trace.Emit("bookmark_retry", 0, -1, int(cl.gen), map[string]any{
+				"attempt": attempt,
+			})
+		}
 		// Snapshot both counters before exchanging anything, then ship
 		// them in a single allgather: the exchange's own traffic must not
 		// appear in one counter but not the other.
@@ -188,6 +241,9 @@ func (cl *Client) bookmarkExchange() error {
 		if err := mpi.Barrier(cl.comm); err != nil {
 			return fmt.Errorf("bookmark retry barrier: %w", err)
 		}
+	}
+	if lead {
+		cl.met.notQuiescent.Inc()
 	}
 	return ErrNotQuiescent
 }
@@ -247,6 +303,12 @@ func (cl *Client) Restore() (state []byte, ok bool, err error) {
 	}
 	cl.gen = gen + 1
 	cl.restores++
+	// Counted per process: under redundancy every replica restores, so
+	// the total is physical-rank restores, not virtual-rank restores.
+	cl.met.restores.Inc()
+	cl.cfg.Trace.Emit("restore", cl.comm.Rank(), -1, int(gen), map[string]any{
+		"bytes": len(state),
+	})
 	return state, true, nil
 }
 

@@ -5,6 +5,8 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // CompressedStorage wraps a Storage and DEFLATE-compresses rank images on
@@ -17,6 +19,10 @@ type CompressedStorage struct {
 	Inner Storage
 	// Level is the flate level; zero means flate.DefaultCompression.
 	Level int
+	// Obs, when non-nil, accumulates checkpoint_raw_bytes_total and
+	// checkpoint_compressed_bytes_total; their ratio is the achieved
+	// compression ratio. Writes are rare, so counters resolve lazily.
+	Obs *obs.Registry
 }
 
 var _ Storage = (*CompressedStorage)(nil)
@@ -43,6 +49,8 @@ func (s *CompressedStorage) Write(gen uint64, rank int, state []byte) error {
 	if err := w.Close(); err != nil {
 		return fmt.Errorf("checkpoint: compressing: %w", err)
 	}
+	s.Obs.Counter("checkpoint_raw_bytes_total").Add(uint64(len(state)))
+	s.Obs.Counter("checkpoint_compressed_bytes_total").Add(uint64(buf.Len()))
 	return s.Inner.Write(gen, rank, buf.Bytes())
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/checkpoint"
 	"repro/internal/failure"
+	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/simmpi"
 	"repro/internal/stats"
@@ -47,6 +48,10 @@ type Config struct {
 	// FailureSchedule, when non-nil, injects exactly these kills per
 	// attempt instead of random ones.
 	FailureSchedule []failure.Kill
+	// ScheduleOnce applies FailureSchedule to the first attempt only, so
+	// a deterministic kill list can force exactly one restart cycle
+	// (golden metrics jobs, worked EXPERIMENTS examples).
+	ScheduleOnce bool
 	// Seed drives the failure draws (each attempt splits a fresh child
 	// stream, so attempts see independent failure patterns).
 	Seed int64
@@ -63,6 +68,24 @@ type Config struct {
 	SendDelay time.Duration
 	// ComputeDelay emulates per-step computation time.
 	ComputeDelay time.Duration
+
+	// CorruptRanks lists physical ranks whose replicas inject silent
+	// data corruption into every message payload they send (exercises
+	// the mismatch/vote counters; see redundancy.Options.Corrupt).
+	CorruptRanks []int
+
+	// Obs, when non-nil, is the job-level telemetry registry; the run
+	// creates a private one otherwise, so Result.Metrics is always
+	// populated. Communication counters (simmpi_*, redundancy_*) cover
+	// the completed attempt — aborted attempts tear down mid-flight, so
+	// their in-transit counts are not meaningful totals — while
+	// checkpoint_*, failure_*, and runner_* counters are cumulative
+	// across attempts.
+	Obs *obs.Registry
+	// Tracer, when non-nil, receives structured events from the runner,
+	// the checkpoint protocol, and the failure injector. Nil (the
+	// default) is the no-op tracer.
+	Tracer *obs.Tracer
 }
 
 // Validate checks the configuration.
@@ -132,6 +155,45 @@ type Result struct {
 	// instance per replica goroutine that finished cleanly (for result
 	// inspection, e.g. the CG checksum).
 	CompletedApps []apps.App
+	// Metrics is the job-level telemetry snapshot (see Config.Obs for
+	// which counters are per-final-attempt vs cumulative).
+	Metrics obs.Snapshot
+}
+
+// runnerMetrics bundles the runner's own job-level instruments.
+type runnerMetrics struct {
+	attempts    *obs.Counter
+	restarts    *obs.Counter
+	jobFailures *obs.Counter
+	timeouts    *obs.Counter
+	completions *obs.Counter
+	recomputeMS *obs.Counter
+	attemptMS   *obs.Histogram
+}
+
+func newRunnerMetrics(reg *obs.Registry) runnerMetrics {
+	return runnerMetrics{
+		attempts:    reg.Counter("runner_attempts_total"),
+		restarts:    reg.Counter("runner_restarts_total"),
+		jobFailures: reg.Counter("runner_job_failures_total"),
+		timeouts:    reg.Counter("runner_timeouts_total"),
+		completions: reg.Counter("runner_completions_total"),
+		recomputeMS: reg.Counter("runner_recompute_ms_total"),
+		attemptMS:   reg.Histogram("runner_attempt_ms", obs.MillisBuckets),
+	}
+}
+
+// foldRedundancy projects the final attempt's interposition counters into
+// the job registry.
+func foldRedundancy(reg *obs.Registry, s redundancy.Stats) {
+	reg.Counter("redundancy_virtual_sends_total").Add(s.VirtualSends)
+	reg.Counter("redundancy_physical_sends_total").Add(s.PhysicalSends)
+	reg.Counter("redundancy_deliveries_total").Add(s.Deliveries)
+	reg.Counter("redundancy_votes_total").Add(s.Votes)
+	reg.Counter("redundancy_mismatches_total").Add(s.Mismatches)
+	reg.Counter("redundancy_corrections_total").Add(s.Corrections)
+	reg.Counter("redundancy_envelopes_total").Add(s.EnvelopesSent)
+	reg.Counter("redundancy_failovers_total").Add(s.Failovers)
 }
 
 // Run executes the application factory under the configured combined
@@ -159,75 +221,135 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 	}
 	stream := stats.NewStream(cfg.Seed)
 
+	jobReg := cfg.Obs
+	if jobReg == nil {
+		jobReg = obs.NewRegistry()
+	}
+	rm := newRunnerMetrics(jobReg)
+
 	res := Result{PhysicalRanks: rankMap.PhysicalSize()}
 	start := time.Now()
 	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
 		if attempt > 0 && cfg.RestartDelay > 0 {
 			time.Sleep(cfg.RestartDelay)
 		}
-		at, apps, redStats, appErr := runAttempt(cfg, rankMap, store, stream.Split(), timeout, factory)
+		rm.attempts.Inc()
+		if attempt > 0 {
+			rm.restarts.Inc()
+		}
+		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
+		at, apps, redStats, worldSnap, appErr := runAttempt(
+			cfg, rankMap, store, stream.Split(), timeout, attempt, jobReg, factory)
 		at.Index = attempt
 		res.Attempts = append(res.Attempts, at)
 		res.TotalFailures += at.Failures
 		res.TotalCheckpoints += at.Checkpoints
 		res.Restarts = attempt
 		res.Redundancy = redStats
+		rm.attemptMS.Observe(float64(at.Elapsed.Milliseconds()))
+		if at.JobFailed {
+			rm.jobFailures.Inc()
+		}
+		if at.TimedOut {
+			rm.timeouts.Inc()
+		}
+		cfg.Tracer.Emit("attempt_end", -1, -1, attempt, map[string]any{
+			"job_failed":  at.JobFailed,
+			"timed_out":   at.TimedOut,
+			"failures":    at.Failures,
+			"checkpoints": at.Checkpoints,
+			"restored":    at.Restored,
+		})
+
+		succeeded := appErr == nil && !at.JobFailed && !at.TimedOut
+		if succeeded {
+			// Communication counters come from the completed attempt only;
+			// an aborted world tears down mid-flight and its in-transit
+			// counts are not meaningful totals.
+			jobReg.Merge(worldSnap)
+			foldRedundancy(jobReg, redStats)
+		} else {
+			// Work lost to the failure: it must be recomputed (the paper's
+			// rework term).
+			rm.recomputeMS.Add(uint64(at.Elapsed.Milliseconds()))
+		}
 
 		switch {
-		case appErr == nil && !at.JobFailed && !at.TimedOut:
+		case succeeded:
 			res.Completed = true
+			rm.completions.Inc()
+			cfg.Tracer.Emit("run_end", -1, -1, attempt, map[string]any{
+				"completed": true, "restarts": attempt,
+			})
 			res.Elapsed = time.Since(start)
 			res.CompletedApps = apps
+			res.Metrics = jobReg.Snapshot()
 			return res, nil
 		case at.TimedOut:
 			res.Elapsed = time.Since(start)
+			res.Metrics = jobReg.Snapshot()
 			return res, fmt.Errorf("attempt %d: %w", attempt, ErrAttemptTimeout)
 		case appErr != nil && !at.JobFailed:
 			// A genuine application error, not failure-induced.
 			res.Elapsed = time.Since(start)
+			res.Metrics = jobReg.Snapshot()
 			return res, fmt.Errorf("attempt %d: %w", attempt, appErr)
 		}
 		// Job failure: loop for a restart.
 	}
+	cfg.Tracer.Emit("run_end", -1, -1, cfg.MaxRestarts, map[string]any{
+		"completed": false, "restarts": cfg.MaxRestarts,
+	})
 	res.Elapsed = time.Since(start)
+	res.Metrics = jobReg.Snapshot()
 	return res, fmt.Errorf("%w after %d attempts", ErrRestartsExhausted, cfg.MaxRestarts+1)
 }
 
 // runAttempt executes one job attempt: fresh world, fresh injector,
-// restore-from-checkpoint inside the application.
+// restore-from-checkpoint inside the application. The returned Snapshot
+// holds the attempt world's communication counters; the caller decides
+// whether to merge them into the job registry.
 func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storage,
-	stream *stats.Stream, timeout time.Duration, factory func() apps.App,
-) (Attempt, []apps.App, redundancy.Stats, error) {
+	stream *stats.Stream, timeout time.Duration, attempt int, jobReg *obs.Registry,
+	factory func() apps.App,
+) (Attempt, []apps.App, redundancy.Stats, obs.Snapshot, error) {
 	var at Attempt
 	begin := time.Now()
 
-	var worldOpts []simmpi.Option
+	attemptReg := obs.NewRegistry()
+	worldOpts := []simmpi.Option{simmpi.WithObs(attemptReg)}
 	if cfg.SendDelay > 0 {
 		worldOpts = append(worldOpts, simmpi.WithSendDelay(cfg.SendDelay))
 	}
 	world, err := simmpi.NewWorld(rankMap.PhysicalSize(), worldOpts...)
 	if err != nil {
-		return at, nil, redundancy.Stats{}, err
+		return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
 	}
 
 	spheres := make([][]int, rankMap.VirtualSize())
 	for v := range spheres {
 		sphere, serr := rankMap.Sphere(v)
 		if serr != nil {
-			return at, nil, redundancy.Stats{}, serr
+			return at, nil, redundancy.Stats{}, obs.Snapshot{}, serr
 		}
 		spheres[v] = sphere
 	}
 
+	schedule := cfg.FailureSchedule
+	if cfg.ScheduleOnce && attempt > 0 {
+		schedule = nil
+	}
 	var inj *failure.Injector
-	if cfg.FailureSchedule != nil || cfg.NodeMTBF > 0 {
+	if schedule != nil || cfg.NodeMTBF > 0 {
 		inj, err = failure.New(world, spheres, failure.Config{
 			Stream:   stream,
 			NodeMTBF: cfg.NodeMTBF,
-			Schedule: cfg.FailureSchedule,
+			Schedule: schedule,
+			Obs:      jobReg,
+			Trace:    cfg.Tracer,
 		})
 		if err != nil {
-			return at, nil, redundancy.Stats{}, err
+			return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
 		}
 	}
 
@@ -263,10 +385,16 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 	maxCheckpoints := 0
 	restored := false
 
+	corrupt := make(map[int]bool, len(cfg.CorruptRanks))
+	for _, p := range cfg.CorruptRanks {
+		corrupt[p] = true
+	}
+
 	appErr, _ := world.Run(func(pc *simmpi.Comm) error {
 		rc, rerr := redundancy.New(pc, rankMap, redundancy.Options{
-			Live: world,
-			Mode: cfg.Mode,
+			Live:    world,
+			Mode:    cfg.Mode,
+			Corrupt: corrupt[pc.Rank()],
 		})
 		if rerr != nil {
 			return rerr
@@ -282,6 +410,8 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 				Storage:      store,
 				StepInterval: cfg.StepInterval,
 				SkipBookmark: cfg.SkipBookmark,
+				Obs:          jobReg,
+				Trace:        cfg.Tracer,
 			})
 			if rerr != nil {
 				return rerr
@@ -289,7 +419,11 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 		} else {
 			// Checkpointing disabled, but apps still need Restore to
 			// report "no checkpoint".
-			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{Storage: store})
+			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{
+				Storage: store,
+				Obs:     jobReg,
+				Trace:   cfg.Tracer,
+			})
 			if rerr != nil {
 				return rerr
 			}
@@ -346,7 +480,7 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 		at.JobFailed = true
 		appErr = nil
 	}
-	return at, completed, redStats, appErr
+	return at, completed, redStats, attemptReg.Snapshot(), appErr
 }
 
 // isCheckpointCasualty reports whether the error is a checkpoint-protocol
@@ -358,8 +492,10 @@ func isCheckpointCasualty(err error) bool {
 }
 
 func addStats(total *redundancy.Stats, s redundancy.Stats) {
+	total.VirtualSends += s.VirtualSends
 	total.PhysicalSends += s.PhysicalSends
 	total.Deliveries += s.Deliveries
+	total.Votes += s.Votes
 	total.Mismatches += s.Mismatches
 	total.Corrections += s.Corrections
 	total.EnvelopesSent += s.EnvelopesSent

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 	// Schedule, when non-nil, replaces random generation with an explicit
 	// deterministic kill list (for tests).
 	Schedule []Kill
+	// Obs, when non-nil, counts injections: failure_kills_total plus
+	// per-node and per-sphere breakdowns
+	// (failure_kills_node_<p>_total, failure_kills_sphere_<v>_total).
+	Obs *obs.Registry
+	// Trace, when non-nil, receives one "kill" event per injection
+	// (rank = physical rank, sphere = its replica sphere).
+	Trace *obs.Tracer
 }
 
 // Injector drives one job attempt's failures.
@@ -228,8 +236,10 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 	inj.mu.Lock()
 	inj.log = append(inj.log, Kill{Rank: rank, After: at})
 	var exhausted = -1
+	sphere := -1
 	if rank < len(inj.sphereOf) {
 		if v := inj.sphereOf[rank]; v >= 0 {
+			sphere = v
 			inj.remaining[v]--
 			if inj.remaining[v] == 0 {
 				exhausted = v
@@ -237,6 +247,19 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 		}
 	}
 	inj.mu.Unlock()
+	if reg := inj.cfg.Obs; reg != nil {
+		reg.Counter("failure_kills_total").Inc()
+		reg.Counter(fmt.Sprintf("failure_kills_node_%d_total", rank)).Inc()
+		if sphere >= 0 {
+			reg.Counter(fmt.Sprintf("failure_kills_sphere_%d_total", sphere)).Inc()
+		}
+		if exhausted >= 0 {
+			reg.Counter("failure_sphere_exhausted_total").Inc()
+		}
+	}
+	inj.cfg.Trace.Emit("kill", rank, sphere, 0, map[string]any{
+		"after_ms": at.Milliseconds(),
+	})
 	if exhausted >= 0 {
 		select {
 		case inj.jobFailed <- exhausted:

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	rpprof "runtime/pprof"
+)
+
+// ProfileConfig selects which profiling surfaces to enable for a run.
+type ProfileConfig struct {
+	// Addr, when non-empty, serves net/http/pprof on this address for
+	// the duration of the run (e.g. "localhost:6060").
+	Addr string
+	// CPUFile, when non-empty, captures a CPU profile of the whole run
+	// into this file.
+	CPUFile string
+	// HeapFile, when non-empty, writes a heap profile at shutdown.
+	HeapFile string
+}
+
+// StartProfiling enables the configured profiling surfaces and returns a
+// stop function that finalises them (stops the CPU profile, dumps the
+// heap profile, shuts the pprof listener). The stop function must be
+// called exactly once; it reports the first finalisation error.
+func StartProfiling(cfg ProfileConfig) (func() error, error) {
+	var stops []func() error
+
+	if cfg.CPUFile != "" {
+		f, err := os.Create(cfg.CPUFile)
+		if err != nil {
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		if err := rpprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("obs: cpu profile: %w", err)
+		}
+		stops = append(stops, func() error {
+			rpprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+
+	if cfg.Addr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", cfg.Addr)
+		if err != nil {
+			runStops(stops)
+			return nil, fmt.Errorf("obs: pprof listener: %w", err)
+		}
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln) // Serve returns when the listener closes
+		stops = append(stops, func() error {
+			err := srv.Close()
+			if err == http.ErrServerClosed {
+				return nil
+			}
+			return err
+		})
+	}
+
+	if cfg.HeapFile != "" {
+		heapFile := cfg.HeapFile
+		stops = append(stops, func() error {
+			f, err := os.Create(heapFile)
+			if err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // materialise final live-heap statistics
+			if err := rpprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("obs: heap profile: %w", err)
+			}
+			return nil
+		})
+	}
+
+	return func() error { return runStops(stops) }, nil
+}
+
+func runStops(stops []func() error) error {
+	var first error
+	for _, stop := range stops {
+		if err := stop(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

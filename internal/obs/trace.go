@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Event is one structured trace record. Rank identifies the emitting
+// stream (virtual rank for protocol events, physical rank for failure
+// events, -1 for orchestrator-level events); Sphere is the replica
+// sphere involved, -1 when not applicable; Step is the logical step the
+// event belongs to (application step, checkpoint generation, or attempt
+// index — whatever the Kind documents).
+//
+// Seq is a deterministic logical clock: each Rank's events are numbered
+// 0, 1, 2, … in emission order on that rank. Events deliberately carry
+// no wall-clock timestamps, so two runs of the same deterministic job
+// produce byte-identical traces, and the streams of replica ranks can be
+// diffed directly.
+type Event struct {
+	Seq     uint64         `json:"seq"`
+	Kind    string         `json:"kind"`
+	Rank    int            `json:"rank"`
+	Sphere  int            `json:"sphere"`
+	Step    int            `json:"step"`
+	Payload map[string]any `json:"payload,omitempty"`
+}
+
+// Tracer collects events and, on Close, writes them as sorted JSONL.
+// A nil *Tracer is the default no-op implementation: Emit on nil does
+// nothing, so instrumented code needs no enabled-check.
+//
+// Emit is safe for concurrent use; the per-rank sequence numbers make
+// the final sorted output independent of goroutine interleaving across
+// ranks.
+type Tracer struct {
+	mu     sync.Mutex
+	w      io.Writer
+	seq    map[int]uint64
+	events []Event
+}
+
+// NewTracer returns a tracer that writes JSONL to w on Close. w may be
+// nil, in which case the tracer only captures (for tests — read back
+// with Events).
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, seq: make(map[int]uint64)}
+}
+
+// Emit records one event. Payload values must be JSON-marshalable;
+// encoding/json sorts map keys, so payload rendering is deterministic.
+func (t *Tracer) Emit(kind string, rank, sphere, step int, payload map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e := Event{Seq: t.seq[rank], Kind: kind, Rank: rank, Sphere: sphere, Step: step, Payload: payload}
+	t.seq[rank]++
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the captured events in canonical order:
+// sorted by (Rank, Seq), which is the same order Close writes.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	sortEvents(out)
+	return out
+}
+
+// Close writes the captured events as JSONL in canonical (Rank, Seq)
+// order. Safe on a nil tracer and on a tracer without a writer.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.w == nil {
+		return nil
+	}
+	sortEvents(t.events)
+	for _, e := range t.events {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("obs: marshal trace event: %w", err)
+		}
+		if _, err := t.w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("obs: write trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func sortEvents(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Rank != events[j].Rank {
+			return events[i].Rank < events[j].Rank
+		}
+		return events[i].Seq < events[j].Seq
+	})
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestTracerPerRankLogicalClock(t *testing.T) {
+	tr := NewTracer(nil)
+	tr.Emit("a", 1, -1, 0, nil)
+	tr.Emit("b", 0, -1, 0, nil)
+	tr.Emit("c", 1, -1, 1, map[string]any{"k": 2})
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	// Canonical order: rank 0 first, then rank 1's stream by seq.
+	if events[0].Kind != "b" || events[0].Seq != 0 {
+		t.Fatalf("events[0] = %+v", events[0])
+	}
+	if events[1].Kind != "a" || events[1].Seq != 0 {
+		t.Fatalf("events[1] = %+v", events[1])
+	}
+	if events[2].Kind != "c" || events[2].Seq != 1 {
+		t.Fatalf("events[2] = %+v", events[2])
+	}
+}
+
+func TestTracerJSONLOutputSortedAndParseable(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("kill", 3, 1, 0, map[string]any{"after_ms": 5})
+	tr.Emit("attempt_start", -1, -1, 0, nil)
+	tr.Emit("ckpt_commit", 0, 0, 2, nil)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3: %q", len(lines), buf.String())
+	}
+	var ranks []int
+	for _, line := range lines {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		ranks = append(ranks, e.Rank)
+	}
+	if ranks[0] != -1 || ranks[1] != 0 || ranks[2] != 3 {
+		t.Fatalf("ranks out of canonical order: %v", ranks)
+	}
+}
+
+// TestTracerDeterministicUnderConcurrency emits the same per-rank event
+// streams from racing goroutines twice and verifies the canonical event
+// sequences are identical — the property that makes replica-rank traces
+// diffable.
+func TestTracerDeterministicUnderConcurrency(t *testing.T) {
+	run := func() []Event {
+		tr := NewTracer(nil)
+		var wg sync.WaitGroup
+		for rank := 0; rank < 8; rank++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				for step := 0; step < 50; step++ {
+					tr.Emit("step", rank, rank/2, step, map[string]any{"v": step * rank})
+				}
+			}(rank)
+		}
+		wg.Wait()
+		return tr.Events()
+	}
+	a, b := run(), run()
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("concurrent emission changed the canonical trace")
+	}
+}

@@ -45,6 +45,13 @@ type Options struct {
 	Mode Mode
 	// Live defaults to AllAlive.
 	Live Liveness
+	// Corrupt makes this replica flip the first byte of every outgoing
+	// application payload — deterministic silent-data-corruption
+	// injection for exercising the mismatch/vote machinery (the faults
+	// RedMPI exists to catch). Corrupting a non-lowest replica keeps
+	// delivered payloads clean at dual redundancy, since ties resolve to
+	// the lowest replica's copy.
+	Corrupt bool
 }
 
 // Errors specific to the redundancy layer.
@@ -64,11 +71,18 @@ var (
 
 // Stats counts layer activity; all fields are totals since creation.
 type Stats struct {
+	// VirtualSends is the number of application-level sends issued.
+	VirtualSends uint64
 	// PhysicalSends is the number of physical point-to-point messages
 	// sent (the paper's "up to four times the number of messages").
+	// PhysicalSends - VirtualSends is the pure duplicate-send overhead
+	// the redundancy degree buys.
 	PhysicalSends uint64
 	// Deliveries is the number of virtual messages delivered upward.
 	Deliveries uint64
+	// Votes counts deliveries that cross-checked two or more replica
+	// copies (the comparisons the paper's overhead model charges for).
+	Votes uint64
 	// Mismatches counts deliveries where replica copies disagreed.
 	Mismatches uint64
 	// Corrections counts mismatches repaired by majority vote.
@@ -84,11 +98,12 @@ type Stats struct {
 // one replica goroutine and is not safe for concurrent use, matching MPI
 // communicator semantics.
 type Comm struct {
-	m    *RankMap
-	phys mpi.Comm
-	me   Replica
-	live Liveness
-	mode Mode
+	m       *RankMap
+	phys    mpi.Comm
+	me      Replica
+	live    Liveness
+	mode    Mode
+	corrupt bool
 
 	sent []atomic.Uint64
 	recv []atomic.Uint64
@@ -99,8 +114,10 @@ type Comm struct {
 	wildcardSeq map[int]uint64
 
 	stats struct {
+		virtualSends  atomic.Uint64
 		physicalSends atomic.Uint64
 		deliveries    atomic.Uint64
+		votes         atomic.Uint64
 		mismatches    atomic.Uint64
 		corrections   atomic.Uint64
 		envelopes     atomic.Uint64
@@ -136,6 +153,7 @@ func New(phys mpi.Comm, m *RankMap, opts Options) (*Comm, error) {
 		me:          me,
 		live:        opts.Live,
 		mode:        opts.Mode,
+		corrupt:     opts.Corrupt,
 		sent:        make([]atomic.Uint64, m.VirtualSize()),
 		recv:        make([]atomic.Uint64, m.VirtualSize()),
 		wildcardSeq: make(map[int]uint64),
@@ -157,8 +175,10 @@ func (c *Comm) Map() *RankMap { return c.m }
 // Stats returns a snapshot of the layer's counters.
 func (c *Comm) Stats() Stats {
 	return Stats{
+		VirtualSends:  c.stats.virtualSends.Load(),
 		PhysicalSends: c.stats.physicalSends.Load(),
 		Deliveries:    c.stats.deliveries.Load(),
+		Votes:         c.stats.votes.Load(),
 		Mismatches:    c.stats.mismatches.Load(),
 		Corrections:   c.stats.corrections.Load(),
 		EnvelopesSent: c.stats.envelopes.Load(),
@@ -189,6 +209,12 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if err != nil {
 		return err
 	}
+	if c.corrupt && len(data) > 0 {
+		tampered := make([]byte, len(data))
+		copy(tampered, data)
+		tampered[0] ^= 0xFF
+		data = tampered
+	}
 	var full, hashed []byte
 	for j, q := range sphere {
 		kind := kindFull
@@ -214,6 +240,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		c.stats.physicalSends.Add(1)
 	}
 	c.sent[dst].Add(1)
+	c.stats.virtualSends.Add(1)
 	return nil
 }
 
@@ -275,6 +302,9 @@ func (c *Comm) verify(copies []wireMsg) ([]byte, error) {
 	}
 	if len(fulls) == 0 {
 		return nil, ErrPayloadLost
+	}
+	if len(fulls)+len(hashes) > 1 {
+		c.stats.votes.Add(1)
 	}
 	// Group identical payloads (full copies by bytes, then check hashes
 	// against the winning payload's digest).

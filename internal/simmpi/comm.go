@@ -56,12 +56,15 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		return mpi.ErrKilled
 	}
 	c.sent[dst].Add(1)
+	c.world.met.sends.Inc()
+	c.world.met.sendBytes.Add(uint64(len(data)))
 	if d := c.world.sendDelay; d > 0 {
 		// Emulated wire latency is charged to the sender whether or not
 		// the destination is alive, like a NIC pushing into the fabric.
 		time.Sleep(d)
 	}
 	if c.world.dead[dst].Load() {
+		c.world.met.drops.Inc()
 		return nil
 	}
 	// Copy at the boundary: the sender may reuse its buffer immediately.
@@ -85,8 +88,14 @@ func (c *Comm) Recv(src, tag int) (mpi.Message, error) {
 	if err != nil {
 		return mpi.Message{}, err
 	}
-	c.recv[msg.Source].Add(1)
+	c.noteRecv(msg.Source)
 	return msg, nil
+}
+
+// noteRecv performs per-peer and world-level receive bookkeeping.
+func (c *Comm) noteRecv(src int) {
+	c.recv[src].Add(1)
+	c.world.met.recvs.Inc()
 }
 
 // Probe blocks until a matching message is available without consuming it.
@@ -195,7 +204,7 @@ func (r *request) Test() (bool, mpi.Status, error) {
 	r.done = true
 	r.err = err
 	if err == nil {
-		r.comm.recv[msg.Source].Add(1)
+		r.comm.noteRecv(msg.Source)
 		r.msg = msg
 		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
 	}

@@ -52,6 +52,7 @@ func (mb *mailbox) deposit(source, tag int, data []byte) {
 	mb.mu.Lock()
 	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, seq: mb.next})
 	mb.next++
+	mb.world.met.mailboxHWM.SetMax(int64(len(mb.queue)))
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 }

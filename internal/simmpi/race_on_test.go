@@ -1,0 +1,8 @@
+//go:build race
+
+package simmpi
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-budget tests skip under it because instrumented atomics cost
+// multiples of their production price.
+const raceEnabled = true

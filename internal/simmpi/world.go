@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/mpi"
+	"repro/internal/obs"
 )
 
 // World is a set of communicating ranks, the analogue of an MPI job's
@@ -33,8 +34,36 @@ type World struct {
 	dead    []atomic.Bool
 	aborted atomic.Bool
 
-	// deaths counts kills, used by tests and statistics.
-	deaths atomic.Int64
+	// Telemetry. reg defaults to a fresh private registry; WithObs
+	// injects a shared one (or nil to disable entirely).
+	reg    *obs.Registry
+	regSet bool
+	met    worldMetrics
+}
+
+// worldMetrics holds the runtime's instruments, resolved once at world
+// construction so hot paths pay a single atomic add (or a nil check when
+// telemetry is disabled).
+type worldMetrics struct {
+	sends      *obs.Counter // physical messages accepted from senders
+	recvs      *obs.Counter // messages matched by receivers
+	sendBytes  *obs.Counter // payload bytes pushed by senders
+	drops      *obs.Counter // sends discarded because the peer was dead
+	kills      *obs.Counter // fail-stops (replaces the old ad-hoc deaths counter)
+	aborts     *obs.Counter // world teardowns
+	mailboxHWM *obs.Gauge   // deepest unmatched-message backlog of any rank
+}
+
+func newWorldMetrics(reg *obs.Registry) worldMetrics {
+	return worldMetrics{
+		sends:      reg.Counter("simmpi_sends_total"),
+		recvs:      reg.Counter("simmpi_recvs_total"),
+		sendBytes:  reg.Counter("simmpi_send_bytes_total"),
+		drops:      reg.Counter("simmpi_drops_total"),
+		kills:      reg.Counter("simmpi_kills_total"),
+		aborts:     reg.Counter("simmpi_aborts_total"),
+		mailboxHWM: reg.Gauge("simmpi_mailbox_depth_hwm"),
+	}
 }
 
 // Option configures a World.
@@ -51,6 +80,20 @@ func WithSendDelay(d time.Duration) Option {
 	return func(w *World) { w.sendDelay = d }
 }
 
+// WithObs registers the world's runtime instruments (message, byte,
+// drop, kill, abort counters and the mailbox-depth high-water mark) in
+// the given registry, so an orchestrator can aggregate them with the
+// rest of a job's telemetry. Without this option each world keeps a
+// private registry, readable via Obs. Passing nil disables the world's
+// telemetry entirely (the no-op benchmark baseline); note Deaths then
+// reads as zero.
+func WithObs(reg *obs.Registry) Option {
+	return func(w *World) {
+		w.reg = reg
+		w.regSet = true
+	}
+}
+
 // NewWorld creates a world with n ranks, all alive.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
@@ -65,6 +108,10 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	for _, opt := range opts {
 		opt(w)
 	}
+	if !w.regSet {
+		w.reg = obs.NewRegistry()
+	}
+	w.met = newWorldMetrics(w.reg)
 	for i := range w.mailboxes {
 		w.mailboxes[i] = newMailbox(w, i)
 	}
@@ -99,7 +146,7 @@ func (w *World) Kill(rank int) {
 	if w.dead[rank].Swap(true) {
 		return
 	}
-	w.deaths.Add(1)
+	w.met.kills.Inc()
 	// Liveness changed: wake every waiter so it can re-evaluate.
 	for _, mb := range w.mailboxes {
 		mb.broadcast()
@@ -125,8 +172,14 @@ func (w *World) AliveCount() int {
 	return n
 }
 
-// Deaths returns the number of kills so far.
-func (w *World) Deaths() int { return int(w.deaths.Load()) }
+// Deaths returns the number of kills so far, read from the
+// simmpi_kills_total counter (zero when telemetry is disabled via
+// WithObs(nil)).
+func (w *World) Deaths() int { return int(w.met.kills.Value()) }
+
+// Obs returns the registry holding this world's runtime instruments
+// (nil when telemetry was disabled with WithObs(nil)).
+func (w *World) Obs() *obs.Registry { return w.reg }
 
 // Abort tears the world down: every blocked or future operation on any
 // rank returns mpi.ErrAborted. Used on job failure before a restart.
@@ -134,6 +187,7 @@ func (w *World) Abort() {
 	if w.aborted.Swap(true) {
 		return
 	}
+	w.met.aborts.Inc()
 	for _, mb := range w.mailboxes {
 		mb.broadcast()
 	}
