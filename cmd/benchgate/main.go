@@ -1,0 +1,195 @@
+// Command benchgate turns raw `go test -bench` output into a committed
+// perf contract. It parses benchmark samples from stdin (or -in), takes
+// the per-benchmark median across -count repetitions, writes the result
+// as JSON, and fails when any benchmark regresses more than -tolerance
+// against a committed baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -count 6 ./internal/simmpi ./internal/checkpoint \
+//	    | benchgate -baseline BENCH_baseline.json -out BENCH_PR3.json
+//	go test -bench . ... | benchgate -update -baseline BENCH_baseline.json
+//
+// Benchmarks whose baseline median is under -floor are recorded but not
+// gated: single-shot microsecond samples swing far more than the
+// tolerance on shared CI runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// Report is the JSON shape of both the baseline and the PR artifact.
+type Report struct {
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// median ns/op across the parsed samples.
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+type Entry struct {
+	NsPerOp float64 `json:"ns_per_op"`
+	Samples int     `json:"samples"`
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	var (
+		in        = fs.String("in", "", "read `go test -bench` output from this file instead of stdin")
+		baseline  = fs.String("baseline", "BENCH_baseline.json", "committed baseline to gate against")
+		out       = fs.String("out", "", "write the parsed medians as JSON to this file (the PR artifact)")
+		update    = fs.Bool("update", false, "rewrite -baseline from the parsed samples instead of gating")
+		tolerance = fs.Float64("tolerance", 0.10, "fail when median ns/op regresses more than this fraction")
+		floor     = fs.Float64("floor", 500_000, "skip gating benchmarks whose baseline median is under this many ns")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	cur, err := parseBench(src)
+	if err != nil {
+		return err
+	}
+	if len(cur.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark samples found in input")
+	}
+	if *out != "" {
+		if err := writeReport(*out, cur); err != nil {
+			return err
+		}
+	}
+	if *update {
+		return writeReport(*baseline, cur)
+	}
+
+	base, err := readReport(*baseline)
+	if err != nil {
+		return fmt.Errorf("reading baseline (regenerate with -update): %w", err)
+	}
+	regressions := compare(base, cur, *tolerance, *floor, stdout)
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v",
+			len(regressions), *tolerance*100, regressions)
+	}
+	fmt.Fprintln(stdout, "benchgate: PASS")
+	return nil
+}
+
+// compare prints one line per gated benchmark and returns the names that
+// regressed past the tolerance. Benchmarks present only on one side are
+// reported but never fail the gate (new benches land with their own
+// baseline update; deleted ones disappear from it).
+func compare(base, cur Report, tolerance, floor float64, w io.Writer) []string {
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		c, ok := cur.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s MISSING from current run (baseline %.0f ns/op)\n", name, b.NsPerOp)
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		verdict := "ok"
+		switch {
+		case b.NsPerOp < floor:
+			verdict = "skipped (below floor)"
+		case delta > tolerance:
+			verdict = "REGRESSION"
+			regressions = append(regressions, name)
+		}
+		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
+			name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Fprintf(w, "%-40s NEW (%.0f ns/op, not gated)\n", name, cur.Benchmarks[name].NsPerOp)
+		}
+	}
+	return regressions
+}
+
+// benchLine matches e.g. "BenchmarkPingPong-8   1   904388 ns/op  1132.26 MB/s".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func parseBench(r io.Reader) (Report, error) {
+	rep := Report{Benchmarks: map[string]Entry{}}
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return rep, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+		}
+		samples[m[1]] = append(samples[m[1]], ns)
+	}
+	if err := sc.Err(); err != nil {
+		return rep, err
+	}
+	for name, s := range samples {
+		rep.Benchmarks[name] = Entry{NsPerOp: median(s), Samples: len(s)}
+	}
+	return rep, nil
+}
+
+func median(s []float64) float64 {
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func readReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

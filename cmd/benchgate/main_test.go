@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/simmpi
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPingPong-8       	       1	    900000 ns/op	1132.26 MB/s
+BenchmarkPingPong-8       	       1	   1000000 ns/op	1100.00 MB/s
+BenchmarkPingPong-8       	       1	   1100000 ns/op	1000.00 MB/s
+BenchmarkEpochBoundary-8  	       1	   2000000 ns/op
+BenchmarkTiny             	       1	     10000 ns/op
+PASS
+ok  	repro/internal/simmpi	0.014s
+`
+
+func TestParseBenchTakesMedian(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := rep.Benchmarks["BenchmarkPingPong"]
+	if !ok {
+		t.Fatalf("PingPong missing (GOMAXPROCS suffix not stripped?): %+v", rep)
+	}
+	if pp.NsPerOp != 1_000_000 || pp.Samples != 3 {
+		t.Fatalf("PingPong = %+v, want median 1e6 over 3 samples", pp)
+	}
+	if eb := rep.Benchmarks["BenchmarkEpochBoundary"]; eb.NsPerOp != 2_000_000 {
+		t.Fatalf("EpochBoundary = %+v", eb)
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	input := filepath.Join(dir, "bench.txt")
+	artifact := filepath.Join(dir, "BENCH_PR3.json")
+	if err := os.WriteFile(input, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Seed the baseline from the same samples, then gate: zero delta.
+	if err := run([]string{"-in", input, "-update", "-baseline", baseline}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", input, "-baseline", baseline, "-out", artifact}, nil, &sb); err != nil {
+		t.Fatalf("identical samples failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "benchgate: PASS") {
+		t.Fatalf("missing PASS line:\n%s", sb.String())
+	}
+	if _, err := os.Stat(artifact); err != nil {
+		t.Fatalf("artifact not written: %v", err)
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	base := filepath.Join(dir, "base.txt")
+	slow := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(base, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 50% slower PingPong, EpochBoundary unchanged.
+	slower := strings.ReplaceAll(sampleOutput, "1000000 ns/op", "1500000 ns/op")
+	slower = strings.ReplaceAll(slower, "900000 ns/op", "1500000 ns/op")
+	slower = strings.ReplaceAll(slower, "1100000 ns/op", "1500000 ns/op")
+	if err := os.WriteFile(slow, []byte(slower), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", base, "-update", "-baseline", baseline}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-in", slow, "-baseline", baseline}, nil, &sb)
+	if err == nil {
+		t.Fatalf("50%% regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPingPong") {
+		t.Fatalf("error %q does not name the regressed benchmark", err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("report missing REGRESSION verdict:\n%s", sb.String())
+	}
+}
+
+func TestGateSkipsBenchesBelowFloor(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	base := filepath.Join(dir, "base.txt")
+	slow := filepath.Join(dir, "slow.txt")
+	if err := os.WriteFile(base, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// BenchmarkTiny (10 µs baseline, under the 500 µs floor) triples: a
+	// swing that large is pure scheduler noise at that scale.
+	slower := strings.ReplaceAll(sampleOutput, "10000 ns/op", "30000 ns/op")
+	if err := os.WriteFile(slow, []byte(slower), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", base, "-update", "-baseline", baseline}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", slow, "-baseline", baseline}, nil, &sb); err != nil {
+		t.Fatalf("sub-floor benchmark failed the gate: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "skipped (below floor)") {
+		t.Fatalf("report missing floor skip note:\n%s", sb.String())
+	}
+}
+
+func TestEmptyInputIsAnError(t *testing.T) {
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), os.Stderr); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

@@ -57,11 +57,11 @@ type options struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	var (
-		all  = fs.Bool("all", false, "regenerate every experiment")
-		exp  = fs.String("exp", "", "experiment id (see -list)")
-		list = fs.Bool("list", false, "list experiment ids")
-		runs = fs.Int("runs", 200, "Monte-Carlo runs per cell for table4/fig8/fig9/fig12")
-		seed = fs.Int64("seed", 1, "Monte-Carlo seed")
+		all      = fs.Bool("all", false, "regenerate every experiment")
+		exp      = fs.String("exp", "", "experiment id (see -list)")
+		list     = fs.Bool("list", false, "list experiment ids")
+		runs     = fs.Int("runs", 200, "Monte-Carlo runs per cell for table4/fig8/fig9/fig12")
+		seed     = fs.Int64("seed", 1, "Monte-Carlo seed")
 		csv      = fs.Bool("csv", false, "emit CSV instead of aligned text where applicable")
 		live     = fs.Bool("live", false, "run table5 live on the functional stack (slower)")
 		parallel = fs.Int("parallel", 0, "worker goroutines per experiment (0 = GOMAXPROCS); results are identical at every setting")
@@ -249,6 +249,13 @@ func generators() map[string]generator {
 				out += "\n" + renderTable(live, o.csv)
 			}
 			return out, nil
+		}},
+		"recovery": {"full vs partial restart cost on one sphere kill (live)", func(o options) (string, error) {
+			t, err := expt.Recovery(expt.DefaultRecoveryParams())
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
 		}},
 		"fig8": {"line graph of table4", func(o options) (string, error) {
 			res, err := table4Result(o)

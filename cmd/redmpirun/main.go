@@ -12,6 +12,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,9 +30,26 @@ import (
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "redmpirun:", err)
-		os.Exit(1)
+		fmt.Fprintln(os.Stderr, "redmpirun:", errorMessage(err))
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps run errors to distinct process exit codes so CI smoke
+// steps can tell a job that exhausted its restart budget (3) apart from
+// usage or I/O errors (1).
+func exitCode(err error) int {
+	if errors.Is(err, core.ErrRestartsExhausted) {
+		return 3
+	}
+	return 1
+}
+
+func errorMessage(err error) string {
+	if errors.Is(err, core.ErrRestartsExhausted) {
+		return "job unrecoverable: " + err.Error()
+	}
+	return err.Error()
 }
 
 func run(args []string) error {
@@ -55,7 +73,12 @@ func run(args []string) error {
 
 		kill     = fs.String("kill", "", "deterministic kill list rank[@offset],... (e.g. 2@0s,3@50ms); replaces -mtbf draws")
 		killOnce = fs.Bool("kill-once", false, "apply -kill to the first attempt only (forces exactly one restart cycle)")
+		killStep = fs.String("kill-at-step", "", "deterministic step-triggered kill list rank@step,... (e.g. 4@38,5@38)")
 		corrupt  = fs.String("corrupt", "", "physical ranks injecting silent data corruption, comma-separated")
+
+		peerRep  = fs.Int("peer-replicas", 0, "replicate each sphere's checkpoint shard to this many buddy spheres' memories (0 = peer tier off)")
+		stableEv = fs.Int("stable-every", 1, "push every Nth peer generation to the stable tier (with -peer-replicas)")
+		partialR = fs.Bool("partial-restart", false, "recover sphere deaths in place from the peer tier (requires -peer-replicas and -interval)")
 
 		metricsF = fs.String("metrics", "", "write the job metrics snapshot as JSON to this file and print the rendered table")
 		traceF   = fs.String("trace", "", "write the structured event trace as JSONL to this file")
@@ -82,6 +105,9 @@ func run(args []string) error {
 		ComputeDelay:   *compute,
 		SendDelay:      *sendLat,
 		ScheduleOnce:   *killOnce,
+		PeerReplicas:   *peerRep,
+		StableEvery:    *stableEv,
+		PartialRestart: *partialR,
 	}
 	if *kill != "" {
 		schedule, err := parseKillList(*kill)
@@ -89,6 +115,13 @@ func run(args []string) error {
 			return err
 		}
 		cfg.FailureSchedule = schedule
+	}
+	if *killStep != "" {
+		kills, err := parseStepKills(*killStep)
+		if err != nil {
+			return err
+		}
+		cfg.StepKills = kills
 	}
 	if *corrupt != "" {
 		ranks, err := parseRankList(*corrupt)
@@ -154,8 +187,12 @@ func run(args []string) error {
 		res.Completed, time.Since(start).Round(time.Millisecond),
 		len(res.Attempts), res.TotalFailures, res.TotalCheckpoints)
 	for _, at := range res.Attempts {
-		fmt.Printf("  attempt %d: elapsed=%v failures=%d jobFailed=%v restored=%v checkpoints=%d\n",
-			at.Index, at.Elapsed.Round(time.Millisecond), at.Failures, at.JobFailed, at.Restored, at.Checkpoints)
+		fmt.Printf("  attempt %d: elapsed=%v failures=%d jobFailed=%v restored=%v checkpoints=%d partials=%d\n",
+			at.Index, at.Elapsed.Round(time.Millisecond), at.Failures, at.JobFailed, at.Restored, at.Checkpoints, at.PartialRestarts)
+	}
+	if cfg.PeerReplicas > 0 {
+		fmt.Printf("recovery: partial-restarts=%d full-restarts=%d recomputed-steps=%d\n",
+			res.PartialRestarts, res.Restarts, res.RecomputedSteps)
 	}
 	fmt.Printf("redundancy layer: %d physical sends, %d deliveries, %d mismatches, %d corrections\n",
 		res.Redundancy.PhysicalSends, res.Redundancy.Deliveries,
@@ -218,6 +255,35 @@ func parseKillList(spec string) ([]failure.Kill, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("empty -kill list %q", spec)
+	}
+	return out, nil
+}
+
+// parseStepKills parses "rank@step,..." into a step-triggered kill
+// schedule (steps are 1-based checkpointing steps of the virtual app).
+func parseStepKills(spec string) ([]core.StepKill, error) {
+	var out []core.StepKill
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		rankStr, stepStr, hasAt := strings.Cut(part, "@")
+		if !hasAt {
+			return nil, fmt.Errorf("bad -kill-at-step entry %q: want rank@step", part)
+		}
+		rank, err := strconv.Atoi(rankStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kill-at-step rank %q: %w", part, err)
+		}
+		step, err := strconv.Atoi(stepStr)
+		if err != nil {
+			return nil, fmt.Errorf("bad -kill-at-step step %q: %w", part, err)
+		}
+		out = append(out, core.StepKill{Rank: rank, Step: step})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -kill-at-step list %q", spec)
 	}
 	return out, nil
 }

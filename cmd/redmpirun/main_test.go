@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -9,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -141,6 +143,64 @@ func TestParseKillList(t *testing.T) {
 		if _, err := parseKillList(bad); err == nil {
 			t.Errorf("parseKillList(%q) accepted", bad)
 		}
+	}
+}
+
+func TestParseStepKills(t *testing.T) {
+	kills, err := parseStepKills("4@38, 5@38,6@40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kills) != 3 || kills[0].Rank != 4 || kills[0].Step != 38 || kills[2].Step != 40 {
+		t.Fatalf("parsed %+v", kills)
+	}
+	for _, bad := range []string{"", "4", "4@", "@38", "x@38", "4@x"} {
+		if _, err := parseStepKills(bad); err == nil {
+			t.Errorf("parseStepKills(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPartialRestartFlagsSmoke exercises the -peer-replicas /
+// -partial-restart / -kill-at-step flags end to end: a whole-sphere kill
+// at step 38 must be absorbed in place (zero full restarts).
+func TestPartialRestartFlagsSmoke(t *testing.T) {
+	args := []string{
+		"-app", "cg", "-np", "4", "-r", "2",
+		"-grid", "6", "-iters", "60",
+		"-interval", "5", "-compute", "0s",
+		"-peer-replicas", "1", "-stable-every", "4", "-partial-restart",
+		"-kill-at-step", "4@38,5@38",
+		"-max-restarts", "3",
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+}
+
+// TestExhaustionExitCode pins the CI-smoke contract: a job that burns
+// through its restart budget exits with the distinct code 3, anything
+// else with 1.
+func TestExhaustionExitCode(t *testing.T) {
+	args := []string{
+		"-app", "cg", "-np", "4", "-r", "2",
+		"-grid", "6", "-iters", "30",
+		"-interval", "10", "-compute", "0s",
+		"-max-restarts", "0",
+		"-kill", "2,3",
+	}
+	err := run(args)
+	if !errors.Is(err, core.ErrRestartsExhausted) {
+		t.Fatalf("err = %v, want ErrRestartsExhausted", err)
+	}
+	if code := exitCode(err); code != 3 {
+		t.Fatalf("exitCode = %d, want 3", code)
+	}
+	if msg := errorMessage(err); !strings.Contains(msg, "job unrecoverable") {
+		t.Fatalf("message %q not distinct for exhaustion", msg)
+	}
+	if code := exitCode(errors.New("usage")); code != 1 {
+		t.Fatalf("generic exitCode = %d, want 1", code)
 	}
 }
 

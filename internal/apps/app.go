@@ -36,6 +36,11 @@ type Context struct {
 	// cluster spends (1-α) of its time computing; in-process message
 	// passing is so fast that α would otherwise be ≈1.
 	ComputeDelay time.Duration
+	// NoteStep, when non-nil, is invoked by the writer replica once per
+	// application step with the global step number — the runner's hook
+	// for recomputed-work accounting and step-triggered failure
+	// injection.
+	NoteStep func(step int)
 }
 
 func (ctx *Context) writer() bool {
@@ -46,7 +51,12 @@ func (ctx *Context) writer() bool {
 }
 
 // maybeCheckpoint snapshots at the client's step schedule, if enabled.
+// It also reports step progress through NoteStep — once per virtual rank
+// per step, because only the writer replica reports.
 func (ctx *Context) maybeCheckpoint(step int, state []byte) (bool, error) {
+	if ctx.NoteStep != nil && ctx.writer() {
+		ctx.NoteStep(step)
+	}
 	if ctx.Ckpt == nil {
 		return false, nil
 	}

@@ -1,0 +1,128 @@
+package checkpoint
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/simmpi"
+)
+
+// Hot-path benchmarks for the CI bench gate (cmd/benchgate). Each
+// iteration performs a fixed batch of work so a single `-benchtime 1x`
+// sample is well above timer granularity.
+
+const benchGens = 200
+
+// BenchmarkMemStorageWriteCommit measures the in-memory stable tier's
+// write/commit/read cycle — the floor every other storage layers on.
+func BenchmarkMemStorageWriteCommit(b *testing.B) {
+	state := bytes.Repeat([]byte{0xCD}, 16<<10)
+	b.SetBytes(benchGens * int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewMemStorage()
+		for g := uint64(1); g <= benchGens; g++ {
+			if err := s.Write(g, 0, state); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Commit(g, 1); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Read(g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkCompressedRoundTrip measures DEFLATE write+read through the
+// storage middleware on a repetitive scientific-state image.
+func BenchmarkCompressedRoundTrip(b *testing.B) {
+	state := bytes.Repeat([]byte{0, 0, 0, 0, 0, 0, 240, 63}, 1<<12)
+	const gens = 20
+	b.SetBytes(gens * int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := NewCompressedStorage(NewMemStorage())
+		for g := uint64(1); g <= gens; g++ {
+			if err := s.Write(g, 0, state); err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Commit(g, 1); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := s.Read(g, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkPeerReplicateCommit measures the peer tier's write path: every
+// sphere writer stashes locally and pushes its shard to a buddy over
+// messages, then commits — the steady-state cost of peer checkpointing.
+func BenchmarkPeerReplicateCommit(b *testing.B) {
+	state := bytes.Repeat([]byte{0xAB}, 4<<10)
+	b.SetBytes(benchGens * 4 * int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ps, err := NewPeerStore(PeerStoreConfig{Spheres: testSpheres(), Replicas: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := simmpi.NewWorld(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		views := make([]Storage, 4)
+		for p := 0; p < 8; p++ {
+			c, cerr := w.Comm(p)
+			if cerr != nil {
+				b.Fatal(cerr)
+			}
+			wg.Add(1)
+			go func(c *simmpi.Comm) {
+				defer wg.Done()
+				ps.Serve(c)
+			}(c)
+			if p%2 == 0 {
+				views[p/2] = ps.View(c)
+			}
+		}
+		b.StartTimer()
+		for g := uint64(1); g <= benchGens; g++ {
+			for v := 0; v < 4; v++ {
+				if err := views[v].Write(g, v, state); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := views[0].Commit(g, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		w.Interrupt()
+		wg.Wait()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPeerCodec measures the wire codec for peer shards.
+func BenchmarkPeerCodec(b *testing.B) {
+	payload := bytes.Repeat([]byte{0x5A}, 4<<10)
+	const frames = 5000
+	b.SetBytes(frames * int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < frames; j++ {
+			buf := encodePeer(opReplicate, uint64(j), 3, payload)
+			op, gen, v, body, err := decodePeer(buf)
+			if err != nil || op != opReplicate || gen != uint64(j) || v != 3 || len(body) != len(payload) {
+				b.Fatalf("codec round trip broke: op=%d gen=%d v=%d err=%v", op, gen, v, err)
+			}
+		}
+	}
+}

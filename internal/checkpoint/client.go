@@ -32,6 +32,12 @@ type Config struct {
 	// BookmarkRetries is how many barrier-separated re-reads of the
 	// totals to attempt before declaring ErrNotQuiescent. Defaults to 3.
 	BookmarkRetries int
+	// WriteAllReplicas makes every replica persist its rank's state, not
+	// just the writer. Peer-replicated storage needs this: each replica
+	// stashes into its *own* memory shard, so survivors of a partial
+	// restart restore without any network traffic. The writer-only
+	// job-level counters (attempted/committed) are unaffected.
+	WriteAllReplicas bool
 	// Obs, when non-nil, receives the protocol's counters (snapshots
 	// attempted/committed, bytes written, bookmark retries, quiescence
 	// failures, restores). Clients of one job should share a registry.
@@ -145,7 +151,7 @@ func (cl *Client) Checkpoint(state []byte, writer bool) error {
 	if err != nil {
 		return err
 	}
-	if writer {
+	if writer || cl.cfg.WriteAllReplicas {
 		if err := cl.cfg.Storage.Write(gen, cl.comm.Rank(), state); err != nil {
 			return fmt.Errorf("checkpoint write: %w", err)
 		}

@@ -1,0 +1,94 @@
+package checkpoint
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The decompression error paths matter operationally: a restart that
+// silently restores an empty or truncated image is far worse than one
+// that fails loudly and falls back to an older generation. Each case
+// must surface a decode error — never a nil-error short read.
+
+func TestCompressedTruncatedStreamIsAnError(t *testing.T) {
+	inner := NewMemStorage()
+	s := NewCompressedStorage(inner)
+	state := bytes.Repeat([]byte("snapshot-data-"), 200)
+	if err := s.Write(3, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(3, 1); err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := inner.Read(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compressed) < 8 {
+		t.Fatalf("sanity: compressed image only %d bytes", len(compressed))
+	}
+	// Simulate a partial write: keep only the first half of the stream.
+	if err := inner.Write(3, 0, compressed[:len(compressed)/2]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(3, 0)
+	if err == nil {
+		t.Fatalf("truncated stream restored %d bytes with nil error", len(got))
+	}
+	if !strings.Contains(err.Error(), "decompressing gen 3 rank 0") {
+		t.Errorf("error %q does not identify the generation and rank", err)
+	}
+}
+
+func TestCompressedEmptyStreamIsAnError(t *testing.T) {
+	inner := NewMemStorage()
+	s := NewCompressedStorage(inner)
+	if err := inner.Write(1, 0, []byte{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if state, err := s.Read(1, 0); err == nil {
+		t.Fatalf("empty stream restored %d bytes with nil error", len(state))
+	}
+}
+
+func TestCompressedSingleBitFlipIsAnError(t *testing.T) {
+	inner := NewMemStorage()
+	s := NewCompressedStorage(inner)
+	// Low-entropy state compresses hard, so a mid-stream bit flip lands
+	// inside the Huffman-coded body rather than a stored block.
+	state := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := s.Write(2, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := inner.Read(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := make([]byte, len(compressed))
+	copy(flipped, compressed)
+	flipped[len(flipped)/2] ^= 0x40
+	if err := inner.Write(2, 0, flipped); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(2, 0)
+	if err == nil && bytes.Equal(got, state) {
+		t.Skip("bit flip landed in a spot flate tolerates; corruption detection is best-effort")
+	}
+	if err == nil {
+		t.Fatalf("corrupt stream decoded to %d wrong bytes with nil error", len(got))
+	}
+}
+
+func TestCompressedReadPropagatesInnerErrors(t *testing.T) {
+	s := NewCompressedStorage(NewMemStorage())
+	if _, err := s.Read(9, 0); err == nil {
+		t.Fatal("read of a generation that was never written must fail")
+	}
+}

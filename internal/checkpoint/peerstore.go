@@ -1,0 +1,592 @@
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+)
+
+// The peer store's wire protocol runs over reserved simmpi tags so it
+// never collides with application, collective, or redundancy-control
+// traffic. Requests (replicate + fetch) share one tag consumed only by
+// Serve loops; replies use a second tag consumed only by fetchers.
+const (
+	tagPeerService = mpi.TagPeerBase
+	tagPeerReply   = mpi.TagPeerBase + 1
+)
+
+// Peer protocol opcodes.
+const (
+	opReplicate = byte(iota + 1) // writer -> buddy: store this image
+	opFetch                      // restorer -> holder: send me this image
+	opFound                      // holder -> restorer: image payload
+	opMiss                       // holder -> restorer: image not held
+)
+
+// ErrPeerFetchExhausted reports that every candidate holder of a rank's
+// checkpoint image was dead or empty after the configured retry rounds;
+// the orchestrator falls back to a full coordinated restart from stable
+// storage.
+var ErrPeerFetchExhausted = errors.New("checkpoint: peer fetch exhausted")
+
+// Liveness is the minimal liveness oracle the peer store needs;
+// *simmpi.World implements it.
+type Liveness interface {
+	Alive(rank int) bool
+}
+
+// PeerStoreConfig configures a PeerStore.
+type PeerStoreConfig struct {
+	// Spheres is the replica topology: Spheres[v] lists the physical
+	// ranks of virtual rank v (redundancy.RankMap.Sphere order).
+	Spheres [][]int
+	// Replicas is k, the number of buddy ranks in *other* spheres that
+	// receive a copy of each rank's image (clamped to the number of
+	// other spheres).
+	Replicas int
+	// StableEvery forwards every StableEvery-th generation to Slow, so
+	// peer generations can be much more frequent than stable ones (the
+	// whole point of in-memory checkpointing). Zero or one means every
+	// generation also goes to stable storage.
+	StableEvery int
+	// Slow is the stable-storage tier behind the peer tier; nil means
+	// peer-memory only (a job failure beyond peer recovery then restarts
+	// from scratch).
+	Slow Storage
+	// Live filters dead ranks out of holder candidate sets. Nil means
+	// all ranks are presumed alive.
+	Live Liveness
+	// FetchRetries is how many rounds over the candidate holders a fetch
+	// makes before giving up. Defaults to 4.
+	FetchRetries int
+	// FetchBackoff is the first inter-round backoff; it doubles each
+	// round. Defaults to 500µs.
+	FetchBackoff time.Duration
+	// Obs receives the store's counters (peerstore_*, peer_fetch_*).
+	// Registration happens here, not at package init, so jobs without
+	// peer replication never see these instruments.
+	Obs *obs.Registry
+	// Trace, when non-nil, receives partial-restart fetch events.
+	Trace *obs.Tracer
+}
+
+// PeerStore keeps checkpoint images replicated in the memory of peer
+// ranks, after ReStore (Hübner et al. 2022): each rank stashes its own
+// image locally and the writer replica pushes copies to k buddies in
+// other replica spheres over simmpi messages. Generations are
+// double-buffered — a commit publishes atomically and garbage-collects
+// everything older than the previous committed generation, so a failure
+// mid-commit can never corrupt the last good generation.
+//
+// The control plane (holder registry, commit records) lives in shared
+// memory under a mutex, standing in for ReStore's collective commit
+// metadata; the data plane (images) moves over real messages, so the
+// cost and failure surface of replication are modeled faithfully.
+type PeerStore struct {
+	cfg   PeerStoreConfig
+	nPhys int
+	// ownerOf maps a physical rank to its sphere (virtual rank).
+	ownerOf map[int]int
+
+	mu sync.Mutex
+	// shards[p][gen][v] is the image of virtual rank v held in physical
+	// rank p's memory.
+	shards map[int]map[uint64]map[int][]byte
+	// holders[gen][v] is the registry of physical ranks expected to hold
+	// v's image for gen.
+	holders map[uint64]map[int][]int
+	// committed[gen] is the rank count of a published generation.
+	committed map[uint64]int
+
+	met peerMetrics
+}
+
+type peerMetrics struct {
+	replicas   *obs.Counter // buddy copies pushed
+	bytes      *obs.Counter // payload bytes replicated to buddies
+	localHits  *obs.Counter // restores served from the rank's own shard
+	remoteHits *obs.Counter // restores served by a peer fetch
+	retries    *obs.Counter // fetch retry rounds
+	exhausted  *obs.Counter // fetches that ran out of candidates
+}
+
+// NewPeerStore builds a peer store over the given sphere topology.
+func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) {
+	if len(cfg.Spheres) == 0 {
+		return nil, fmt.Errorf("checkpoint: peer store needs a sphere map")
+	}
+	if cfg.Replicas < 0 {
+		return nil, fmt.Errorf("checkpoint: peer replicas = %d", cfg.Replicas)
+	}
+	if cfg.StableEvery <= 0 {
+		cfg.StableEvery = 1
+	}
+	if cfg.FetchRetries <= 0 {
+		cfg.FetchRetries = 4
+	}
+	if cfg.FetchBackoff <= 0 {
+		cfg.FetchBackoff = 500 * time.Microsecond
+	}
+	ps := &PeerStore{
+		cfg:       cfg,
+		ownerOf:   make(map[int]int),
+		shards:    make(map[int]map[uint64]map[int][]byte),
+		holders:   make(map[uint64]map[int][]int),
+		committed: make(map[uint64]int),
+	}
+	for v, sphere := range cfg.Spheres {
+		if len(sphere) == 0 {
+			return nil, fmt.Errorf("checkpoint: sphere %d is empty", v)
+		}
+		for _, p := range sphere {
+			if _, dup := ps.ownerOf[p]; dup {
+				return nil, fmt.Errorf("checkpoint: physical rank %d in two spheres", p)
+			}
+			ps.ownerOf[p] = v
+			if p+1 > ps.nPhys {
+				ps.nPhys = p + 1
+			}
+		}
+	}
+	ps.met = peerMetrics{
+		replicas:   cfg.Obs.Counter("peerstore_replicas_total"),
+		bytes:      cfg.Obs.Counter("peerstore_bytes_replicated_total"),
+		localHits:  cfg.Obs.Counter("peer_fetch_local_total"),
+		remoteHits: cfg.Obs.Counter("peer_fetch_remote_total"),
+		retries:    cfg.Obs.Counter("peer_fetch_retries_total"),
+		exhausted:  cfg.Obs.Counter("peer_fetch_exhausted_total"),
+	}
+	return ps, nil
+}
+
+// Buddies returns the physical ranks that receive copies of virtual rank
+// v's image: the writer replica of the next k spheres (wrapping, own
+// sphere excluded). The set is a function of the sphere alone, so every
+// replica of v pushes to the same buddies and tests can predict exactly
+// which deaths exhaust a fetch.
+func (ps *PeerStore) Buddies(v int) []int {
+	n := len(ps.cfg.Spheres)
+	k := ps.cfg.Replicas
+	if k > n-1 {
+		k = n - 1
+	}
+	out := make([]int, 0, k)
+	for i := 1; len(out) < k; i++ {
+		out = append(out, ps.cfg.Spheres[(v+i)%n][0])
+	}
+	return out
+}
+
+func (ps *PeerStore) alive(p int) bool {
+	return ps.cfg.Live == nil || ps.cfg.Live.Alive(p)
+}
+
+// stash records an image into a physical rank's shard and registers the
+// rank as a holder.
+func (ps *PeerStore) stash(phys int, gen uint64, v int, state []byte) {
+	buf := make([]byte, len(state))
+	copy(buf, state)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	shard := ps.shards[phys]
+	if shard == nil {
+		shard = make(map[uint64]map[int][]byte)
+		ps.shards[phys] = shard
+	}
+	g := shard[gen]
+	if g == nil {
+		g = make(map[int][]byte)
+		shard[gen] = g
+	}
+	g[v] = buf
+	ps.registerHolderLocked(gen, v, phys)
+}
+
+func (ps *PeerStore) registerHolderLocked(gen uint64, v, phys int) {
+	hg := ps.holders[gen]
+	if hg == nil {
+		hg = make(map[int][]int)
+		ps.holders[gen] = hg
+	}
+	for _, h := range hg[v] {
+		if h == phys {
+			return
+		}
+	}
+	hg[v] = append(hg[v], phys)
+}
+
+// lookup reads an image from a physical rank's shard.
+func (ps *PeerStore) lookup(phys int, gen uint64, v int) ([]byte, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	state, ok := ps.shards[phys][gen][v]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(state))
+	copy(out, state)
+	return out, true
+}
+
+// InvalidateRank wipes a physical rank's shard and holder registrations:
+// the rank's memory is gone (it was killed), so fetches must not be
+// routed to its revived incarnation until it re-stashes at the next
+// checkpoint.
+func (ps *PeerStore) InvalidateRank(phys int) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	delete(ps.shards, phys)
+	for _, hg := range ps.holders {
+		for v, hs := range hg {
+			kept := hs[:0]
+			for _, h := range hs {
+				if h != phys {
+					kept = append(kept, h)
+				}
+			}
+			hg[v] = kept
+		}
+	}
+}
+
+// UsableGeneration returns the newest committed generation every virtual
+// rank of which has at least one live holder — the generation a partial
+// restart would restore. ok is false when no generation qualifies, which
+// tells the orchestrator to fall back to a full restart.
+func (ps *PeerStore) UsableGeneration() (gen uint64, n int, ok bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.usableLocked()
+}
+
+func (ps *PeerStore) usableLocked() (uint64, int, bool) {
+	gens := make([]uint64, 0, len(ps.committed))
+	for g := range ps.committed {
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
+	for _, g := range gens {
+		if ps.coveredLocked(g, ps.committed[g]) {
+			return g, ps.committed[g], true
+		}
+	}
+	return 0, 0, false
+}
+
+func (ps *PeerStore) coveredLocked(gen uint64, n int) bool {
+	hg := ps.holders[gen]
+	for v := 0; v < n; v++ {
+		live := false
+		for _, h := range hg[v] {
+			if ps.alive(h) {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return false
+		}
+	}
+	return true
+}
+
+// Serve runs the replication/fetch server for one physical rank until
+// its communicator errors (kill, interrupt, or abort). The orchestrator
+// runs one Serve goroutine per rank per epoch, concurrently with the
+// application, so buddies absorb images and answer fetches without the
+// application's cooperation.
+func (ps *PeerStore) Serve(comm mpi.Comm) {
+	me := comm.Rank()
+	for {
+		msg, err := comm.Recv(mpi.AnySource, tagPeerService)
+		if err != nil {
+			return
+		}
+		op, gen, v, payload, derr := decodePeer(msg.Data)
+		if derr != nil {
+			continue
+		}
+		switch op {
+		case opReplicate:
+			ps.stash(me, gen, v, payload)
+		case opFetch:
+			reply := encodePeer(opMiss, gen, v, nil)
+			if state, ok := ps.lookup(me, gen, v); ok {
+				reply = encodePeer(opFound, gen, v, state)
+			}
+			if err := comm.Send(msg.Source, tagPeerReply, reply); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// View binds the store to one physical rank's communicator and returns
+// the Storage the rank's checkpoint client writes through. Views are
+// cheap; the orchestrator makes a fresh one per rank per epoch.
+func (ps *PeerStore) View(comm mpi.Comm) Storage {
+	return &peerView{ps: ps, comm: comm}
+}
+
+// peerView is the per-rank Storage facade over a PeerStore. The rank
+// argument of Write/Read is the *virtual* rank (that is what the
+// checkpoint client passes); the physical identity comes from the bound
+// communicator.
+type peerView struct {
+	ps   *PeerStore
+	comm mpi.Comm
+}
+
+var _ Storage = (*peerView)(nil)
+
+// isSphereWriter reports whether this view's physical rank is the lowest
+// live replica of sphere v — the one that pushes buddy copies and writes
+// the stable tier (every replica stashes its own copy locally).
+func (pv *peerView) isSphereWriter(v int) bool {
+	for _, p := range pv.ps.cfg.Spheres[v] {
+		if pv.ps.alive(p) {
+			return p == pv.comm.Rank()
+		}
+	}
+	return false
+}
+
+// Write implements Storage: stash locally, and — as the sphere's writer
+// replica — push copies to the buddies and to the stable tier at its
+// cadence.
+func (pv *peerView) Write(gen uint64, rank int, state []byte) error {
+	ps := pv.ps
+	if rank < 0 || rank >= len(ps.cfg.Spheres) {
+		return fmt.Errorf("checkpoint: peer write rank %d of %d", rank, len(ps.cfg.Spheres))
+	}
+	ps.stash(pv.comm.Rank(), gen, rank, state)
+	if !pv.isSphereWriter(rank) {
+		return nil
+	}
+	payload := encodePeer(opReplicate, gen, rank, state)
+	for _, buddy := range ps.Buddies(rank) {
+		if !ps.alive(buddy) {
+			continue
+		}
+		if err := pv.comm.Send(buddy, tagPeerService, payload); err != nil {
+			return fmt.Errorf("checkpoint: replicating gen %d rank %d to %d: %w",
+				gen, rank, buddy, err)
+		}
+		ps.mu.Lock()
+		ps.registerHolderLocked(gen, rank, buddy)
+		ps.mu.Unlock()
+		ps.met.replicas.Inc()
+		ps.met.bytes.Add(uint64(len(state)))
+	}
+	if ps.cfg.Slow != nil && gen%uint64(ps.cfg.StableEvery) == 0 {
+		if err := ps.cfg.Slow.Write(gen, rank, state); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Commit implements Storage: publish the generation in the peer control
+// plane (requiring a registered holder for every rank — the mid-commit
+// double-buffer guarantee), forward stable-cadence generations to the
+// slow tier, and garbage-collect everything older than the previous
+// committed generation.
+func (pv *peerView) Commit(gen uint64, n int) error {
+	ps := pv.ps
+	ps.mu.Lock()
+	if _, done := ps.committed[gen]; !done {
+		hg := ps.holders[gen]
+		for v := 0; v < n; v++ {
+			if len(hg[v]) == 0 {
+				ps.mu.Unlock()
+				return fmt.Errorf("commit gen %d: rank %d: %w", gen, v, ErrIncomplete)
+			}
+		}
+		ps.committed[gen] = n
+		ps.gcLocked(gen)
+	}
+	ps.mu.Unlock()
+	if ps.cfg.Slow != nil && gen%uint64(ps.cfg.StableEvery) == 0 {
+		return ps.cfg.Slow.Commit(gen, n)
+	}
+	return nil
+}
+
+// gcLocked drops every generation older than the committed generation
+// preceding justCommitted, keeping exactly the double buffer: the new
+// generation and its committed predecessor.
+func (ps *PeerStore) gcLocked(justCommitted uint64) {
+	var prev uint64
+	hasPrev := false
+	for g := range ps.committed {
+		if g < justCommitted && (!hasPrev || g > prev) {
+			prev = g
+			hasPrev = true
+		}
+	}
+	floor := justCommitted
+	if hasPrev {
+		floor = prev
+	}
+	for g := range ps.holders {
+		if g < floor {
+			delete(ps.holders, g)
+			delete(ps.committed, g)
+			for _, shard := range ps.shards {
+				delete(shard, g)
+			}
+		}
+	}
+}
+
+// Latest implements Storage: the newest generation restorable right now,
+// preferring the peer tier when its best live-covered generation is at
+// least as new as stable storage's.
+func (pv *peerView) Latest() (uint64, int, bool, error) {
+	ps := pv.ps
+	ps.mu.Lock()
+	fastGen, fastN, fastOK := ps.usableLocked()
+	ps.mu.Unlock()
+	if ps.cfg.Slow != nil {
+		slowGen, slowN, slowOK, err := ps.cfg.Slow.Latest()
+		if err != nil {
+			return 0, 0, false, err
+		}
+		if slowOK && (!fastOK || slowGen > fastGen) {
+			return slowGen, slowN, true, nil
+		}
+	}
+	return fastGen, fastN, fastOK, nil
+}
+
+// Read implements Storage: own shard first (survivors restore with zero
+// traffic), then bounded-retry fetch over the live holders, then — for
+// generations stable storage also has — the slow tier.
+func (pv *peerView) Read(gen uint64, rank int) ([]byte, error) {
+	ps := pv.ps
+	ps.mu.Lock()
+	_, fastCommitted := ps.committed[gen]
+	ps.mu.Unlock()
+	if !fastCommitted {
+		if ps.cfg.Slow != nil {
+			return ps.cfg.Slow.Read(gen, rank)
+		}
+		return nil, fmt.Errorf("read gen %d: %w", gen, ErrNotCommitted)
+	}
+	if state, ok := ps.lookup(pv.comm.Rank(), gen, rank); ok {
+		ps.met.localHits.Inc()
+		return state, nil
+	}
+	state, err := pv.fetch(gen, rank)
+	if err == nil {
+		// Cache the image: this rank is now a holder too, which both
+		// localises its future restores and thickens the holder set.
+		ps.stash(pv.comm.Rank(), gen, rank, state)
+		return state, nil
+	}
+	if errors.Is(err, ErrPeerFetchExhausted) && ps.cfg.Slow != nil {
+		if slow, serr := ps.cfg.Slow.Read(gen, rank); serr == nil {
+			return slow, nil
+		}
+	}
+	return nil, err
+}
+
+// fetch asks live holders for the image, FetchRetries rounds over the
+// candidate set with exponentially backed-off pauses between rounds (a
+// replicate may still be in a buddy's mailbox when the fetch starts).
+func (pv *peerView) fetch(gen uint64, rank int) ([]byte, error) {
+	ps := pv.ps
+	me := pv.comm.Rank()
+	backoff := ps.cfg.FetchBackoff
+	for round := 0; round < ps.cfg.FetchRetries; round++ {
+		if round > 0 {
+			ps.met.retries.Inc()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		ps.mu.Lock()
+		candidates := append([]int(nil), ps.holders[gen][rank]...)
+		ps.mu.Unlock()
+		sort.Ints(candidates)
+		for _, c := range candidates {
+			if c == me || !ps.alive(c) {
+				continue
+			}
+			if err := pv.comm.Send(c, tagPeerService, encodePeer(opFetch, gen, rank, nil)); err != nil {
+				return nil, err
+			}
+			msg, err := pv.comm.Recv(c, tagPeerReply)
+			if errors.Is(err, mpi.ErrPeerDead) {
+				continue // holder died mid-request; try the next one
+			}
+			if err != nil {
+				return nil, err
+			}
+			op, rgen, rv, payload, derr := decodePeer(msg.Data)
+			if derr != nil || rgen != gen || rv != rank {
+				continue
+			}
+			if op == opFound {
+				ps.met.remoteHits.Inc()
+				ps.cfg.Trace.Emit("peer_fetch", me, rank, int(gen), map[string]any{
+					"holder": c, "bytes": len(payload), "round": round,
+				})
+				return payload, nil
+			}
+		}
+	}
+	ps.met.exhausted.Inc()
+	return nil, fmt.Errorf("gen %d rank %d after %d rounds: %w",
+		gen, rank, ps.cfg.FetchRetries, ErrPeerFetchExhausted)
+}
+
+// Drop implements Storage.
+func (pv *peerView) Drop(gen uint64) error {
+	ps := pv.ps
+	ps.mu.Lock()
+	delete(ps.holders, gen)
+	delete(ps.committed, gen)
+	for _, shard := range ps.shards {
+		delete(shard, gen)
+	}
+	ps.mu.Unlock()
+	if ps.cfg.Slow != nil {
+		return ps.cfg.Slow.Drop(gen)
+	}
+	return nil
+}
+
+// --- wire codec: op byte | gen (8 bytes LE) | vrank (8 bytes LE) | payload ---
+
+const peerHeaderLen = 17
+
+func encodePeer(op byte, gen uint64, v int, payload []byte) []byte {
+	buf := make([]byte, peerHeaderLen+len(payload))
+	buf[0] = op
+	for b := 0; b < 8; b++ {
+		buf[1+b] = byte(gen >> (8 * b))
+		buf[9+b] = byte(uint64(v) >> (8 * b))
+	}
+	copy(buf[peerHeaderLen:], payload)
+	return buf
+}
+
+func decodePeer(buf []byte) (op byte, gen uint64, v int, payload []byte, err error) {
+	if len(buf) < peerHeaderLen {
+		return 0, 0, 0, nil, fmt.Errorf("checkpoint: peer frame of %d bytes", len(buf))
+	}
+	op = buf[0]
+	var vu uint64
+	for b := 0; b < 8; b++ {
+		gen |= uint64(buf[1+b]) << (8 * b)
+		vu |= uint64(buf[9+b]) << (8 * b)
+	}
+	return op, gen, int(int64(vu)), buf[peerHeaderLen:], nil
+}

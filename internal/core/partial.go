@@ -1,0 +1,547 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/checkpoint"
+	"repro/internal/failure"
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/redundancy"
+	"repro/internal/simmpi"
+)
+
+// StepKill is a deterministic, step-triggered failure: when the
+// application first reports reaching Step (via the writer replica's
+// NoteStep hook), physical rank Rank is fail-stopped. Unlike time-based
+// schedules this pins the kill to an exact point in the computation, so
+// recomputed-work comparisons between recovery strategies are exact and
+// race-free. Each entry fires at most once per Run.
+type StepKill struct {
+	// Step is the 1-based application step that triggers the kill.
+	Step int
+	// Rank is the physical rank to kill.
+	Rank int
+}
+
+// stepAccounting tracks per-virtual-rank step high-water marks across an
+// entire Run: a step at or below the high-water mark is recomputation —
+// the paper's rework term, made observable. It also owns the fire-once
+// state of the step-triggered kill schedule.
+type stepAccounting struct {
+	hwm        []atomic.Int64
+	observed   *obs.Gauge // runner_steps_observed
+	recomputed *obs.Gauge // runner_recomputed_steps
+	kills      []StepKill
+	fired      []atomic.Bool
+}
+
+func newStepAccounting(nVirtual int, kills []StepKill, reg *obs.Registry) *stepAccounting {
+	return &stepAccounting{
+		hwm:        make([]atomic.Int64, nVirtual),
+		observed:   reg.Gauge("runner_steps_observed"),
+		recomputed: reg.Gauge("runner_recomputed_steps"),
+		kills:      kills,
+		fired:      make([]atomic.Bool, len(kills)),
+	}
+}
+
+// note records one executed step of virtual rank v.
+func (a *stepAccounting) note(v, step int) {
+	a.observed.Add(1)
+	for {
+		cur := a.hwm[v].Load()
+		if int64(step) <= cur {
+			a.recomputed.Add(1)
+			return
+		}
+		if a.hwm[v].CompareAndSwap(cur, int64(step)) {
+			return
+		}
+	}
+}
+
+// maybeFire triggers any step kill whose step has been reached.
+func (a *stepAccounting) maybeFire(step int, inj *failure.Injector) {
+	if inj == nil {
+		return
+	}
+	for i := range a.kills {
+		if step >= a.kills[i].Step && a.fired[i].CompareAndSwap(false, true) {
+			inj.InjectNow(a.kills[i].Rank)
+		}
+	}
+}
+
+// epochResult is what one driver epoch (one application execution)
+// produced.
+type epochResult struct {
+	app         apps.App
+	stats       redundancy.Stats
+	checkpoints int
+	restores    int
+	err         error
+}
+
+// partialGate coordinates one attempt's per-rank driver goroutines with
+// its supervisor. Each driver runs the application in *epochs*; between
+// epochs the supervisor may pause the world (simmpi interrupt), revive
+// the dead ranks, and release everyone into a fresh epoch that restarts
+// from the peer-replicated checkpoint — the sphere-local partial restart.
+// When recovery is impossible the supervisor aborts the world exactly as
+// the pre-existing full-restart path did.
+type partialGate struct {
+	cfg     Config
+	world   *simmpi.World
+	rankMap *redundancy.RankMap
+	spheres [][]int
+	store   checkpoint.Storage
+	peer    *checkpoint.PeerStore
+	inj     *failure.Injector
+	jobReg  *obs.Registry
+	factory func() apps.App
+	corrupt map[int]bool
+	acct    *stepAccounting
+	limit   int
+
+	partials  *obs.Counter // partial_restarts_total (nil unless enabled)
+	fallbacks *obs.Counter // partial_fallbacks_total
+
+	serverWG sync.WaitGroup
+
+	mu           sync.Mutex
+	cond         *sync.Cond
+	active       int
+	parked       int
+	interrupting bool
+	release      chan struct{}
+	done         chan struct{}
+	doneClosed   bool
+
+	partialRestarts int
+	fetchAborted    bool
+
+	completedBy    map[int]apps.App
+	appErrs        map[int]error
+	redStats       redundancy.Stats
+	maxCheckpoints int
+	restored       bool
+}
+
+func newPartialGate(cfg Config, world *simmpi.World, rankMap *redundancy.RankMap,
+	spheres [][]int, store checkpoint.Storage, peer *checkpoint.PeerStore,
+	inj *failure.Injector, jobReg *obs.Registry, acct *stepAccounting,
+	factory func() apps.App,
+) *partialGate {
+	g := &partialGate{
+		cfg:         cfg,
+		world:       world,
+		rankMap:     rankMap,
+		spheres:     spheres,
+		store:       store,
+		peer:        peer,
+		inj:         inj,
+		jobReg:      jobReg,
+		factory:     factory,
+		acct:        acct,
+		limit:       cfg.PartialRestartLimit,
+		release:     make(chan struct{}),
+		done:        make(chan struct{}),
+		completedBy: make(map[int]apps.App),
+		appErrs:     make(map[int]error),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	if g.limit <= 0 {
+		g.limit = 3
+	}
+	g.corrupt = make(map[int]bool, len(cfg.CorruptRanks))
+	for _, p := range cfg.CorruptRanks {
+		g.corrupt[p] = true
+	}
+	if g.recoveryEnabled() {
+		// Feature-gated registration: jobs without partial restart never
+		// see these counters (keeps existing golden snapshots additive).
+		g.partials = jobReg.Counter("partial_restarts_total")
+		g.fallbacks = jobReg.Counter("partial_fallbacks_total")
+	}
+	return g
+}
+
+func (g *partialGate) recoveryEnabled() bool {
+	return g.cfg.PartialRestart && g.peer != nil && g.inj != nil
+}
+
+// startServers launches one peer-store server goroutine per live rank;
+// each exits when its communicator errors (kill, interrupt, abort).
+func (g *partialGate) startServers() {
+	if g.peer == nil {
+		return
+	}
+	for p := 0; p < g.world.Size(); p++ {
+		if !g.world.Alive(p) {
+			continue
+		}
+		comm, err := g.world.Comm(p)
+		if err != nil {
+			continue
+		}
+		g.serverWG.Add(1)
+		go func(c *simmpi.Comm) {
+			defer g.serverWG.Done()
+			g.peer.Serve(c)
+		}(comm)
+	}
+}
+
+// spawnAll registers every rank as active before launching any driver,
+// so the attempt cannot be declared done while spawning is in progress.
+func (g *partialGate) spawnAll() {
+	g.mu.Lock()
+	g.active = g.world.Size()
+	g.mu.Unlock()
+	for p := 0; p < g.world.Size(); p++ {
+		go g.driver(p)
+	}
+}
+
+// spawnLocked adds one driver mid-attempt (revived rank, or a completed
+// rank that must recompute after a rollback). Caller holds g.mu.
+func (g *partialGate) spawnLocked(p int) {
+	g.active++
+	if g.doneClosed {
+		// The attempt had drained completely; recovery reopens it.
+		g.done = make(chan struct{})
+		g.doneClosed = false
+	}
+	go g.driver(p)
+}
+
+// driver runs one physical rank: epochs of the application until the
+// rank exits (completion, death, abort, or unrecoverable error).
+func (g *partialGate) driver(p int) {
+	for {
+		res := g.runEpoch(p)
+		rerun, release := g.epochEnd(p, res)
+		if !rerun {
+			return
+		}
+		<-release
+	}
+}
+
+// runEpoch executes the application once for rank p: fresh interposition
+// layer, fresh checkpoint client (restore happens inside the app), then
+// the app itself.
+func (g *partialGate) runEpoch(p int) epochResult {
+	pc, err := g.world.Comm(p)
+	if err != nil {
+		return epochResult{err: err}
+	}
+	rc, err := redundancy.New(pc, g.rankMap, redundancy.Options{
+		Live:    g.world,
+		Mode:    g.cfg.Mode,
+		Corrupt: g.corrupt[p],
+	})
+	if err != nil {
+		return epochResult{err: err}
+	}
+	ccfg := checkpoint.Config{
+		Storage: g.store,
+		Obs:     g.jobReg,
+		Trace:   g.cfg.Tracer,
+	}
+	if g.peer != nil {
+		// Every replica stashes into its own memory shard, so survivors
+		// of a partial restart restore without touching the network.
+		ccfg.Storage = g.peer.View(pc)
+		ccfg.WriteAllReplicas = true
+	}
+	if g.cfg.StepInterval > 0 {
+		ccfg.StepInterval = g.cfg.StepInterval
+		ccfg.SkipBookmark = g.cfg.SkipBookmark
+	}
+	client, err := checkpoint.NewClient(rc, ccfg)
+	if err != nil {
+		return epochResult{err: err}
+	}
+	myPhys := pc.Rank()
+	v := rc.Rank()
+	sphere := g.spheres[v]
+	world := g.world
+	inj := g.inj
+	acct := g.acct
+	ctx := &apps.Context{
+		Comm: rc,
+		Ckpt: client,
+		IsWriter: func() bool {
+			for _, q := range sphere {
+				if world.Alive(q) {
+					return q == myPhys
+				}
+			}
+			return false
+		},
+		ComputeDelay: g.cfg.ComputeDelay,
+		NoteStep: func(step int) {
+			acct.note(v, step)
+			acct.maybeFire(step, inj)
+		},
+	}
+	app := g.factory()
+	runErr := app.Run(ctx)
+	return epochResult{
+		app:         app,
+		stats:       rc.Stats(),
+		checkpoints: client.Checkpoints(),
+		restores:    client.Restores(),
+		err:         runErr,
+	}
+}
+
+// epochEnd classifies one finished epoch under the gate's lock: exit the
+// driver, or park it for the next epoch. The classification and the
+// supervisor's interrupt decision are serialised on g.mu, so a driver
+// can never slip out after recovery has begun.
+func (g *partialGate) epochEnd(p int, res epochResult) (rerun bool, release chan struct{}) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	addStats(&g.redStats, res.stats)
+	if res.checkpoints > g.maxCheckpoints {
+		g.maxCheckpoints = res.checkpoints
+	}
+	if res.restores > 0 {
+		g.restored = true
+	}
+	switch {
+	case g.world.Aborted(), !g.world.Alive(p):
+		return g.exitLocked()
+	case g.interrupting:
+		return g.parkLocked()
+	case res.err == nil:
+		g.completedBy[p] = res.app
+		return g.exitLocked()
+	case errors.Is(res.err, checkpoint.ErrPeerFetchExhausted):
+		// Peer recovery failed under this rank: tear the job down so the
+		// orchestrator performs a full restart from stable storage.
+		g.fetchAborted = true
+		g.world.Abort()
+		return g.exitLocked()
+	case isFailureClass(res.err):
+		if g.recoveryEnabled() {
+			// A sphere is dying around us; park until the supervisor
+			// either recovers in place or aborts for a full restart.
+			return g.parkLocked()
+		}
+		return g.exitLocked() // expected casualty, like world.Run's failureErrs
+	case g.recoveryEnabled() && isCheckpointCasualty(res.err):
+		return g.parkLocked()
+	default:
+		if _, dup := g.appErrs[p]; !dup {
+			g.appErrs[p] = res.err
+		}
+		return g.exitLocked()
+	}
+}
+
+func (g *partialGate) exitLocked() (bool, chan struct{}) {
+	g.active--
+	if g.active == 0 && !g.doneClosed {
+		g.doneClosed = true
+		close(g.done)
+	}
+	g.cond.Broadcast()
+	return false, nil
+}
+
+func (g *partialGate) parkLocked() (bool, chan struct{}) {
+	g.parked++
+	g.cond.Broadcast()
+	return true, g.release
+}
+
+// releaseParked starts a fresh epoch for every parked driver (used on
+// the abort path; woken drivers observe the aborted world and exit).
+func (g *partialGate) releaseParked() {
+	g.mu.Lock()
+	old := g.release
+	g.release = make(chan struct{})
+	g.parked = 0
+	g.mu.Unlock()
+	close(old)
+}
+
+// doneCh returns the current completion channel (recovery can reopen it).
+func (g *partialGate) doneCh() chan struct{} {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.done
+}
+
+// supervise is the attempt's control loop, replacing the old watchdog
+// goroutine: it waits for completion, job failure, or the watchdog
+// timeout, attempting an in-place recovery on job failure before falling
+// back to the abort-and-restart path.
+func (g *partialGate) supervise(timeout time.Duration) (jobFailed, timedOut bool) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	var failedCh <-chan int
+	if g.inj != nil {
+		failedCh = g.inj.JobFailed()
+	}
+	abort := func() {
+		g.world.Abort()
+		g.releaseParked()
+		failedCh = nil
+	}
+	for {
+		select {
+		case <-g.doneCh():
+			// Give a pending failure event priority over completion: the
+			// last drivers may have drained exactly as a sphere died, in
+			// which case recovery must reopen the attempt.
+			select {
+			case v := <-failedCh:
+				if g.tryRecover(v) {
+					continue
+				}
+				jobFailed = true
+				abort()
+				continue
+			default:
+			}
+			return jobFailed, timedOut
+		case v := <-failedCh:
+			if g.tryRecover(v) {
+				continue
+			}
+			jobFailed = true
+			abort()
+		case <-timer.C:
+			timedOut = true
+			abort()
+		}
+	}
+}
+
+// tryRecover performs a sphere-local partial restart: pause the world,
+// drain every live driver to its epoch boundary, revive the dead ranks,
+// rearm the injector, and release everyone into a fresh epoch restoring
+// from the newest peer-held generation. Returns false when the fallback
+// to a full coordinated restart is required (feature off, budget spent,
+// or no generation fully covered by live holders).
+func (g *partialGate) tryRecover(sphere int) bool {
+	if !g.recoveryEnabled() {
+		return false
+	}
+	if g.partialRestarts >= g.limit {
+		g.fallbacks.Inc()
+		return false
+	}
+	if _, _, ok := g.peer.UsableGeneration(); !ok {
+		g.fallbacks.Inc()
+		return false
+	}
+
+	g.mu.Lock()
+	g.interrupting = true
+	g.mu.Unlock()
+	g.world.Interrupt()
+	g.mu.Lock()
+	for g.parked < g.active {
+		g.cond.Wait()
+	}
+	g.mu.Unlock()
+	g.serverWG.Wait()
+
+	// Re-check under quiesced state: more deaths may have landed while
+	// draining, and they may have taken the last holder with them.
+	gen, _, ok := g.peer.UsableGeneration()
+	if !ok {
+		g.fallbacks.Inc()
+		return false // caller aborts; parked drivers wake and exit
+	}
+
+	var revived []int
+	for p := 0; p < g.world.Size(); p++ {
+		if g.world.Alive(p) {
+			continue
+		}
+		// The rank's memory died with it: wipe its shard before the new
+		// incarnation rejoins, so fetches are never routed to it until it
+		// re-stashes at the next checkpoint.
+		g.peer.InvalidateRank(p)
+		g.world.Revive(p)
+		revived = append(revived, p)
+	}
+	g.inj.Rearm()
+	g.world.Resume()
+	g.startServers()
+
+	g.mu.Lock()
+	g.partialRestarts++
+	g.interrupting = false
+	old := g.release
+	g.release = make(chan struct{})
+	g.parked = 0
+	for _, p := range revived {
+		g.spawnLocked(p)
+	}
+	// Ranks that finished before the rollback point must recompute too —
+	// their peers are about to replay messages at them.
+	for p := range g.completedBy {
+		delete(g.completedBy, p)
+		g.spawnLocked(p)
+	}
+	g.mu.Unlock()
+	close(old)
+
+	g.partials.Inc()
+	g.cfg.Tracer.Emit("partial_restart", -1, sphere, int(gen), map[string]any{
+		"revived": len(revived),
+	})
+	return true
+}
+
+// completedApps returns the apps that finished the final epoch cleanly.
+func (g *partialGate) completedApps() []apps.App {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]apps.App, 0, len(g.completedBy))
+	for p := 0; p < g.world.Size(); p++ {
+		if app, ok := g.completedBy[p]; ok {
+			out = append(out, app)
+		}
+	}
+	return out
+}
+
+// firstAppError returns the lowest-rank application error, matching the
+// rank-ordered selection of the old world.Run path.
+func (g *partialGate) firstAppError() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p := 0; p < g.world.Size(); p++ {
+		if err, ok := g.appErrs[p]; ok {
+			return RankError{Rank: p, Err: err}
+		}
+	}
+	return nil
+}
+
+// RankError pairs a rank with the error its driver returned (the core
+// analogue of simmpi.RankError, kept for error-message compatibility).
+type RankError = simmpi.RankError
+
+// isFailureClass reports errors that are expected casualties of failure
+// injection rather than application bugs.
+func isFailureClass(err error) bool {
+	return errors.Is(err, mpi.ErrKilled) ||
+		errors.Is(err, mpi.ErrPeerDead) ||
+		errors.Is(err, mpi.ErrAborted) ||
+		errors.Is(err, mpi.ErrInterrupted) ||
+		errors.Is(err, redundancy.ErrSphereDead)
+}

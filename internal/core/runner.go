@@ -10,7 +10,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/apps"
@@ -42,6 +41,26 @@ type Config struct {
 	// SkipBookmark disables the quiescence verification.
 	SkipBookmark bool
 
+	// PeerReplicas, when positive, layers an in-memory peer-replicated
+	// checkpoint tier over Storage: each rank's snapshot is additionally
+	// held by PeerReplicas buddy ranks in other replica spheres, and
+	// Storage becomes the slow tier written only every StableEvery-th
+	// generation. Zero keeps the original Storage-only behaviour.
+	PeerReplicas int
+	// StableEvery writes only every StableEvery-th checkpoint generation
+	// to Storage when the peer tier is enabled (the cadence differential
+	// is where partial restart wins). Zero or one means every generation.
+	StableEvery int
+	// PartialRestart enables sphere-local recovery: when a sphere dies
+	// but the peer tier still holds a usable generation, the dead ranks
+	// are revived in place and the job resumes from the peer generation
+	// instead of tearing the world down for a full coordinated restart.
+	// Requires PeerReplicas > 0 and StepInterval > 0.
+	PartialRestart bool
+	// PartialRestartLimit bounds in-place recoveries per attempt before
+	// falling back to full restarts; zero means 3.
+	PartialRestartLimit int
+
 	// NodeMTBF enables Poisson failure injection with the given per-node
 	// MTBF (scaled down to test scale); zero disables injection.
 	NodeMTBF time.Duration
@@ -52,6 +71,11 @@ type Config struct {
 	// a deterministic kill list can force exactly one restart cycle
 	// (golden metrics jobs, worked EXPERIMENTS examples).
 	ScheduleOnce bool
+	// StepKills injects failures pinned to application steps rather than
+	// wall-clock offsets; each entry fires at most once per Run, the
+	// first time any writer replica reports reaching the step. This is
+	// the deterministic chaos schedule the recovery tests rely on.
+	StepKills []StepKill
 	// Seed drives the failure draws (each attempt splits a fresh child
 	// stream, so attempts see independent failure patterns).
 	Seed int64
@@ -99,6 +123,21 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: StepInterval = %d", cfg.StepInterval)
 	case cfg.MaxRestarts < 0:
 		return fmt.Errorf("core: MaxRestarts = %d", cfg.MaxRestarts)
+	case cfg.PeerReplicas < 0:
+		return fmt.Errorf("core: PeerReplicas = %d", cfg.PeerReplicas)
+	case cfg.StableEvery < 0:
+		return fmt.Errorf("core: StableEvery = %d", cfg.StableEvery)
+	case cfg.StableEvery > 1 && cfg.PeerReplicas == 0:
+		return fmt.Errorf("core: StableEvery = %d requires PeerReplicas > 0", cfg.StableEvery)
+	case cfg.PartialRestart && cfg.PeerReplicas == 0:
+		return fmt.Errorf("core: PartialRestart requires PeerReplicas > 0")
+	case cfg.PartialRestart && cfg.StepInterval == 0:
+		return fmt.Errorf("core: PartialRestart requires StepInterval > 0")
+	}
+	for _, k := range cfg.StepKills {
+		if k.Step <= 0 || k.Rank < 0 {
+			return fmt.Errorf("core: bad StepKill {Step: %d, Rank: %d}", k.Step, k.Rank)
+		}
 	}
 	return nil
 }
@@ -127,6 +166,9 @@ type Attempt struct {
 	Checkpoints int
 	// Restored reports whether the attempt started from a checkpoint.
 	Restored bool
+	// PartialRestarts counts the sphere-local in-place recoveries this
+	// attempt performed instead of tearing the world down.
+	PartialRestarts int
 	// Kills lists the physical ranks the injector killed this attempt,
 	// in injection order (nil without failure injection).
 	Kills []failure.Kill
@@ -151,6 +193,13 @@ type Result struct {
 	// Redundancy aggregates the interposition layer's counters over the
 	// final attempt.
 	Redundancy redundancy.Stats
+	// PartialRestarts is the total number of sphere-local in-place
+	// recoveries across all attempts.
+	PartialRestarts int
+	// RecomputedSteps counts application steps executed at or below a
+	// virtual rank's previous high-water mark — the paper's rework term,
+	// observed directly. Covers both full and partial restarts.
+	RecomputedSteps int64
 	// CompletedApps holds, for the successful attempt, one application
 	// instance per replica goroutine that finished cleanly (for result
 	// inspection, e.g. the CG checksum).
@@ -226,6 +275,9 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 		jobReg = obs.NewRegistry()
 	}
 	rm := newRunnerMetrics(jobReg)
+	// Step accounting spans the whole Run: the high-water marks survive
+	// restarts so that recomputation after a full restart counts too.
+	acct := newStepAccounting(rankMap.VirtualSize(), cfg.StepKills, jobReg)
 
 	res := Result{PhysicalRanks: rankMap.PhysicalSize()}
 	start := time.Now()
@@ -239,11 +291,12 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 		}
 		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
 		at, apps, redStats, worldSnap, appErr := runAttempt(
-			cfg, rankMap, store, stream.Split(), timeout, attempt, jobReg, factory)
+			cfg, rankMap, store, stream.Split(), timeout, attempt, jobReg, acct, factory)
 		at.Index = attempt
 		res.Attempts = append(res.Attempts, at)
 		res.TotalFailures += at.Failures
 		res.TotalCheckpoints += at.Checkpoints
+		res.PartialRestarts += at.PartialRestarts
 		res.Restarts = attempt
 		res.Redundancy = redStats
 		rm.attemptMS.Observe(float64(at.Elapsed.Milliseconds()))
@@ -283,15 +336,18 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 			})
 			res.Elapsed = time.Since(start)
 			res.CompletedApps = apps
+			res.RecomputedSteps = acct.recomputed.Value()
 			res.Metrics = jobReg.Snapshot()
 			return res, nil
 		case at.TimedOut:
 			res.Elapsed = time.Since(start)
+			res.RecomputedSteps = acct.recomputed.Value()
 			res.Metrics = jobReg.Snapshot()
 			return res, fmt.Errorf("attempt %d: %w", attempt, ErrAttemptTimeout)
 		case appErr != nil && !at.JobFailed:
 			// A genuine application error, not failure-induced.
 			res.Elapsed = time.Since(start)
+			res.RecomputedSteps = acct.recomputed.Value()
 			res.Metrics = jobReg.Snapshot()
 			return res, fmt.Errorf("attempt %d: %w", attempt, appErr)
 		}
@@ -301,17 +357,21 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 		"completed": false, "restarts": cfg.MaxRestarts,
 	})
 	res.Elapsed = time.Since(start)
+	res.RecomputedSteps = acct.recomputed.Value()
 	res.Metrics = jobReg.Snapshot()
 	return res, fmt.Errorf("%w after %d attempts", ErrRestartsExhausted, cfg.MaxRestarts+1)
 }
 
 // runAttempt executes one job attempt: fresh world, fresh injector,
-// restore-from-checkpoint inside the application. The returned Snapshot
-// holds the attempt world's communication counters; the caller decides
-// whether to merge them into the job registry.
+// restore-from-checkpoint inside the application. Per-rank driver
+// goroutines run the app in epochs under a partialGate, whose supervisor
+// either recovers sphere deaths in place (peer tier usable) or aborts
+// the world for a full restart exactly like the original watchdog. The
+// returned Snapshot holds the attempt world's communication counters;
+// the caller decides whether to merge them into the job registry.
 func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storage,
 	stream *stats.Stream, timeout time.Duration, attempt int, jobReg *obs.Registry,
-	factory func() apps.App,
+	acct *stepAccounting, factory func() apps.App,
 ) (Attempt, []apps.App, redundancy.Stats, obs.Snapshot, error) {
 	var at Attempt
 	begin := time.Now()
@@ -340,7 +400,12 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 		schedule = nil
 	}
 	var inj *failure.Injector
-	if schedule != nil || cfg.NodeMTBF > 0 {
+	if schedule != nil || cfg.NodeMTBF > 0 || len(cfg.StepKills) > 0 {
+		if schedule == nil && cfg.NodeMTBF <= 0 {
+			// Step-triggered kills only: an empty schedule makes the
+			// injector a pure InjectNow conduit.
+			schedule = []failure.Kill{}
+		}
 		inj, err = failure.New(world, spheres, failure.Config{
 			Stream:   stream,
 			NodeMTBF: cfg.NodeMTBF,
@@ -353,134 +418,75 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 		}
 	}
 
-	// Watchdog: abort on sphere death or wedged attempt.
-	done := make(chan struct{})
-	watchdogDone := make(chan struct{})
-	var jobFailed, timedOut bool
-	go func() {
-		defer close(watchdogDone)
-		timer := time.NewTimer(timeout)
-		defer timer.Stop()
-		var failedCh <-chan int
-		if inj != nil {
-			failedCh = inj.JobFailed()
+	// A fresh peer store per attempt: a full restart means the fast tier
+	// died with the job, so Latest falls through to the stable tier.
+	var peer *checkpoint.PeerStore
+	if cfg.PeerReplicas > 0 {
+		stableEvery := cfg.StableEvery
+		if stableEvery <= 0 {
+			stableEvery = 1
 		}
-		select {
-		case <-failedCh:
-			jobFailed = true
-			world.Abort()
-		case <-timer.C:
-			timedOut = true
-			world.Abort()
-		case <-done:
+		peer, err = checkpoint.NewPeerStore(checkpoint.PeerStoreConfig{
+			Spheres:     spheres,
+			Replicas:    cfg.PeerReplicas,
+			StableEvery: stableEvery,
+			Slow:        store,
+			Live:        world,
+			Obs:         jobReg,
+			Trace:       cfg.Tracer,
+		})
+		if err != nil {
+			return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
 		}
-	}()
+	}
+
+	g := newPartialGate(cfg, world, rankMap, spheres, store, peer, inj, jobReg, acct, factory)
+	g.startServers()
 	if inj != nil {
 		inj.Start()
 	}
+	g.spawnAll()
+	jobFailed, timedOut := g.supervise(timeout)
 
-	var mu sync.Mutex
-	var completed []apps.App
-	var redStats redundancy.Stats
-	maxCheckpoints := 0
-	restored := false
-
-	corrupt := make(map[int]bool, len(cfg.CorruptRanks))
-	for _, p := range cfg.CorruptRanks {
-		corrupt[p] = true
+	// Tear down the peer servers: on a clean finish the world is still
+	// up, so interrupt it to unblock their receives (no-op when aborted,
+	// where the servers have already drained).
+	if peer != nil {
+		world.Interrupt()
+		g.serverWG.Wait()
 	}
 
-	appErr, _ := world.Run(func(pc *simmpi.Comm) error {
-		rc, rerr := redundancy.New(pc, rankMap, redundancy.Options{
-			Live:    world,
-			Mode:    cfg.Mode,
-			Corrupt: corrupt[pc.Rank()],
-		})
-		if rerr != nil {
-			return rerr
-		}
-		defer func() {
-			mu.Lock()
-			addStats(&redStats, rc.Stats())
-			mu.Unlock()
-		}()
-		var client *checkpoint.Client
-		if cfg.StepInterval > 0 {
-			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{
-				Storage:      store,
-				StepInterval: cfg.StepInterval,
-				SkipBookmark: cfg.SkipBookmark,
-				Obs:          jobReg,
-				Trace:        cfg.Tracer,
-			})
-			if rerr != nil {
-				return rerr
-			}
-		} else {
-			// Checkpointing disabled, but apps still need Restore to
-			// report "no checkpoint".
-			client, rerr = checkpoint.NewClient(rc, checkpoint.Config{
-				Storage: store,
-				Obs:     jobReg,
-				Trace:   cfg.Tracer,
-			})
-			if rerr != nil {
-				return rerr
-			}
-		}
-		myPhys := pc.Rank()
-		sphere := spheres[rc.Rank()]
-		ctx := &apps.Context{
-			Comm: rc,
-			Ckpt: client,
-			IsWriter: func() bool {
-				for _, p := range sphere {
-					if world.Alive(p) {
-						return p == myPhys
-					}
-				}
-				return false
-			},
-			ComputeDelay: cfg.ComputeDelay,
-		}
-		app := factory()
-		runErr := app.Run(ctx)
-		mu.Lock()
-		if runErr == nil {
-			completed = append(completed, app)
-		}
-		if client.Checkpoints() > maxCheckpoints {
-			maxCheckpoints = client.Checkpoints()
-		}
-		if client.Restores() > 0 {
-			restored = true
-		}
-		mu.Unlock()
-		return runErr
-	})
-
-	close(done)
-	<-watchdogDone
 	if inj != nil {
 		inj.Stop()
 		at.Failures = inj.Failures()
 		at.Kills = inj.Log()
 	}
+
+	g.mu.Lock()
+	fetchAborted := g.fetchAborted
+	maxCheckpoints := g.maxCheckpoints
+	restored := g.restored
+	partialRestarts := g.partialRestarts
+	redStats := g.redStats
+	g.mu.Unlock()
+
 	// A sphere may have died exactly as the app finished; count it only
 	// if the world was actually torn down.
-	at.JobFailed = jobFailed && world.Aborted()
+	at.JobFailed = (jobFailed || fetchAborted) && world.Aborted()
 	at.TimedOut = timedOut
 	at.Elapsed = time.Since(begin)
 	at.Checkpoints = maxCheckpoints
 	at.Restored = restored
+	at.PartialRestarts = partialRestarts
 
 	// Failure-induced checkpoint errors (a writer died mid-protocol) are
 	// job failures, not application bugs.
+	appErr := g.firstAppError()
 	if appErr != nil && at.Failures > 0 && isCheckpointCasualty(appErr) {
 		at.JobFailed = true
 		appErr = nil
 	}
-	return at, completed, redStats, attemptReg.Snapshot(), appErr
+	return at, g.completedApps(), redStats, attemptReg.Snapshot(), appErr
 }
 
 // isCheckpointCasualty reports whether the error is a checkpoint-protocol

@@ -1,0 +1,41 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestRecoveryPartialBeatsFull pins the experiment's headline: on the
+// same deterministic kill schedule the partial-restart row recomputes
+// strictly fewer steps than the full-restart row.
+func TestRecoveryPartialBeatsFull(t *testing.T) {
+	tab, err := Recovery(DefaultRecoveryParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	full, partial := tab.Rows[0], tab.Rows[1]
+	if full[0] != "full restart" || partial[0] != "partial restart" {
+		t.Fatalf("row order: %q, %q", full[0], partial[0])
+	}
+	if full[1] != "1" || full[2] != "0" {
+		t.Fatalf("full row restarts: %v", full)
+	}
+	if partial[1] != "0" || partial[2] != "1" {
+		t.Fatalf("partial row restarts: %v", partial)
+	}
+	fullSteps, err := strconv.Atoi(full[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	partialSteps, err := strconv.Atoi(partial[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partialSteps == 0 || partialSteps >= fullSteps {
+		t.Fatalf("recomputed steps: partial=%d full=%d; partial must be strictly cheaper",
+			partialSteps, fullSteps)
+	}
+}

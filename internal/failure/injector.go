@@ -66,7 +66,8 @@ type Injector struct {
 	sphereOf []int
 
 	mu        sync.Mutex
-	remaining []int // live replicas per sphere
+	remaining []int        // live replicas per sphere
+	deadRanks map[int]bool // ranks currently counted dead (cleared by Rearm)
 	log       []Kill
 	stopped   bool
 	stopCh    chan struct{}
@@ -103,6 +104,7 @@ func New(target KillTarget, spheres [][]int, cfg Config) (*Injector, error) {
 		cfg:       cfg,
 		sphereOf:  make([]int, maxPhys+1),
 		remaining: make([]int, len(spheres)),
+		deadRanks: make(map[int]bool),
 		stopCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
 		jobFailed: make(chan int, 1),
@@ -237,7 +239,8 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 	inj.log = append(inj.log, Kill{Rank: rank, After: at})
 	var exhausted = -1
 	sphere := -1
-	if rank < len(inj.sphereOf) {
+	if rank < len(inj.sphereOf) && !inj.deadRanks[rank] {
+		inj.deadRanks[rank] = true
 		if v := inj.sphereOf[rank]; v >= 0 {
 			sphere = v
 			inj.remaining[v]--
@@ -272,6 +275,24 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 // schedule (test hook and manual chaos control).
 func (inj *Injector) InjectNow(rank int) {
 	inj.kill(rank, 0)
+}
+
+// Rearm resets the sphere accounting after an in-place recovery has
+// revived every dead rank: all spheres return to full strength and any
+// undelivered job-failure event is discarded as stale (it described a
+// sphere that is alive again). The kill log is preserved — Failures()
+// keeps counting across recoveries.
+func (inj *Injector) Rearm() {
+	inj.mu.Lock()
+	for v, sphere := range inj.spheres {
+		inj.remaining[v] = len(sphere)
+	}
+	inj.deadRanks = make(map[int]bool)
+	inj.mu.Unlock()
+	select {
+	case <-inj.jobFailed:
+	default:
+	}
 }
 
 // PlainSpheres builds the degenerate sphere map for an unreplicated

@@ -31,6 +31,9 @@ const (
 	// TagControlBase is the base tag for redundancy-layer control
 	// messages.
 	TagControlBase = 1 << 22
+	// TagPeerBase is the base tag for the peer-replicated checkpoint
+	// store's replication/fetch protocol (checkpoint.PeerStore).
+	TagPeerBase = 1 << 23
 )
 
 // Message is a received message with its envelope.
@@ -118,6 +121,11 @@ var (
 	// ErrAborted reports that the world was torn down (job failure or
 	// shutdown) while the operation was in flight.
 	ErrAborted = errors.New("mpi: world aborted")
+	// ErrInterrupted reports that the world paused the current epoch for
+	// an in-place recovery (sphere-local partial restart). Unlike
+	// ErrAborted the world survives: after the orchestrator revives dead
+	// ranks and resumes, ranks re-enter from the last checkpoint.
+	ErrInterrupted = errors.New("mpi: epoch interrupted")
 	// ErrInvalidRank reports a rank outside [0, Size).
 	ErrInvalidRank = errors.New("mpi: invalid rank")
 	// ErrInvalidTag reports a tag outside the permitted range.

@@ -1,0 +1,97 @@
+package simmpi
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// Hot-path benchmarks for the CI bench gate (cmd/benchgate). Each
+// iteration performs a fixed batch of work so a single `-benchtime 1x`
+// sample is well above timer granularity.
+
+const benchBatch = 2000
+
+// BenchmarkPingPong measures the blocking send/recv round trip — the
+// path every redundant message and every peer-checkpoint shard rides.
+func BenchmarkPingPong(b *testing.B) {
+	w, err := NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	payload := make([]byte, 256)
+	b.SetBytes(benchBatch * int64(len(payload)) * 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBatch; j++ {
+			if err := c0.Send(1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c1.Recv(0, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := c1.Send(0, 2, payload); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := c0.Recv(1, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFanInAnySource measures wildcard receives with competing
+// senders — the peer-store Serve loop's steady state.
+func BenchmarkFanInAnySource(b *testing.B) {
+	const senders = 4
+	w, err := NewWorld(senders + 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink, _ := w.Comm(senders)
+	comms := make([]*Comm, senders)
+	for r := range comms {
+		comms[r], _ = w.Comm(r)
+	}
+	payload := make([]byte, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < benchBatch; j++ {
+				if _, err := sink.Recv(mpi.AnySource, mpi.AnyTag); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+		for j := 0; j < benchBatch; j++ {
+			if err := comms[j%senders].Send(senders, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+	}
+}
+
+// BenchmarkEpochBoundary measures the partial-restart epoch machinery:
+// Interrupt, Revive of one rank, Resume — the fixed cost every
+// sphere-local recovery pays before any peer fetch.
+func BenchmarkEpochBoundary(b *testing.B) {
+	w, err := NewWorld(8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBatch; j++ {
+			w.Kill(3)
+			w.Interrupt()
+			w.Revive(3)
+			w.Resume()
+		}
+	}
+}

@@ -55,6 +55,9 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	if c.world.dead[c.rank].Load() {
 		return mpi.ErrKilled
 	}
+	if c.world.interrupted.Load() {
+		return mpi.ErrInterrupted
+	}
 	c.sent[dst].Add(1)
 	c.world.met.sends.Inc()
 	c.world.met.sendBytes.Add(uint64(len(data)))
@@ -148,6 +151,16 @@ func (c *Comm) RecvCounts() []uint64 {
 		out[i] = c.recv[i].Load()
 	}
 	return out
+}
+
+// resetCounts zeroes the per-peer totals at an epoch boundary (Resume):
+// the purged traffic will never be received, so carrying its counts
+// forward would wedge every future bookmark exchange.
+func (c *Comm) resetCounts() {
+	for i := range c.sent {
+		c.sent[i].Store(0)
+		c.recv[i].Store(0)
+	}
 }
 
 // PendingMessages returns the number of deposited-but-unreceived messages

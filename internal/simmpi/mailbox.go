@@ -43,10 +43,11 @@ func (mb *mailbox) broadcast() {
 	mb.mu.Unlock()
 }
 
-// deposit enqueues a message. Deposits to dead ranks or aborted worlds
-// are dropped, like packets to a crashed node.
+// deposit enqueues a message. Deposits to dead ranks, aborted worlds, or
+// interrupted epochs are dropped, like packets to a crashed node (an
+// interrupted epoch's traffic is recomputed from the checkpoint anyway).
 func (mb *mailbox) deposit(source, tag int, data []byte) {
-	if mb.world.aborted.Load() || mb.world.dead[mb.owner].Load() {
+	if mb.world.aborted.Load() || mb.world.interrupted.Load() || mb.world.dead[mb.owner].Load() {
 		return
 	}
 	mb.mu.Lock()
@@ -70,6 +71,9 @@ func (mb *mailbox) errIfDown(src int) error {
 	}
 	if mb.world.dead[mb.owner].Load() {
 		return mpi.ErrKilled
+	}
+	if mb.world.interrupted.Load() {
+		return mpi.ErrInterrupted
 	}
 	if src != mpi.AnySource && mb.world.dead[src].Load() {
 		return mpi.ErrPeerDead
@@ -143,6 +147,16 @@ func (mb *mailbox) match(src, tag int) (int, bool) {
 	return 0, false
 }
 
+// purge discards all unmatched messages: stale traffic from an epoch
+// that is being rolled back, or addressed to a rank incarnation that no
+// longer exists.
+func (mb *mailbox) purge() {
+	mb.mu.Lock()
+	mb.queue = nil
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
 // pending returns the number of unmatched messages, for tests and the
 // bookmark-exchange verifier.
 func (mb *mailbox) pending() int {
@@ -154,5 +168,6 @@ func (mb *mailbox) pending() int {
 func isFailureErr(err error) bool {
 	return errors.Is(err, mpi.ErrKilled) ||
 		errors.Is(err, mpi.ErrPeerDead) ||
-		errors.Is(err, mpi.ErrAborted)
+		errors.Is(err, mpi.ErrAborted) ||
+		errors.Is(err, mpi.ErrInterrupted)
 }

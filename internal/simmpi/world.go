@@ -31,8 +31,9 @@ type World struct {
 	mailboxes []*mailbox
 	comms     []*Comm
 
-	dead    []atomic.Bool
-	aborted atomic.Bool
+	dead        []atomic.Bool
+	aborted     atomic.Bool
+	interrupted atomic.Bool
 
 	// Telemetry. reg defaults to a fresh private registry; WithObs
 	// injects a shared one (or nil to disable entirely).
@@ -51,6 +52,8 @@ type worldMetrics struct {
 	drops      *obs.Counter // sends discarded because the peer was dead
 	kills      *obs.Counter // fail-stops (replaces the old ad-hoc deaths counter)
 	aborts     *obs.Counter // world teardowns
+	interrupts *obs.Counter // epoch pauses for in-place recovery
+	revives    *obs.Counter // dead ranks brought back by Revive
 	mailboxHWM *obs.Gauge   // deepest unmatched-message backlog of any rank
 }
 
@@ -62,6 +65,8 @@ func newWorldMetrics(reg *obs.Registry) worldMetrics {
 		drops:      reg.Counter("simmpi_drops_total"),
 		kills:      reg.Counter("simmpi_kills_total"),
 		aborts:     reg.Counter("simmpi_aborts_total"),
+		interrupts: reg.Counter("simmpi_interrupts_total"),
+		revives:    reg.Counter("simmpi_revives_total"),
 		mailboxHWM: reg.Gauge("simmpi_mailbox_depth_hwm"),
 	}
 }
@@ -195,6 +200,63 @@ func (w *World) Abort() {
 
 // Aborted reports whether the world has been aborted.
 func (w *World) Aborted() bool { return w.aborted.Load() }
+
+// Interrupt pauses the current epoch: every blocked or future operation
+// on any rank returns mpi.ErrInterrupted (messages already queued can
+// still be matched; new deposits are dropped). Unlike Abort the world
+// stays usable — the orchestrator revives dead ranks, then calls Resume
+// to start a fresh epoch in which every rank restarts from the last
+// checkpoint. Interrupting an interrupted or aborted world is a no-op.
+func (w *World) Interrupt() {
+	if w.aborted.Load() || w.interrupted.Swap(true) {
+		return
+	}
+	w.met.interrupts.Inc()
+	for _, mb := range w.mailboxes {
+		mb.broadcast()
+	}
+}
+
+// Interrupted reports whether the world is paused for recovery.
+func (w *World) Interrupted() bool { return w.interrupted.Load() }
+
+// Revive brings a dead rank back (the respawn half of rejoin support).
+// The rank's mailbox is wiped: its previous incarnation's unread traffic
+// belongs to the interrupted epoch. Only meaningful while the world is
+// interrupted — reviving mid-epoch would desynchronise peers that
+// already observed the death. Reviving a live rank is a no-op.
+func (w *World) Revive(rank int) {
+	if rank < 0 || rank >= w.size {
+		return
+	}
+	if !w.dead[rank].Swap(false) {
+		return
+	}
+	w.met.revives.Inc()
+	w.mailboxes[rank].purge()
+}
+
+// Resume ends an interrupt and starts a fresh epoch: every mailbox is
+// purged (in-flight messages of the interrupted epoch must not leak into
+// the recomputation) and every communicator's per-peer sent/received
+// totals are zeroed so the bookmark-exchange quiescence check starts
+// from a symmetric state. Callers must ensure all rank goroutines are
+// parked before resuming.
+func (w *World) Resume() {
+	if !w.interrupted.Load() {
+		return
+	}
+	for _, mb := range w.mailboxes {
+		mb.purge()
+	}
+	for _, c := range w.comms {
+		c.resetCounts()
+	}
+	w.interrupted.Store(false)
+	for _, mb := range w.mailboxes {
+		mb.broadcast()
+	}
+}
 
 // RankError pairs a rank with the error its function returned.
 type RankError struct {
