@@ -13,6 +13,12 @@
 // Benchmarks whose baseline median is under -floor are recorded but not
 // gated: single-shot microsecond samples swing far more than the
 // tolerance on shared CI runners.
+//
+// When the input carries -benchmem columns, allocs/op is gated too, with
+// its own -alloc-tolerance plus an absolute -alloc-slack (small counts
+// jitter by a few allocations when the GC empties a sync.Pool mid-run).
+// Allocation counts are deterministic even for sub-floor benchmarks, so
+// the allocs gate ignores the ns floor.
 package main
 
 import (
@@ -44,6 +50,11 @@ type Report struct {
 type Entry struct {
 	NsPerOp float64 `json:"ns_per_op"`
 	Samples int     `json:"samples"`
+	// AllocsPerOp is the median allocations per op when the input was
+	// produced with -benchmem; nil when the column was absent (e.g. a
+	// baseline recorded before the allocs gate existed), which disables
+	// the allocation gate for that benchmark.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
@@ -55,6 +66,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		update    = fs.Bool("update", false, "rewrite -baseline from the parsed samples instead of gating")
 		tolerance = fs.Float64("tolerance", 0.10, "fail when median ns/op regresses more than this fraction")
 		floor     = fs.Float64("floor", 500_000, "skip gating benchmarks whose baseline median is under this many ns")
+		allocTol  = fs.Float64("alloc-tolerance", 0.10, "fail when median allocs/op regresses more than this fraction")
+		allocSlk  = fs.Float64("alloc-slack", 2, "absolute allocs/op allowed on top of -alloc-tolerance")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,20 +102,32 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("reading baseline (regenerate with -update): %w", err)
 	}
-	regressions := compare(base, cur, *tolerance, *floor, stdout)
+	regressions := compare(base, cur, gate{
+		tolerance:  *tolerance,
+		floor:      *floor,
+		allocTol:   *allocTol,
+		allocSlack: *allocSlk,
+	}, stdout)
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%: %v",
-			len(regressions), *tolerance*100, regressions)
+		return fmt.Errorf("%d gate(s) failed: %v", len(regressions), regressions)
 	}
 	fmt.Fprintln(stdout, "benchgate: PASS")
 	return nil
 }
 
+// gate bundles the regression thresholds.
+type gate struct {
+	tolerance  float64 // ns/op fractional tolerance
+	floor      float64 // ns below which ns/op is too noisy to gate
+	allocTol   float64 // allocs/op fractional tolerance
+	allocSlack float64 // absolute allocs/op on top of allocTol
+}
+
 // compare prints one line per gated benchmark and returns the names that
-// regressed past the tolerance. Benchmarks present only on one side are
+// regressed past a tolerance. Benchmarks present only on one side are
 // reported but never fail the gate (new benches land with their own
 // baseline update; deleted ones disappear from it).
-func compare(base, cur Report, tolerance, floor float64, w io.Writer) []string {
+func compare(base, cur Report, g gate, w io.Writer) []string {
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
@@ -119,14 +144,24 @@ func compare(base, cur Report, tolerance, floor float64, w io.Writer) []string {
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		verdict := "ok"
 		switch {
-		case b.NsPerOp < floor:
+		case b.NsPerOp < g.floor:
 			verdict = "skipped (below floor)"
-		case delta > tolerance:
+		case delta > g.tolerance:
 			verdict = "REGRESSION"
 			regressions = append(regressions, name)
 		}
 		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n",
 			name, b.NsPerOp, c.NsPerOp, delta*100, verdict)
+		if b.AllocsPerOp == nil || c.AllocsPerOp == nil {
+			continue
+		}
+		verdict = "ok"
+		if limit := *b.AllocsPerOp*(1+g.allocTol) + g.allocSlack; *c.AllocsPerOp > limit {
+			verdict = "REGRESSION"
+			regressions = append(regressions, name+" (allocs/op)")
+		}
+		fmt.Fprintf(w, "%-40s %12.0f -> %12.0f allocs/op          %s\n",
+			name, *b.AllocsPerOp, *c.AllocsPerOp, verdict)
 	}
 	for name := range cur.Benchmarks {
 		if _, ok := base.Benchmarks[name]; !ok {
@@ -136,12 +171,15 @@ func compare(base, cur Report, tolerance, floor float64, w io.Writer) []string {
 	return regressions
 }
 
-// benchLine matches e.g. "BenchmarkPingPong-8   1   904388 ns/op  1132.26 MB/s".
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+// benchLine matches e.g.
+// "BenchmarkPingPong-8   1   904388 ns/op  1132.26 MB/s   812 B/op   3 allocs/op".
+// The trailing -benchmem columns are optional.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:.*?\s([0-9]+) allocs/op)?`)
 
 func parseBench(r io.Reader) (Report, error) {
 	rep := Report{Benchmarks: map[string]Entry{}}
 	samples := map[string][]float64{}
+	allocs := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -154,12 +192,24 @@ func parseBench(r io.Reader) (Report, error) {
 			return rep, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
 		}
 		samples[m[1]] = append(samples[m[1]], ns)
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return rep, fmt.Errorf("bad allocs/op in %q: %w", sc.Text(), err)
+			}
+			allocs[m[1]] = append(allocs[m[1]], a)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return rep, err
 	}
 	for name, s := range samples {
-		rep.Benchmarks[name] = Entry{NsPerOp: median(s), Samples: len(s)}
+		e := Entry{NsPerOp: median(s), Samples: len(s)}
+		if a := allocs[name]; len(a) == len(s) {
+			m := median(a)
+			e.AllocsPerOp = &m
+		}
+		rep.Benchmarks[name] = e
 	}
 	return rep, nil
 }

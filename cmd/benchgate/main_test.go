@@ -118,6 +118,87 @@ func TestGateSkipsBenchesBelowFloor(t *testing.T) {
 	}
 }
 
+const benchmemOutput = `goos: linux
+pkg: repro/internal/simmpi
+BenchmarkPingPong-8       	       1	    900000 ns/op	1132.26 MB/s	     812 B/op	       3 allocs/op
+BenchmarkPingPong-8       	       1	   1000000 ns/op	1100.00 MB/s	     812 B/op	       3 allocs/op
+BenchmarkPingPong-8       	       1	   1100000 ns/op	1000.00 MB/s	     900 B/op	       5 allocs/op
+BenchmarkEpochBoundary-8  	       1	   2000000 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBenchReadsAllocs(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(benchmemOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := rep.Benchmarks["BenchmarkPingPong"]
+	if pp.AllocsPerOp == nil || *pp.AllocsPerOp != 3 {
+		t.Fatalf("PingPong allocs = %+v, want median 3", pp.AllocsPerOp)
+	}
+	if eb := rep.Benchmarks["BenchmarkEpochBoundary"]; eb.AllocsPerOp == nil || *eb.AllocsPerOp != 0 {
+		t.Fatalf("EpochBoundary allocs = %+v, want 0", eb.AllocsPerOp)
+	}
+	// Plain output (no -benchmem) must leave the field nil so old-style
+	// baselines never trip the allocation gate.
+	plain, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := plain.Benchmarks["BenchmarkPingPong"].AllocsPerOp; a != nil {
+		t.Fatalf("allocs parsed from output without -benchmem: %v", *a)
+	}
+}
+
+func TestGateFailsOnAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	base := filepath.Join(dir, "base.txt")
+	leaky := filepath.Join(dir, "leaky.txt")
+	if err := os.WriteFile(base, []byte(benchmemOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 3 → 40 allocs/op: far beyond 10% + slack 2, while ns/op is unchanged.
+	worse := strings.ReplaceAll(benchmemOutput, "3 allocs/op", "40 allocs/op")
+	if err := os.WriteFile(leaky, []byte(worse), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", base, "-update", "-baseline", baseline}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := run([]string{"-in", leaky, "-baseline", baseline}, nil, &sb)
+	if err == nil {
+		t.Fatalf("alloc regression passed the gate:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "BenchmarkPingPong (allocs/op)") {
+		t.Fatalf("error %q does not name the allocs gate", err)
+	}
+}
+
+func TestGateAllowsAllocSlack(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "base.json")
+	base := filepath.Join(dir, "base.txt")
+	wobble := filepath.Join(dir, "wobble.txt")
+	if err := os.WriteFile(base, []byte(benchmemOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// 3 → 5 allocs/op sits inside 3*1.1 + 2: sync.Pool eviction jitter,
+	// not a leak.
+	worse := strings.ReplaceAll(benchmemOutput, "3 allocs/op", "5 allocs/op")
+	if err := os.WriteFile(wobble, []byte(worse), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", base, "-update", "-baseline", baseline}, nil, os.Stderr); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-in", wobble, "-baseline", baseline}, nil, &sb); err != nil {
+		t.Fatalf("within-slack alloc wobble failed the gate: %v\n%s", err, sb.String())
+	}
+}
+
 func TestEmptyInputIsAnError(t *testing.T) {
 	if err := run(nil, strings.NewReader("no benchmarks here\n"), os.Stderr); err == nil {
 		t.Fatal("empty input accepted")

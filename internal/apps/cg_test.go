@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/mpi"
 	"repro/internal/redundancy"
 	"repro/internal/simmpi"
 )
@@ -215,7 +216,7 @@ func TestCGIdenticalAcrossRedundancyDegrees(t *testing.T) {
 		var mu sync.Mutex
 		var sums []float64
 		appErr, failures := w.Run(func(pc *simmpi.Comm) error {
-			rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+			rc, err := redundancy.Wrap(pc, rm, mpi.WithLiveness(w))
 			if err != nil {
 				return err
 			}

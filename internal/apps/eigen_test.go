@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/checkpoint"
+	"repro/internal/mpi"
 	"repro/internal/redundancy"
 	"repro/internal/simmpi"
 )
@@ -158,7 +159,7 @@ func TestEigenUnderRedundancy(t *testing.T) {
 	var mu sync.Mutex
 	var vals []float64
 	appErr, failures := w.Run(func(pc *simmpi.Comm) error {
-		rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+		rc, err := redundancy.Wrap(pc, rm, mpi.WithLiveness(w))
 		if err != nil {
 			return err
 		}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/mpi"
 	"repro/internal/redundancy"
 	"repro/internal/simmpi"
 )
@@ -83,7 +84,7 @@ func TestTaskFarmUnderRedundancy(t *testing.T) {
 		var mu sync.Mutex
 		var totals []int64
 		appErr, failures := w.Run(func(pc *simmpi.Comm) error {
-			rc, err := redundancy.New(pc, rm, redundancy.Options{Live: w})
+			rc, err := redundancy.Wrap(pc, rm, mpi.WithLiveness(w))
 			if err != nil {
 				return err
 			}

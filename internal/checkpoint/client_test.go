@@ -266,7 +266,7 @@ func TestCheckpointUnderRedundancy(t *testing.T) {
 		t.Fatal(err)
 	}
 	appErr, failures := w.Run(func(pc *simmpi.Comm) error {
-		rc, err := redundancy.New(pc, m, redundancy.Options{Live: w})
+		rc, err := redundancy.Wrap(pc, m, mpi.WithLiveness(w))
 		if err != nil {
 			return err
 		}

@@ -5,9 +5,21 @@ import (
 	"compress/flate"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/obs"
 )
+
+// compressScratch pools the per-Write compression state. Both pieces are
+// reset-and-reused: checkpoint writers fire on every interval, and the
+// flate.Writer alone is tens of kilobytes of window state.
+type compressScratch struct {
+	buf   bytes.Buffer
+	w     *flate.Writer
+	level int // the level w was built with; Reset cannot change it
+}
+
+var compressPool = sync.Pool{New: func() any { return new(compressScratch) }}
 
 // CompressedStorage wraps a Storage and DEFLATE-compresses rank images on
 // the way in — the "checkpoint compression" optimisation the paper
@@ -32,26 +44,35 @@ func NewCompressedStorage(inner Storage) *CompressedStorage {
 	return &CompressedStorage{Inner: inner, Level: flate.DefaultCompression}
 }
 
-// Write implements Storage.
+// Write implements Storage. The compressed image is built in pooled
+// scratch and handed to Inner.Write, which must not retain it (every
+// Storage implementation copies at its boundary).
 func (s *CompressedStorage) Write(gen uint64, rank int, state []byte) error {
 	level := s.Level
 	if level == 0 {
 		level = flate.DefaultCompression
 	}
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, level)
-	if err != nil {
-		return fmt.Errorf("checkpoint: compressor: %w", err)
+	sc := compressPool.Get().(*compressScratch)
+	defer compressPool.Put(sc)
+	sc.buf.Reset()
+	if sc.w == nil || sc.level != level {
+		w, err := flate.NewWriter(&sc.buf, level)
+		if err != nil {
+			return fmt.Errorf("checkpoint: compressor: %w", err)
+		}
+		sc.w, sc.level = w, level
+	} else {
+		sc.w.Reset(&sc.buf)
 	}
-	if _, err := w.Write(state); err != nil {
+	if _, err := sc.w.Write(state); err != nil {
 		return fmt.Errorf("checkpoint: compressing: %w", err)
 	}
-	if err := w.Close(); err != nil {
+	if err := sc.w.Close(); err != nil {
 		return fmt.Errorf("checkpoint: compressing: %w", err)
 	}
 	s.Obs.Counter("checkpoint_raw_bytes_total").Add(uint64(len(state)))
-	s.Obs.Counter("checkpoint_compressed_bytes_total").Add(uint64(buf.Len()))
-	return s.Inner.Write(gen, rank, buf.Bytes())
+	s.Obs.Counter("checkpoint_compressed_bytes_total").Add(uint64(sc.buf.Len()))
+	return s.Inner.Write(gen, rank, sc.buf.Bytes())
 }
 
 // Read implements Storage.

@@ -310,12 +310,16 @@ func (ps *PeerStore) Serve(comm mpi.Comm) {
 		}
 		op, gen, v, payload, derr := decodePeer(msg.Data)
 		if derr != nil {
+			msg.Release()
 			continue
 		}
 		switch op {
 		case opReplicate:
+			// stash copies the image, so the transport buffer can recycle.
 			ps.stash(me, gen, v, payload)
+			msg.Release()
 		case opFetch:
+			msg.Release()
 			reply := encodePeer(opMiss, gen, v, nil)
 			if state, ok := ps.lookup(me, gen, v); ok {
 				reply = encodePeer(opFound, gen, v, state)

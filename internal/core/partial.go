@@ -104,9 +104,13 @@ type partialGate struct {
 	inj     *failure.Injector
 	jobReg  *obs.Registry
 	factory func() apps.App
-	corrupt map[int]bool
 	acct    *stepAccounting
 	limit   int
+
+	// commOpts is the shared mpi.Option list every epoch's
+	// redundancy.Wrap consumes; built once from the attempt config, it
+	// selects mode, liveness, and per-rank corruption injection.
+	commOpts []mpi.Option
 
 	partials  *obs.Counter // partial_restarts_total (nil unless enabled)
 	fallbacks *obs.Counter // partial_fallbacks_total
@@ -158,9 +162,11 @@ func newPartialGate(cfg Config, world *simmpi.World, rankMap *redundancy.RankMap
 	if g.limit <= 0 {
 		g.limit = 3
 	}
-	g.corrupt = make(map[int]bool, len(cfg.CorruptRanks))
-	for _, p := range cfg.CorruptRanks {
-		g.corrupt[p] = true
+	g.commOpts = []mpi.Option{
+		mpi.WithDegree(cfg.Degree),
+		mpi.WithHashCompare(cfg.Mode == redundancy.MsgPlusHash),
+		mpi.WithLiveness(world),
+		mpi.WithCorruptRanks(cfg.CorruptRanks),
 	}
 	if g.recoveryEnabled() {
 		// Feature-gated registration: jobs without partial restart never
@@ -241,11 +247,7 @@ func (g *partialGate) runEpoch(p int) epochResult {
 	if err != nil {
 		return epochResult{err: err}
 	}
-	rc, err := redundancy.New(pc, g.rankMap, redundancy.Options{
-		Live:    g.world,
-		Mode:    g.cfg.Mode,
-		Corrupt: g.corrupt[p],
-	})
+	rc, err := redundancy.Wrap(pc, g.rankMap, g.commOpts...)
 	if err != nil {
 		return epochResult{err: err}
 	}

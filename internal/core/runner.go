@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/checkpoint"
 	"repro/internal/failure"
+	"repro/internal/mpi"
 	"repro/internal/obs"
 	"repro/internal/redundancy"
 	"repro/internal/simmpi"
@@ -95,7 +96,7 @@ type Config struct {
 
 	// CorruptRanks lists physical ranks whose replicas inject silent
 	// data corruption into every message payload they send (exercises
-	// the mismatch/vote counters; see redundancy.Options.Corrupt).
+	// the mismatch/vote counters; see mpi.WithCorruptRanks).
 	CorruptRanks []int
 
 	// Obs, when non-nil, is the job-level telemetry registry; the run
@@ -377,9 +378,9 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 	begin := time.Now()
 
 	attemptReg := obs.NewRegistry()
-	worldOpts := []simmpi.Option{simmpi.WithObs(attemptReg)}
+	worldOpts := []mpi.Option{mpi.WithObs(attemptReg)}
 	if cfg.SendDelay > 0 {
-		worldOpts = append(worldOpts, simmpi.WithSendDelay(cfg.SendDelay))
+		worldOpts = append(worldOpts, mpi.WithSendDelay(cfg.SendDelay))
 	}
 	world, err := simmpi.NewWorld(rankMap.PhysicalSize(), worldOpts...)
 	if err != nil {

@@ -1,0 +1,73 @@
+package mpi_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simmpi"
+)
+
+// tagRDExchange mirrors the recursive-doubling exchange tag inside
+// AllreduceRDFloat64s (fold-in +0, exchange rounds +1, fold-out +2).
+const tagRDExchange = mpi.TagCollectiveBase + 6*64 + 1
+
+// TestAllreduceRDSteadyStateAllocs drives a two-rank recursive-doubling
+// allreduce from a single goroutine: simmpi sends are eager, so rank 1's
+// exchange message can be pre-deposited before rank 0 enters the
+// collective, and rank 0's counterpart send is drained afterwards. With
+// the pooled codec path warm, one call costs just the result vector and
+// its encode scratch.
+func TestAllreduceRDSteadyStateAllocs(t *testing.T) {
+	w, err := simmpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	in0 := []float64{1, 2, 3, 4}
+	in1 := []float64{10, 20, 30, 40}
+	payload1 := make([]byte, 8*len(in1))
+	for i, x := range in1 {
+		binary.LittleEndian.PutUint64(payload1[8*i:], math.Float64bits(x))
+	}
+	round := func() []float64 {
+		// Pre-deposit rank 1's half of the single exchange round
+		// (2 ranks: pow2 = 2, one round, partner = rank ^ 1).
+		if err := c1.Send(0, tagRDExchange, payload1); err != nil {
+			t.Fatal(err)
+		}
+		out, err := mpi.AllreduceRDFloat64s(c0, in0, mpi.OpSum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Drain rank 0's exchange send so the next round starts clean.
+		msg, err := c1.Recv(0, tagRDExchange)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.Release()
+		return out
+	}
+
+	out := round()
+	want := []float64{11, 22, 33, 44}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("allreduce result = %v, want %v", out, want)
+		}
+	}
+
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	for i := 0; i < 20; i++ {
+		round() // warm the arena's size classes
+	}
+	// Budget: the returned accumulator and the encode scratch; the
+	// message path itself must be allocation-free.
+	if avg := testing.AllocsPerRun(50, func() { round() }); avg > 3 {
+		t.Errorf("allreduce round allocates %.2f, want ≤3", avg)
+	}
+}

@@ -1,0 +1,71 @@
+package mpi
+
+import "testing"
+
+// recordingRecycler counts Recycle callbacks so the tests can observe
+// exactly when the last reference drops.
+type recordingRecycler struct {
+	got []*PooledBuf
+}
+
+func (r *recordingRecycler) Recycle(pb *PooledBuf) { r.got = append(r.got, pb) }
+
+func TestPooledBufCreatorReferenceRecycles(t *testing.T) {
+	rec := &recordingRecycler{}
+	pb := NewPooledBuf(make([]byte, 16), rec)
+	if len(rec.got) != 0 {
+		t.Fatalf("recycled before any release: %d", len(rec.got))
+	}
+	pb.Release()
+	if len(rec.got) != 1 || rec.got[0] != pb {
+		t.Fatalf("want exactly one recycle of pb, got %v", rec.got)
+	}
+}
+
+func TestPooledBufRetainDefersRecycle(t *testing.T) {
+	rec := &recordingRecycler{}
+	pb := NewPooledBuf(make([]byte, 16), rec)
+	pb.Retain()
+	pb.Retain()
+	pb.Release()
+	pb.Release()
+	if len(rec.got) != 0 {
+		t.Fatal("recycled while a reference was still outstanding")
+	}
+	pb.Release()
+	if len(rec.got) != 1 {
+		t.Fatalf("want one recycle after final release, got %d", len(rec.got))
+	}
+}
+
+func TestPooledBufNilRecycler(t *testing.T) {
+	pb := NewPooledBuf(make([]byte, 16), nil)
+	pb.Retain()
+	pb.Release()
+	pb.Release() // must not panic: GC takes the buffer instead
+}
+
+func TestPooledBufResetRearms(t *testing.T) {
+	rec := &recordingRecycler{}
+	pb := NewPooledBuf(make([]byte, 16), rec)
+	pb.Release()
+	// The arena hands the same handle out again after a Reset.
+	pb.Reset()
+	pb.Release()
+	if len(rec.got) != 2 {
+		t.Fatalf("want recycle per acquire/release cycle, got %d", len(rec.got))
+	}
+}
+
+func TestPooledBufBytesAliasesBacking(t *testing.T) {
+	backing := []byte{1, 2, 3, 4}
+	pb := NewPooledBuf(backing, nil)
+	b := pb.Bytes()
+	if len(b) != len(backing) {
+		t.Fatalf("Bytes() len = %d, want %d", len(b), len(backing))
+	}
+	b[0] = 9
+	if backing[0] != 9 {
+		t.Fatal("Bytes() must alias the backing slice, not copy it")
+	}
+}

@@ -33,9 +33,11 @@ func Barrier(c Comm) error {
 		if err := c.Send(dst, tagBarrier+k, nil); err != nil {
 			return fmt.Errorf("barrier round %d: %w", k, err)
 		}
-		if _, err := c.Recv(src, tagBarrier+k); err != nil {
+		msg, err := c.Recv(src, tagBarrier+k)
+		if err != nil {
 			return fmt.Errorf("barrier round %d: %w", k, err)
 		}
+		msg.Release() // round tokens are empty; recycle immediately
 	}
 	return nil
 }
@@ -231,29 +233,40 @@ func (op ReduceOp) applyInt64(a, b int64) int64 {
 
 // ReduceFloat64s reduces equal-length vectors elementwise onto root along
 // a binomial tree. Root returns the reduced vector; others return nil.
+// The accumulator stays numeric end to end: each received payload is
+// combined elementwise straight out of the wire buffer (released back to
+// the arena afterwards), and the single encode happens only when this
+// rank forwards its accumulation upward.
 func ReduceFloat64s(c Comm, root int, in []float64, op ReduceOp) ([]float64, error) {
-	combine := func(acc, data []byte) ([]byte, error) {
-		a, err := decodeFloat64s(acc)
-		if err != nil {
-			return nil, err
-		}
-		b, err := decodeFloat64s(data)
-		if err != nil {
-			return nil, err
-		}
-		if len(a) != len(b) {
-			return nil, fmt.Errorf("reduce: length mismatch %d vs %d", len(a), len(b))
-		}
-		for i := range a {
-			a[i] = op.applyFloat64(a[i], b[i])
-		}
-		return encodeFloat64s(a), nil
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("reduce root %d: %w", root, ErrInvalidRank)
 	}
-	out, err := reduceBytes(c, root, encodeFloat64s(in), combine)
-	if err != nil || out == nil {
-		return nil, err
+	acc := append([]float64(nil), in...)
+	relative := (rank - root + size) % size
+	for mask := 1; mask < size; mask <<= 1 {
+		if relative&mask != 0 {
+			dst := (relative - mask + root) % size
+			if err := c.Send(dst, tagReduce, encodeFloat64s(acc)); err != nil {
+				return nil, fmt.Errorf("reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		if relative+mask < size {
+			src := (relative + mask + root) % size
+			msg, err := c.Recv(src, tagReduce)
+			if err != nil {
+				return nil, fmt.Errorf("reduce recv from %d: %w", src, err)
+			}
+			err = combineFloat64s(acc, msg.Data, op)
+			msg.Release()
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	return decodeFloat64s(out)
+	return acc, nil
 }
 
 // AllreduceRDFloat64s is a recursive-doubling allreduce: log2(p) rounds
@@ -264,10 +277,16 @@ func ReduceFloat64s(c Comm, root int, in []float64, op ReduceOp) ([]float64, err
 // differs per rank, so results are only bit-identical across ranks for
 // exactly associative operators (min/max, or sums of exactly
 // representable values); CG uses the tree form for bit determinism.
+// Every round encodes the accumulator into one reused scratch buffer
+// (sends are eager and copy at the transport boundary, so the scratch
+// may be overwritten the moment Send returns) and combines straight out
+// of the received wire buffer before releasing it — the log2(p) rounds
+// allocate nothing beyond the accumulator and scratch.
 func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 	size := c.Size()
 	rank := c.Rank()
 	acc := append([]float64(nil), in...)
+	scratch := make([]byte, 8*len(acc))
 
 	// Largest power of two ≤ size.
 	pow2 := 1
@@ -276,26 +295,13 @@ func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 	}
 	rem := size - pow2
 
-	combine := func(data []byte) error {
-		other, err := decodeFloat64s(data)
-		if err != nil {
-			return err
-		}
-		if len(other) != len(acc) {
-			return fmt.Errorf("allreduce-rd: length mismatch %d vs %d", len(other), len(acc))
-		}
-		for i := range acc {
-			acc[i] = op.applyFloat64(acc[i], other[i])
-		}
-		return nil
-	}
-
 	// Fold-in phase: ranks [pow2, size) send their vectors to
 	// rank - pow2 and sit out the doubling rounds.
 	const tagRD = TagCollectiveBase + 6*64
 	switch {
 	case rank >= pow2:
-		if err := c.Send(rank-pow2, tagRD, encodeFloat64s(acc)); err != nil {
+		encodeFloat64sInto(scratch, acc)
+		if err := c.Send(rank-pow2, tagRD, scratch); err != nil {
 			return nil, err
 		}
 	case rank < rem:
@@ -303,7 +309,9 @@ func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := combine(msg.Data); err != nil {
+		err = combineFloat64s(acc, msg.Data, op)
+		msg.Release()
+		if err != nil {
 			return nil, err
 		}
 	}
@@ -311,14 +319,17 @@ func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 	if rank < pow2 {
 		for mask := 1; mask < pow2; mask <<= 1 {
 			partner := rank ^ mask
-			if err := c.Send(partner, tagRD+1, encodeFloat64s(acc)); err != nil {
+			encodeFloat64sInto(scratch, acc)
+			if err := c.Send(partner, tagRD+1, scratch); err != nil {
 				return nil, err
 			}
 			msg, err := c.Recv(partner, tagRD+1)
 			if err != nil {
 				return nil, err
 			}
-			if err := combine(msg.Data); err != nil {
+			err = combineFloat64s(acc, msg.Data, op)
+			msg.Release()
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -327,7 +338,8 @@ func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 	// Fold-out phase: deliver the result to the excess ranks.
 	switch {
 	case rank < rem:
-		if err := c.Send(rank+pow2, tagRD+2, encodeFloat64s(acc)); err != nil {
+		encodeFloat64sInto(scratch, acc)
+		if err := c.Send(rank+pow2, tagRD+2, scratch); err != nil {
 			return nil, err
 		}
 	case rank >= pow2:
@@ -335,11 +347,14 @@ func AllreduceRDFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 		if err != nil {
 			return nil, err
 		}
-		var derr error
-		acc, derr = decodeFloat64s(msg.Data)
-		if derr != nil {
-			return nil, derr
+		if len(msg.Data) != 8*len(acc) {
+			return nil, fmt.Errorf("allreduce-rd: result payload of %d bytes for %d elements",
+				len(msg.Data), len(acc))
 		}
+		for i := range acc {
+			acc[i] = math.Float64frombits(binary.LittleEndian.Uint64(msg.Data[8*i:]))
+		}
+		msg.Release()
 	}
 	return acc, nil
 }
@@ -362,30 +377,38 @@ func AllreduceFloat64s(c Comm, in []float64, op ReduceOp) ([]float64, error) {
 	return decodeFloat64s(packed)
 }
 
-// ReduceInt64s reduces equal-length int64 vectors elementwise onto root.
+// ReduceInt64s reduces equal-length int64 vectors elementwise onto root,
+// combining in place out of the wire buffers like ReduceFloat64s.
 func ReduceInt64s(c Comm, root int, in []int64, op ReduceOp) ([]int64, error) {
-	combine := func(acc, data []byte) ([]byte, error) {
-		a, err := decodeInt64s(acc)
-		if err != nil {
-			return nil, err
-		}
-		b, err := decodeInt64s(data)
-		if err != nil {
-			return nil, err
-		}
-		if len(a) != len(b) {
-			return nil, fmt.Errorf("reduce: length mismatch %d vs %d", len(a), len(b))
-		}
-		for i := range a {
-			a[i] = op.applyInt64(a[i], b[i])
-		}
-		return encodeInt64s(a), nil
+	size := c.Size()
+	rank := c.Rank()
+	if root < 0 || root >= size {
+		return nil, fmt.Errorf("reduce root %d: %w", root, ErrInvalidRank)
 	}
-	out, err := reduceBytes(c, root, encodeInt64s(in), combine)
-	if err != nil || out == nil {
-		return nil, err
+	acc := append([]int64(nil), in...)
+	relative := (rank - root + size) % size
+	for mask := 1; mask < size; mask <<= 1 {
+		if relative&mask != 0 {
+			dst := (relative - mask + root) % size
+			if err := c.Send(dst, tagReduce, encodeInt64s(acc)); err != nil {
+				return nil, fmt.Errorf("reduce send: %w", err)
+			}
+			return nil, nil
+		}
+		if relative+mask < size {
+			src := (relative + mask + root) % size
+			msg, err := c.Recv(src, tagReduce)
+			if err != nil {
+				return nil, fmt.Errorf("reduce recv from %d: %w", src, err)
+			}
+			err = combineInt64s(acc, msg.Data, op)
+			msg.Release()
+			if err != nil {
+				return nil, err
+			}
+		}
 	}
-	return decodeInt64s(out)
+	return acc, nil
 }
 
 // AllreduceInt64s reduces elementwise and distributes the result to all.
@@ -405,46 +428,42 @@ func AllreduceInt64s(c Comm, in []int64, op ReduceOp) ([]int64, error) {
 	return decodeInt64s(packed)
 }
 
-// reduceBytes runs a binomial-tree reduction of opaque payloads with a
-// caller-supplied combiner. Root receives the final accumulation; other
-// ranks return nil.
-func reduceBytes(c Comm, root int, data []byte, combine func(acc, in []byte) ([]byte, error)) ([]byte, error) {
-	size := c.Size()
-	rank := c.Rank()
-	if root < 0 || root >= size {
-		return nil, fmt.Errorf("reduce root %d: %w", root, ErrInvalidRank)
-	}
-	relative := (rank - root + size) % size
-	acc := data
-	for mask := 1; mask < size; mask <<= 1 {
-		if relative&mask != 0 {
-			dst := (relative - mask + root) % size
-			if err := c.Send(dst, tagReduce, acc); err != nil {
-				return nil, fmt.Errorf("reduce send: %w", err)
-			}
-			return nil, nil
-		}
-		if relative+mask < size {
-			src := (relative + mask + root) % size
-			msg, err := c.Recv(src, tagReduce)
-			if err != nil {
-				return nil, fmt.Errorf("reduce recv from %d: %w", src, err)
-			}
-			acc, err = combine(acc, msg.Data)
-			if err != nil {
-				return nil, err
-			}
-		}
-	}
-	return acc, nil
-}
-
 func encodeFloat64s(xs []float64) []byte {
 	buf := make([]byte, 8*len(xs))
+	encodeFloat64sInto(buf, xs)
+	return buf
+}
+
+// encodeFloat64sInto serialises xs into the caller-provided buffer
+// (which must hold exactly 8*len(xs) bytes), letting multi-round
+// algorithms reuse one scratch buffer instead of allocating per round.
+func encodeFloat64sInto(buf []byte, xs []float64) {
 	for i, x := range xs {
 		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
 	}
-	return buf
+}
+
+// combineFloat64s folds an encoded float64 vector into acc elementwise,
+// reading straight from the wire buffer without an intermediate slice.
+func combineFloat64s(acc []float64, buf []byte, op ReduceOp) error {
+	if len(buf) != 8*len(acc) {
+		return fmt.Errorf("reduce: payload of %d bytes for %d elements", len(buf), len(acc))
+	}
+	for i := range acc {
+		acc[i] = op.applyFloat64(acc[i], math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:])))
+	}
+	return nil
+}
+
+// combineInt64s is combineFloat64s for int64 vectors.
+func combineInt64s(acc []int64, buf []byte, op ReduceOp) error {
+	if len(buf) != 8*len(acc) {
+		return fmt.Errorf("reduce: payload of %d bytes for %d elements", len(buf), len(acc))
+	}
+	for i := range acc {
+		acc[i] = op.applyInt64(acc[i], int64(binary.LittleEndian.Uint64(buf[8*i:])))
+	}
+	return nil
 }
 
 func decodeFloat64s(buf []byte) ([]float64, error) {

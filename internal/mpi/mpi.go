@@ -43,9 +43,48 @@ type Message struct {
 	Source int
 	// Tag is the message tag.
 	Tag int
-	// Data is the payload. The implementation transfers ownership to the
-	// receiver; callers may retain or mutate it freely.
+	// Data is the payload. Ownership transfers to the receiver: it may
+	// read and mutate Data freely until it calls Release. After Release
+	// the slice must not be touched — the backing buffer returns to the
+	// transport's arena and will be reused (and is poisoned under the
+	// race detector to make violations loud). A receiver that never
+	// calls Release keeps Data valid forever; the buffer is then
+	// garbage-collected instead of recycled, so pre-existing callers
+	// that retain payloads indefinitely remain correct.
 	Data []byte
+
+	// buf is the pooled backing buffer Data aliases, nil for unpooled
+	// payloads (plain allocations, replay logs, zero-length sends).
+	buf *PooledBuf
+}
+
+// NewMessage builds a message whose payload is backed by the given
+// pooled buffer (nil for unpooled payloads). Transports use it to hand
+// ownership of arena buffers to receivers.
+func NewMessage(source, tag int, data []byte, buf *PooledBuf) Message {
+	return Message{Source: source, Tag: tag, Data: data, buf: buf}
+}
+
+// Release returns the payload's backing buffer to the transport arena it
+// came from. It is a no-op for unpooled payloads and for messages
+// already released; releasing the zero Message is safe.
+func (m *Message) Release() {
+	if m.buf != nil {
+		m.buf.Release()
+		m.buf = nil
+	}
+	m.Data = nil
+}
+
+// Reframe transfers m's buffer ownership to a new message delivering
+// data (which must alias m's payload buffer) under a new envelope.
+// Interposition layers use it to strip their framing without copying:
+// the returned message releases the underlying physical buffer. m must
+// not be released afterwards.
+func (m *Message) Reframe(source, tag int, data []byte) Message {
+	out := Message{Source: source, Tag: tag, Data: data, buf: m.buf}
+	m.buf = nil
+	return out
 }
 
 // Status describes a completed or probed communication.
@@ -58,15 +97,20 @@ type Status struct {
 
 // Request tracks a non-blocking operation, like an MPI_Request handle.
 type Request interface {
-	// Wait blocks until the operation completes and returns its status.
-	// For receives the message is retrievable via Message afterwards.
-	Wait() (Status, error)
+	// Wait blocks until the operation completes and returns the
+	// delivered message (zero for sends) along with its status. The
+	// message's payload follows the ownership rules documented on
+	// Message.Data. Wait after completion returns the same results.
+	Wait() (Message, Status, error)
 	// Test polls for completion without blocking. done reports whether
-	// the operation finished; the status and error are meaningful only
-	// when done is true.
-	Test() (done bool, st Status, err error)
+	// the operation finished; the message, status, and error are
+	// meaningful only when done is true.
+	Test() (done bool, msg Message, st Status, err error)
 	// Message returns the received message after a successful Wait or
 	// Test on a receive request; it returns a zero Message for sends.
+	//
+	// Deprecated: use the Message returned by Wait or Test directly.
+	// Retained for one release so request-set code migrates gradually.
 	Message() Message
 }
 
@@ -132,18 +176,23 @@ var (
 	ErrInvalidTag = errors.New("mpi: invalid tag")
 )
 
-// WaitAll waits for every request and returns the first error
-// encountered, after waiting for all of them (matching MPI_Waitall's
-// all-or-error contract closely enough for our callers).
+// WaitAll waits for every request and returns all errors encountered,
+// aggregated with errors.Join, after waiting for all of them. Joining —
+// rather than keeping only the first error — matters to the
+// partial-restart orchestrator: a killed peer and an interrupted epoch
+// can surface from the same request set, and errors.Is finds each
+// through the joined error, so failure classification never depends on
+// completion order. Delivered messages remain retrievable from the
+// individual requests.
 func WaitAll(reqs ...Request) error {
-	var firstErr error
+	var errs []error
 	for _, r := range reqs {
 		if r == nil {
 			continue
 		}
-		if _, err := r.Wait(); err != nil && firstErr == nil {
-			firstErr = err
+		if _, _, err := r.Wait(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

@@ -1,0 +1,109 @@
+package mpi
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Liveness reports which physical ranks are still alive. The failure
+// injector (via the simmpi World) provides the live view; failure-free
+// runs leave it unset.
+type Liveness interface {
+	Alive(rank int) bool
+}
+
+// Options is the typed configuration surface shared by every
+// communicator constructor — simmpi.NewWorld and redundancy.Wrap consume
+// the same option list, each applying the fields it understands and
+// ignoring the rest. This replaces the previous parallel parameter lists
+// (World options here, redundancy.Options there) with one surface the
+// CLIs and the core runner thread through unchanged.
+type Options struct {
+	// Degree is the redundancy degree r the option list was built for;
+	// redundancy.Wrap validates it against the rank map. Zero means
+	// unspecified (no validation).
+	Degree float64
+	// HashCompare selects the redundancy layer's Msg-PlusHash replica
+	// comparison instead of the default All-to-all.
+	HashCompare bool
+	// CorruptRanks lists physical ranks whose replicas inject silent
+	// data corruption into outgoing payloads (redundancy layer's SDC
+	// knob).
+	CorruptRanks []int
+	// Liveness is the live view of physical ranks for replica failover
+	// decisions; nil means assume everyone is alive.
+	Liveness Liveness
+	// SendDelay is the emulated per-physical-message wire latency.
+	SendDelay time.Duration
+	// Obs is the telemetry registry; meaningful only when ObsSet (a nil
+	// registry with ObsSet disables telemetry entirely).
+	Obs *obs.Registry
+	// ObsSet records that WithObs was given, distinguishing "default
+	// private registry" from "telemetry disabled".
+	ObsSet bool
+	// NoPooling disables the transport's buffer arena: every payload is
+	// a fresh allocation and Release is a no-op. Debug/baseline knob.
+	NoPooling bool
+}
+
+// Option configures a communicator constructor.
+type Option func(*Options)
+
+// ResolveOptions folds an option list into its Options value.
+func ResolveOptions(opts []Option) Options {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// WithDegree records the redundancy degree r the job runs at, letting
+// redundancy.Wrap cross-check the rank map it is given.
+func WithDegree(r float64) Option {
+	return func(o *Options) { o.Degree = r }
+}
+
+// WithHashCompare selects Msg-PlusHash replica comparison (one full copy
+// plus hashes) instead of All-to-all full copies.
+func WithHashCompare(on bool) Option {
+	return func(o *Options) { o.HashCompare = on }
+}
+
+// WithCorruptRanks makes the listed physical ranks inject deterministic
+// silent data corruption into every payload they send.
+func WithCorruptRanks(ranks []int) Option {
+	return func(o *Options) { o.CorruptRanks = ranks }
+}
+
+// WithLiveness supplies the live view of physical ranks used for replica
+// failover decisions.
+func WithLiveness(l Liveness) Option {
+	return func(o *Options) { o.Liveness = l }
+}
+
+// WithSendDelay makes every physical send cost the sender the given
+// latency, restoring a realistic communication/computation ratio for the
+// in-process transport.
+func WithSendDelay(d time.Duration) Option {
+	return func(o *Options) { o.SendDelay = d }
+}
+
+// WithObs registers the transport's runtime instruments in the given
+// registry; passing nil disables its telemetry entirely.
+func WithObs(reg *obs.Registry) Option {
+	return func(o *Options) {
+		o.Obs = reg
+		o.ObsSet = true
+	}
+}
+
+// WithoutPooling disables the transport's buffer arena (every payload is
+// freshly allocated, Release is a no-op) — the measurement baseline the
+// pooled path is judged against.
+func WithoutPooling() Option {
+	return func(o *Options) { o.NoPooling = true }
+}

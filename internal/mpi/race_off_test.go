@@ -1,0 +1,5 @@
+//go:build !race
+
+package mpi_test
+
+const raceEnabled = false

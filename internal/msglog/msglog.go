@@ -128,32 +128,33 @@ type loggingRequest struct {
 
 var _ mpi.Request = (*loggingRequest)(nil)
 
-func (lr *loggingRequest) record(st mpi.Status, err error) {
+func (lr *loggingRequest) record(msg mpi.Message, err error) {
 	if err != nil || lr.logged {
 		return
 	}
-	msg := lr.inner.Message()
 	lr.log.Append(Event{Source: msg.Source, Tag: msg.Tag, Data: msg.Data})
 	lr.logged = true
 }
 
 // Wait implements mpi.Request.
-func (lr *loggingRequest) Wait() (mpi.Status, error) {
-	st, err := lr.inner.Wait()
-	lr.record(st, err)
-	return st, err
+func (lr *loggingRequest) Wait() (mpi.Message, mpi.Status, error) {
+	msg, st, err := lr.inner.Wait()
+	lr.record(msg, err)
+	return msg, st, err
 }
 
 // Test implements mpi.Request.
-func (lr *loggingRequest) Test() (bool, mpi.Status, error) {
-	done, st, err := lr.inner.Test()
+func (lr *loggingRequest) Test() (bool, mpi.Message, mpi.Status, error) {
+	done, msg, st, err := lr.inner.Test()
 	if done {
-		lr.record(st, err)
+		lr.record(msg, err)
 	}
-	return done, st, err
+	return done, msg, st, err
 }
 
 // Message implements mpi.Request.
+//
+// Deprecated: use the Message returned by Wait or Test directly.
 func (lr *loggingRequest) Message() mpi.Message { return lr.inner.Message() }
 
 // Errors of the replayer.
@@ -265,9 +266,9 @@ type replayRequest struct {
 
 var _ mpi.Request = (*replayRequest)(nil)
 
-func (r *replayRequest) Wait() (mpi.Status, error) {
+func (r *replayRequest) Wait() (mpi.Message, mpi.Status, error) {
 	if r.done {
-		return r.st, r.err
+		return r.msg, r.st, r.err
 	}
 	msg, err := r.rp.Recv(r.src, r.tag)
 	r.done = true
@@ -276,12 +277,15 @@ func (r *replayRequest) Wait() (mpi.Status, error) {
 		r.msg = msg
 		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
 	}
-	return r.st, r.err
+	return r.msg, r.st, r.err
 }
 
-func (r *replayRequest) Test() (bool, mpi.Status, error) {
-	st, err := r.Wait() // the log is always "ready"
-	return true, st, err
+func (r *replayRequest) Test() (bool, mpi.Message, mpi.Status, error) {
+	msg, st, err := r.Wait() // the log is always "ready"
+	return true, msg, st, err
 }
 
+// Message implements mpi.Request.
+//
+// Deprecated: use the Message returned by Wait or Test directly.
 func (r *replayRequest) Message() mpi.Message { return r.msg }

@@ -30,7 +30,7 @@ func TestRecorderLogsDeliveries(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			_, err = req.Wait()
+			_, _, err = req.Wait()
 			return err
 		}
 		if _, err := rec.Recv(0, 5); err != nil {
@@ -40,11 +40,11 @@ func TestRecorderLogsDeliveries(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		if _, err := req.Wait(); err != nil {
+		if _, _, err := req.Wait(); err != nil {
 			return err
 		}
 		// Wait twice: the event must be logged once.
-		if _, err := req.Wait(); err != nil {
+		if _, _, err := req.Wait(); err != nil {
 			return err
 		}
 		return nil
@@ -110,7 +110,7 @@ func TestReplayerSuppressesSends(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := req.Wait(); err != nil {
+	if _, _, err := req.Wait(); err != nil {
 		t.Fatal(err)
 	}
 	if rp.SuppressedSends != 2 {

@@ -1,0 +1,54 @@
+package redundancy
+
+import (
+	"testing"
+
+	"repro/internal/simmpi"
+)
+
+// Hot-path benchmark for the CI bench gate (cmd/benchgate): the degree-2
+// replica fan-out, where each virtual send becomes two physical sends.
+// With the copy-on-write path both physical sends reference one pooled
+// encode, so the gate's allocs/op floor guards the zero-copy win.
+
+const benchBatch = 500
+
+func BenchmarkDegree2Send(b *testing.B) {
+	w, err := simmpi.NewWorld(4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewRankMap(2, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	comms := make([]*Comm, 4)
+	for p := range comms {
+		pc, _ := w.Comm(p)
+		comms[p], err = Wrap(pc, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sphere0, _ := m.Sphere(0)
+	sphere1, _ := m.Sphere(1)
+	payload := make([]byte, 256)
+	b.SetBytes(benchBatch * int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < benchBatch; j++ {
+			for _, p := range sphere0 {
+				if err := comms[p].Send(1, 1, payload); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, p := range sphere1 {
+				msg, err := comms[p].Recv(0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				msg.Release()
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package redundancy
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -40,6 +41,8 @@ type AllAlive struct{}
 func (AllAlive) Alive(int) bool { return true }
 
 // Options configures the interposition layer.
+//
+// Deprecated: use Wrap with the shared mpi.Option surface.
 type Options struct {
 	// Mode defaults to AllToAll.
 	Mode Mode
@@ -105,6 +108,26 @@ type Comm struct {
 	mode    Mode
 	corrupt bool
 
+	// shared is phys's zero-copy fan-out capability, if it has one: the
+	// encoded payload lives in one pooled buffer referenced by every
+	// physical send instead of being deep-copied per replica. nil when
+	// the transport doesn't pool (then sends fall back to plain copies).
+	shared mpi.SharedSender
+
+	// hashScratch backs payload digests on the send and verify paths so
+	// the per-message hash does not allocate. Safe because a Comm belongs
+	// to one replica goroutine.
+	hashScratch [8]byte
+
+	// Receive-path scratch, reused across blocking receives and
+	// verifications for the same single-goroutine reason. Entries are
+	// dead once the call returns: losers are released, the winner's
+	// buffer ownership moves into the delivered message.
+	copiesScratch []wireMsg
+	fullsScratch  [][]byte
+	fullIdx       []int
+	hashesScratch [][]byte
+
 	sent []atomic.Uint64
 	recv []atomic.Uint64
 
@@ -130,9 +153,51 @@ var (
 	_ mpi.CountTracker = (*Comm)(nil)
 )
 
+// Wrap wraps a physical endpoint into its virtual-rank view, configured
+// by the same mpi.Option list that configures simmpi.NewWorld — one
+// option set threads through the whole stack, each layer applying the
+// fields it understands. The physical comm's rank determines which
+// replica this endpoint embodies; mpi.WithHashCompare selects
+// Msg-PlusHash mode, mpi.WithLiveness supplies the failover view, and a
+// physical rank listed in mpi.WithCorruptRanks makes this replica inject
+// silent data corruption. mpi.WithDegree, when given, is cross-checked
+// against the rank map's geometry.
+func Wrap(phys mpi.Comm, m *RankMap, opts ...mpi.Option) (*Comm, error) {
+	o := mpi.ResolveOptions(opts)
+	if o.Degree != 0 {
+		ref, err := NewRankMap(m.VirtualSize(), o.Degree)
+		if err != nil {
+			return nil, fmt.Errorf("redundancy: degree %g: %w", o.Degree, err)
+		}
+		if ref.PhysicalSize() != m.PhysicalSize() {
+			return nil, fmt.Errorf("redundancy: degree %g needs %d physical ranks, rank map has %d",
+				o.Degree, ref.PhysicalSize(), m.PhysicalSize())
+		}
+	}
+	ropts := Options{}
+	if o.HashCompare {
+		ropts.Mode = MsgPlusHash
+	}
+	if o.Liveness != nil {
+		ropts.Live = o.Liveness
+	}
+	for _, r := range o.CorruptRanks {
+		if r == phys.Rank() {
+			ropts.Corrupt = true
+		}
+	}
+	return newComm(phys, m, ropts)
+}
+
 // New wraps a physical endpoint into its virtual-rank view. The physical
 // comm's rank determines which replica this endpoint embodies.
+//
+// Deprecated: use Wrap with the shared mpi.Option surface.
 func New(phys mpi.Comm, m *RankMap, opts Options) (*Comm, error) {
+	return newComm(phys, m, opts)
+}
+
+func newComm(phys mpi.Comm, m *RankMap, opts Options) (*Comm, error) {
 	if phys.Size() != m.PhysicalSize() {
 		return nil, fmt.Errorf("redundancy: physical world %d, map needs %d",
 			phys.Size(), m.PhysicalSize())
@@ -147,7 +212,7 @@ func New(phys mpi.Comm, m *RankMap, opts Options) (*Comm, error) {
 	if opts.Live == nil {
 		opts.Live = AllAlive{}
 	}
-	return &Comm{
+	c := &Comm{
 		m:           m,
 		phys:        phys,
 		me:          me,
@@ -157,7 +222,9 @@ func New(phys mpi.Comm, m *RankMap, opts Options) (*Comm, error) {
 		sent:        make([]atomic.Uint64, m.VirtualSize()),
 		recv:        make([]atomic.Uint64, m.VirtualSize()),
 		wildcardSeq: make(map[int]uint64),
-	}, nil
+	}
+	c.shared, _ = phys.(mpi.SharedSender)
+	return c, nil
 }
 
 // Rank returns the virtual rank this replica embodies.
@@ -215,27 +282,60 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		tampered[0] ^= 0xFF
 		data = tampered
 	}
+	// Each kind is encoded once and those bytes back every physical send
+	// of the fan-out. On a pooling transport the encode lands in a shared
+	// pooled buffer each deposit merely references (the deep copy per
+	// replica is elided); otherwise the transport copies at its boundary
+	// as usual. Our acquire references are dropped on return, leaving the
+	// receivers as the buffers' owners.
 	var full, hashed []byte
+	var fullPB, hashPB *mpi.PooledBuf
+	defer func() {
+		if fullPB != nil {
+			fullPB.Release()
+		}
+		if hashPB != nil {
+			hashPB.Release()
+		}
+	}()
 	for j, q := range sphere {
 		kind := kindFull
 		if c.mode == MsgPlusHash && len(mySphere) > 1 && j%len(mySphere) != c.me.Index {
 			kind = kindHash
 		}
 		var payload []byte
+		var pb *mpi.PooledBuf
 		switch kind {
 		case kindFull:
 			if full == nil {
-				full = encodeWire(kindFull, c.me.Index, c.me.Virtual, tag, data)
+				if c.shared != nil {
+					full, fullPB = c.shared.AcquireBuffer(wireHeaderLen + len(data))
+				} else {
+					full = make([]byte, wireHeaderLen+len(data))
+				}
+				encodeWireInto(full, kindFull, c.me.Index, c.me.Virtual, tag, data)
 			}
-			payload = full
+			payload, pb = full, fullPB
 		default:
 			if hashed == nil {
-				hashed = encodeWire(kindHash, c.me.Index, c.me.Virtual, tag, payloadHash(data))
+				h := payloadHashInto(c.hashScratch[:], data)
+				if c.shared != nil {
+					hashed, hashPB = c.shared.AcquireBuffer(wireHeaderLen + len(h))
+				} else {
+					hashed = make([]byte, wireHeaderLen+len(h))
+				}
+				encodeWireInto(hashed, kindHash, c.me.Index, c.me.Virtual, tag, h)
 			}
-			payload = hashed
+			payload, pb = hashed, hashPB
 		}
-		if err := c.phys.Send(q, tag, payload); err != nil {
-			return fmt.Errorf("redundancy: send to virtual %d replica %d: %w", dst, j, err)
+		var serr error
+		if pb != nil {
+			serr = c.shared.SendPooled(q, tag, payload, pb)
+		} else {
+			serr = c.phys.Send(q, tag, payload)
+		}
+		if serr != nil {
+			return fmt.Errorf("redundancy: send to virtual %d replica %d: %w", dst, j, serr)
 		}
 		c.stats.physicalSends.Add(1)
 	}
@@ -267,49 +367,57 @@ func (c *Comm) recvSpecific(src, tag int) (mpi.Message, error) {
 	if err != nil {
 		return mpi.Message{}, err
 	}
-	copies := make([]wireMsg, 0, len(sphere))
+	copies := c.copiesScratch[:0]
 	for _, q := range sphere {
 		msg, err := c.phys.Recv(q, tag)
 		if err != nil {
 			if errors.Is(err, mpi.ErrPeerDead) {
 				continue // replica died before sending; its copy is lost
 			}
+			releaseCopies(copies, -1)
 			return mpi.Message{}, err
 		}
-		wm, err := decodeWire(msg.Data)
+		wm, err := decodeWireFrom(msg)
 		if err != nil {
+			releaseCopies(copies, -1)
 			return mpi.Message{}, err
 		}
 		copies = append(copies, wm)
 	}
+	c.copiesScratch = copies[:0]
 	return c.deliverSpecific(src, copies)
 }
 
 // verify cross-checks the collected copies and returns the delivered
-// payload, applying majority voting when copies disagree.
-func (c *Comm) verify(copies []wireMsg) ([]byte, error) {
-	var fulls [][]byte
-	var hashes [][]byte
-	for _, wm := range copies {
+// payload plus the index (into copies) of the winning full copy, applying
+// majority voting when copies disagree. The winner index lets the caller
+// keep that copy's transport buffer while releasing the losers'.
+func (c *Comm) verify(copies []wireMsg) ([]byte, int, error) {
+	fulls := c.fullsScratch[:0]
+	fullIdx := c.fullIdx[:0]
+	hashes := c.hashesScratch[:0]
+	for i, wm := range copies {
 		switch wm.kind {
 		case kindFull:
 			fulls = append(fulls, wm.payload)
+			fullIdx = append(fullIdx, i)
 		case kindHash:
 			hashes = append(hashes, wm.payload)
 		default:
-			return nil, fmt.Errorf("%w: unexpected control message in data channel", errProtocol)
+			return nil, -1, fmt.Errorf("%w: unexpected control message in data channel", errProtocol)
 		}
 	}
+	c.fullsScratch, c.fullIdx, c.hashesScratch = fulls[:0], fullIdx[:0], hashes[:0]
 	if len(fulls) == 0 {
-		return nil, ErrPayloadLost
+		return nil, -1, ErrPayloadLost
 	}
 	if len(fulls)+len(hashes) > 1 {
 		c.stats.votes.Add(1)
 	}
 	// Group identical payloads (full copies by bytes, then check hashes
 	// against the winning payload's digest).
-	winner, agree, disagree := vote(fulls)
-	h := payloadHash(winner)
+	winner, win, agree, disagree := vote(fulls)
+	h := payloadHashInto(c.hashScratch[:], winner)
 	for _, hv := range hashes {
 		if string(hv) == string(h) {
 			agree++
@@ -323,31 +431,44 @@ func (c *Comm) verify(copies []wireMsg) ([]byte, error) {
 			// Triple-redundancy style majority: corrupt copy voted out.
 			c.stats.corrections.Add(1)
 		} else if agree < disagree {
-			return nil, ErrPayloadCorrupt
+			return nil, -1, ErrPayloadCorrupt
 		}
 		// agree == disagree (e.g. 1 vs 1 at dual redundancy): detection
 		// without correction; deliver the lowest-replica copy, counted as
 		// a mismatch, mirroring RedMPI's detect-only capability at 2x.
 	}
-	return winner, nil
+	return winner, fullIdx[win], nil
 }
 
-// vote groups byte-identical payloads and returns the plurality payload
-// plus how many copies agree/disagree with it. Ties resolve to the copy
-// from the lowest replica (first in slice order).
-func vote(fulls [][]byte) (winner []byte, agree, disagree int) {
+// vote groups byte-identical payloads and returns the plurality payload,
+// its index in fulls, and how many copies agree/disagree with it. Ties
+// resolve to the copy from the lowest replica (first in slice order).
+// The unanimous case — every delivery without injected corruption — is
+// detected with plain comparisons so the hot path never builds the map.
+func vote(fulls [][]byte) (winner []byte, win, agree, disagree int) {
+	unanimous := true
+	for _, f := range fulls[1:] {
+		if !bytes.Equal(f, fulls[0]) {
+			unanimous = false
+			break
+		}
+	}
+	if unanimous {
+		return fulls[0], 0, len(fulls), 0
+	}
 	counts := make(map[string]int, len(fulls))
 	for _, f := range fulls {
 		counts[string(f)]++
 	}
 	bestN := 0
-	for _, f := range fulls {
+	for i, f := range fulls {
 		if n := counts[string(f)]; n > bestN {
 			bestN = n
 			winner = f
+			win = i
 		}
 	}
-	return winner, bestN, len(fulls) - bestN
+	return winner, win, bestN, len(fulls) - bestN
 }
 
 // controlTag maps a user tag to its wildcard control channel.
@@ -408,12 +529,15 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 		}
 		wm, derr := decodeWire(env.Data)
 		if derr != nil {
+			env.Release()
 			return mpi.Message{}, derr
 		}
 		if wm.kind != kindEnvelope {
+			env.Release()
 			return mpi.Message{}, fmt.Errorf("%w: data message on control channel", errProtocol)
 		}
 		eseq, esrc, etag, derr := decodeEnvelope(wm.payload)
+		env.Release()
 		if derr != nil {
 			return mpi.Message{}, derr
 		}
@@ -457,10 +581,12 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 			if errors.Is(rerr, mpi.ErrPeerDead) {
 				continue
 			}
+			releaseCopies(copies, -1)
 			return mpi.Message{}, rerr
 		}
-		wm, derr := decodeWire(msg.Data)
+		wm, derr := decodeWireFrom(msg)
 		if derr != nil {
+			releaseCopies(copies, -1)
 			return mpi.Message{}, derr
 		}
 		copies = append(copies, wm)
@@ -468,13 +594,15 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 	if len(copies) == 0 {
 		return mpi.Message{}, fmt.Errorf("wildcard recv from virtual %d: %w", virtSrc, ErrSphereDead)
 	}
-	data, err := c.verify(copies)
+	data, win, err := c.verify(copies)
 	if err != nil {
+		releaseCopies(copies, -1)
 		return mpi.Message{}, fmt.Errorf("wildcard recv from virtual %d: %w", virtSrc, err)
 	}
+	releaseCopies(copies, win)
 	c.recv[virtSrc].Add(1)
 	c.stats.deliveries.Add(1)
-	return mpi.Message{Source: virtSrc, Tag: actualTag, Data: data}, nil
+	return copies[win].msg.Reframe(virtSrc, actualTag, data), nil
 }
 
 // leadWildcard performs the leader's physical wildcard receive, skipping
@@ -485,13 +613,14 @@ func (c *Comm) leadWildcard(tag int) (virtSrc, actualTag, gotIdx int, first *wir
 		if rerr != nil {
 			return 0, 0, 0, nil, rerr
 		}
-		wm, derr := decodeWire(msg.Data)
+		wm, derr := decodeWireFrom(msg)
 		if derr != nil {
 			return 0, 0, 0, nil, derr
 		}
 		if wm.kind == kindEnvelope {
 			// Stale envelope from a dead ex-leader (possible only when
 			// tag == AnyTag); drop and keep waiting for application data.
+			wm.msg.Release()
 			continue
 		}
 		return wm.virtSrc, wm.tag, wm.senderIdx, &wm, nil

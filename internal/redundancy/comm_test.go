@@ -466,20 +466,21 @@ func TestIrecvRequestSet(t *testing.T) {
 		if err != nil {
 			return err
 		}
-		st, err := req.Wait()
+		msg, st, err := req.Wait()
 		if err != nil {
 			return err
 		}
 		if st.Source != 0 || st.Len != len("nonblocking") {
 			return fmt.Errorf("status %+v", st)
 		}
-		if string(req.Message().Data) != "nonblocking" {
-			return fmt.Errorf("payload %q", req.Message().Data)
+		if string(msg.Data) != "nonblocking" {
+			return fmt.Errorf("payload %q", msg.Data)
 		}
 		// Wait is idempotent.
-		if _, err := req.Wait(); err != nil {
-			return err
+		if again, _, err := req.Wait(); err != nil || string(again.Data) != "nonblocking" {
+			return fmt.Errorf("second Wait: %q err=%v", again.Data, err)
 		}
+		msg.Release()
 		return nil
 	})
 }
@@ -496,14 +497,15 @@ func TestIrecvTestPolling(t *testing.T) {
 		}
 		deadline := time.Now().Add(5 * time.Second)
 		for {
-			done, st, err := req.Test()
+			done, msg, st, err := req.Test()
 			if done {
 				if err != nil {
 					return err
 				}
-				if st.Len != 4 || string(req.Message().Data) != "late" {
-					return fmt.Errorf("st %+v msg %q", st, req.Message().Data)
+				if st.Len != 4 || string(msg.Data) != "late" {
+					return fmt.Errorf("st %+v msg %q", st, msg.Data)
 				}
+				msg.Release()
 				return nil
 			}
 			if time.Now().After(deadline) {
@@ -521,11 +523,11 @@ func TestIsendCompletes(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			done, _, err := req.Test()
+			done, _, _, err := req.Test()
 			if !done || err != nil {
 				return fmt.Errorf("isend done=%v err=%v", done, err)
 			}
-			if _, err := req.Wait(); err != nil {
+			if _, _, err := req.Wait(); err != nil {
 				return err
 			}
 			return nil

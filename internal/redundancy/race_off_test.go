@@ -1,0 +1,5 @@
+//go:build !race
+
+package redundancy
+
+const raceEnabled = false

@@ -61,9 +61,18 @@ type sendRequest struct {
 
 var _ mpi.Request = (*sendRequest)(nil)
 
-func (r *sendRequest) Wait() (mpi.Status, error)       { return r.st, r.err }
-func (r *sendRequest) Test() (bool, mpi.Status, error) { return true, r.st, r.err }
-func (r *sendRequest) Message() mpi.Message            { return mpi.Message{} }
+func (r *sendRequest) Wait() (mpi.Message, mpi.Status, error) {
+	return mpi.Message{}, r.st, r.err
+}
+
+func (r *sendRequest) Test() (bool, mpi.Message, mpi.Status, error) {
+	return true, mpi.Message{}, r.st, r.err
+}
+
+// Message implements mpi.Request; sends deliver no payload.
+//
+// Deprecated: use the Message returned by Wait or Test directly.
+func (r *sendRequest) Message() mpi.Message { return mpi.Message{} }
 
 // recvRequest identifies a set of physical receives (paper §3: "RedMPI
 // maintains the set of request handles returned by all the non-blocking
@@ -82,35 +91,38 @@ type recvRequest struct {
 
 var _ mpi.Request = (*recvRequest)(nil)
 
-func (r *recvRequest) finish(msg mpi.Message, err error) (mpi.Status, error) {
+func (r *recvRequest) finish(msg mpi.Message, err error) (mpi.Message, mpi.Status, error) {
 	r.done = true
 	r.msg = msg
 	r.err = err
 	if err == nil {
 		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
 	}
-	return r.st, r.err
+	return r.msg, r.st, r.err
 }
 
 // Wait blocks until every receive in the set completes (dead replicas are
 // skipped), verifies the copies against each other, and delivers.
-func (r *recvRequest) Wait() (mpi.Status, error) {
+func (r *recvRequest) Wait() (mpi.Message, mpi.Status, error) {
 	if r.done {
-		return r.st, r.err
+		return r.msg, r.st, r.err
 	}
 	if r.wildcard {
 		return r.finish(r.c.recvWildcard(r.tag))
 	}
 	copies := make([]wireMsg, 0, len(r.physReqs))
 	for _, pr := range r.physReqs {
-		if _, err := pr.Wait(); err != nil {
+		msg, _, err := pr.Wait()
+		if err != nil {
 			if errors.Is(err, mpi.ErrPeerDead) {
 				continue
 			}
+			releaseCopies(copies, -1)
 			return r.finish(mpi.Message{}, err)
 		}
-		wm, err := decodeWire(pr.Message().Data)
+		wm, err := decodeWireFrom(msg)
 		if err != nil {
+			releaseCopies(copies, -1)
 			return r.finish(mpi.Message{}, err)
 		}
 		copies = append(copies, wm)
@@ -119,54 +131,62 @@ func (r *recvRequest) Wait() (mpi.Status, error) {
 }
 
 // Test polls the whole set; it completes only when every member has.
-func (r *recvRequest) Test() (bool, mpi.Status, error) {
+func (r *recvRequest) Test() (bool, mpi.Message, mpi.Status, error) {
 	if r.done {
-		return true, r.st, r.err
+		return true, r.msg, r.st, r.err
 	}
 	if r.wildcard {
-		return false, mpi.Status{}, nil
+		return false, mpi.Message{}, mpi.Status{}, nil
 	}
 	for _, pr := range r.physReqs {
-		done, _, err := pr.Test()
+		done, _, _, err := pr.Test()
 		if !done {
-			return false, mpi.Status{}, nil
+			return false, mpi.Message{}, mpi.Status{}, nil
 		}
 		if err != nil && !errors.Is(err, mpi.ErrPeerDead) {
-			st, ferr := r.finish(mpi.Message{}, err)
-			return true, st, ferr
+			msg, st, ferr := r.finish(mpi.Message{}, err)
+			return true, msg, st, ferr
 		}
 	}
 	// Every set member is resolved; assemble exactly as Wait would.
 	copies := make([]wireMsg, 0, len(r.physReqs))
 	for _, pr := range r.physReqs {
-		if _, err := pr.Wait(); err != nil {
+		msg, _, err := pr.Wait()
+		if err != nil {
 			continue // already-resolved dead replica
 		}
-		wm, err := decodeWire(pr.Message().Data)
+		wm, err := decodeWireFrom(msg)
 		if err != nil {
-			st, ferr := r.finish(mpi.Message{}, err)
-			return true, st, ferr
+			releaseCopies(copies, -1)
+			fmsg, st, ferr := r.finish(mpi.Message{}, err)
+			return true, fmsg, st, ferr
 		}
 		copies = append(copies, wm)
 	}
-	st, err := r.finish(r.c.deliverSpecific(r.src, copies))
-	return true, st, err
+	msg, st, err := r.finish(r.c.deliverSpecific(r.src, copies))
+	return true, msg, st, err
 }
 
 // Message returns the delivered virtual message after completion.
+//
+// Deprecated: use the Message returned by Wait or Test directly.
 func (r *recvRequest) Message() mpi.Message { return r.msg }
 
 // deliverSpecific verifies the collected copies from a specific virtual
-// source and performs delivery bookkeeping.
+// source and performs delivery bookkeeping. The winning copy's transport
+// buffer is reframed into the delivered message (its ownership passes to
+// the application); the losing copies' buffers go back to the pool.
 func (c *Comm) deliverSpecific(src int, copies []wireMsg) (mpi.Message, error) {
 	if len(copies) == 0 {
 		return mpi.Message{}, fmt.Errorf("recv from virtual %d: %w", src, ErrSphereDead)
 	}
-	data, err := c.verify(copies)
+	data, win, err := c.verify(copies)
 	if err != nil {
+		releaseCopies(copies, -1)
 		return mpi.Message{}, fmt.Errorf("recv from virtual %d: %w", src, err)
 	}
+	releaseCopies(copies, win)
 	c.recv[src].Add(1)
 	c.stats.deliveries.Add(1)
-	return mpi.Message{Source: src, Tag: copies[0].tag, Data: data}, nil
+	return copies[win].msg.Reframe(src, copies[0].tag, data), nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+
+	"repro/internal/mpi"
 )
 
 // msgKind distinguishes the physical message types the layer exchanges.
@@ -24,24 +26,35 @@ const (
 const wireHeaderLen = 1 + 1 + 4 + 4 // kind, senderIdx, virtSrc, tag
 
 // encodeWire frames an application payload (or hash) for the physical
-// transport.
+// transport into a fresh allocation.
 func encodeWire(kind msgKind, senderIdx, virtSrc, tag int, payload []byte) []byte {
 	buf := make([]byte, wireHeaderLen+len(payload))
+	encodeWireInto(buf, kind, senderIdx, virtSrc, tag, payload)
+	return buf
+}
+
+// encodeWireInto frames an application payload (or hash) into buf, which
+// the caller has sized to wireHeaderLen+len(payload) — typically a pooled
+// buffer about to be shared across the replica fan-out.
+func encodeWireInto(buf []byte, kind msgKind, senderIdx, virtSrc, tag int, payload []byte) {
 	buf[0] = byte(kind)
 	buf[1] = byte(senderIdx)
 	binary.LittleEndian.PutUint32(buf[2:], uint32(int32(virtSrc)))
 	binary.LittleEndian.PutUint32(buf[6:], uint32(int32(tag)))
 	copy(buf[wireHeaderLen:], payload)
-	return buf
 }
 
-// wireMsg is a decoded physical message.
+// wireMsg is a decoded physical message. msg is the transport message the
+// payload aliases (zero when decoded from a bare byte slice); delivery
+// reframes the winning copy's msg and releases the losers' so their
+// pooled buffers recycle.
 type wireMsg struct {
 	kind      msgKind
 	senderIdx int
 	virtSrc   int
 	tag       int
 	payload   []byte
+	msg       mpi.Message
 }
 
 // decodeWire parses a framed physical payload.
@@ -62,15 +75,43 @@ func decodeWire(buf []byte) (wireMsg, error) {
 	}, nil
 }
 
+// decodeWireFrom parses a framed physical message, keeping the transport
+// message (and any pooled buffer it owns) attached to the result. On
+// parse failure the message is released before returning.
+func decodeWireFrom(msg mpi.Message) (wireMsg, error) {
+	wm, err := decodeWire(msg.Data)
+	if err != nil {
+		msg.Release()
+		return wireMsg{}, err
+	}
+	wm.msg = msg
+	return wm, nil
+}
+
+// releaseCopies returns every collected copy's transport buffer to the
+// pool except keep's (pass keep = -1 to release them all).
+func releaseCopies(copies []wireMsg, keep int) {
+	for i := range copies {
+		if i != keep {
+			copies[i].msg.Release()
+		}
+	}
+}
+
 // payloadHash is the digest Msg-PlusHash mode ships instead of the full
 // payload: FNV-64a, cheap and collision-resistant enough for detecting
 // the bit-flip corruptions RedMPI targets.
 func payloadHash(payload []byte) []byte {
+	return payloadHashInto(make([]byte, 8), payload)
+}
+
+// payloadHashInto writes the payload digest into dst[:8] (typically a
+// scratch array reused across sends and verifications) and returns it.
+func payloadHashInto(dst []byte, payload []byte) []byte {
 	h := fnv.New64a()
 	h.Write(payload) // hash.Hash.Write never returns an error
-	out := make([]byte, 8)
-	binary.LittleEndian.PutUint64(out, h.Sum64())
-	return out
+	binary.LittleEndian.PutUint64(dst, h.Sum64())
+	return dst[:8]
 }
 
 // envelopePayload encodes the wildcard-protocol control record: the

@@ -68,17 +68,22 @@ func TestPayloadHashStable(t *testing.T) {
 func TestVotePlurality(t *testing.T) {
 	good := []byte("good")
 	bad := []byte("bad!")
-	winner, agree, disagree := vote([][]byte{good, bad, good})
-	if !bytes.Equal(winner, good) || agree != 2 || disagree != 1 {
-		t.Fatalf("vote = %q/%d/%d", winner, agree, disagree)
+	winner, win, agree, disagree := vote([][]byte{good, bad, good})
+	if !bytes.Equal(winner, good) || win != 0 || agree != 2 || disagree != 1 {
+		t.Fatalf("vote = %q@%d/%d/%d", winner, win, agree, disagree)
 	}
 	// Tie resolves to the lowest replica's copy (first element).
-	winner, agree, disagree = vote([][]byte{good, bad})
-	if !bytes.Equal(winner, good) || agree != 1 || disagree != 1 {
-		t.Fatalf("tie vote = %q/%d/%d", winner, agree, disagree)
+	winner, win, agree, disagree = vote([][]byte{good, bad})
+	if !bytes.Equal(winner, good) || win != 0 || agree != 1 || disagree != 1 {
+		t.Fatalf("tie vote = %q@%d/%d/%d", winner, win, agree, disagree)
 	}
-	winner, agree, disagree = vote([][]byte{good})
-	if !bytes.Equal(winner, good) || agree != 1 || disagree != 0 {
-		t.Fatalf("single vote = %q/%d/%d", winner, agree, disagree)
+	winner, win, agree, disagree = vote([][]byte{good})
+	if !bytes.Equal(winner, good) || win != 0 || agree != 1 || disagree != 0 {
+		t.Fatalf("single vote = %q@%d/%d/%d", winner, win, agree, disagree)
+	}
+	// The winner index tracks the first plurality copy, not slot zero.
+	winner, win, agree, disagree = vote([][]byte{bad, good, good})
+	if !bytes.Equal(winner, good) || win != 1 || agree != 2 || disagree != 1 {
+		t.Fatalf("shifted vote = %q@%d/%d/%d", winner, win, agree, disagree)
 	}
 }

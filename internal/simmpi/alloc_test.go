@@ -1,0 +1,143 @@
+package simmpi
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0},
+		{1, 0},
+		{arenaMinClass, 0},
+		{arenaMinClass + 1, 1},
+		{4096, 6},
+		{arenaMaxClass, arenaClasses - 1},
+		{arenaMaxClass + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestArenaOversizedFallback(t *testing.T) {
+	a := newArena()
+	b, pb := a.acquire(arenaMaxClass + 1)
+	if len(b) != arenaMaxClass+1 {
+		t.Fatalf("oversized acquire len = %d", len(b))
+	}
+	if pb != nil {
+		t.Fatal("oversized acquire must have no pooled handle")
+	}
+}
+
+func TestArenaRecycleRejectsForeignBuffer(t *testing.T) {
+	a := newArena()
+	// cap 100 matches no power-of-two class; Recycle must drop it
+	// rather than poison a pool class with a short buffer.
+	pb := mpi.NewPooledBuf(make([]byte, 100), a)
+	a.Recycle(pb) // must not panic or Put
+	b, got := a.acquire(100)
+	if got == pb {
+		t.Fatal("foreign buffer re-issued from the pool")
+	}
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("acquire(100) len/cap = %d/%d, want 100/128", len(b), cap(b))
+	}
+}
+
+// TestSendRecvSteadyStateAllocs pins the tentpole win: once the pool is
+// warm, a blocking send/receive/release round trip allocates nothing on
+// the message path.
+func TestSendRecvSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	payload := make([]byte, 256)
+	round := func() {
+		if err := c0.Send(1, 1, payload); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := c1.Recv(0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg.Release()
+	}
+	for i := 0; i < 50; i++ {
+		round() // warm the pool and the mailbox ring
+	}
+	if avg := testing.AllocsPerRun(100, round); avg > 1 {
+		t.Errorf("send/recv/release steady state allocates %.2f per round, want ≤1", avg)
+	}
+}
+
+// TestPoolPoisonOnRelease verifies the race-build debugging aid: the
+// arena overwrites a buffer with poisonByte the moment its last
+// reference drops, so any use-after-release reads a loud constant
+// instead of silently stale (or recycled) payload bytes.
+func TestPoolPoisonOnRelease(t *testing.T) {
+	if !raceEnabled {
+		t.Skip("poison-on-put is enabled only under the race detector")
+	}
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	payload := []byte("not yet poisoned payload bytes")
+	if err := c0.Send(1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c1.Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alias := msg.Data
+	msg.Release()
+	// Reading alias now is exactly the bug the poison exists to expose;
+	// the test holds the alias deliberately to observe the sentinel.
+	for i, b := range alias {
+		if b != poisonByte {
+			t.Fatalf("alias[%d] = %#x after release, want poison %#x", i, b, poisonByte)
+		}
+	}
+}
+
+// TestWithoutPooling covers the opt-out: a world built with
+// mpi.WithoutPooling still delivers messages (plain allocations, no
+// handles) and Release degrades to a no-op.
+func TestWithoutPooling(t *testing.T) {
+	w, err := NewWorld(2, mpi.WithoutPooling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	payload := []byte{1, 2, 3}
+	if err := c0.Send(1, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := c1.Recv(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(msg.Data) != string(payload) {
+		t.Fatalf("payload = %v, want %v", msg.Data, payload)
+	}
+	keep := msg.Data
+	msg.Release() // no pool: must not panic, must not poison
+	if string(keep) != string(payload) {
+		t.Fatalf("unpooled payload mutated by Release: %v", keep)
+	}
+}

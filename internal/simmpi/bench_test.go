@@ -29,15 +29,19 @@ func BenchmarkPingPong(b *testing.B) {
 			if err := c0.Send(1, 1, payload); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := c1.Recv(0, 1); err != nil {
+			msg, err := c1.Recv(0, 1)
+			if err != nil {
 				b.Fatal(err)
 			}
+			msg.Release()
 			if err := c1.Send(0, 2, payload); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := c0.Recv(1, 2); err != nil {
+			msg, err = c0.Recv(1, 2)
+			if err != nil {
 				b.Fatal(err)
 			}
+			msg.Release()
 		}
 	}
 }
@@ -62,10 +66,12 @@ func BenchmarkFanInAnySource(b *testing.B) {
 		go func() {
 			defer close(done)
 			for j := 0; j < benchBatch; j++ {
-				if _, err := sink.Recv(mpi.AnySource, mpi.AnyTag); err != nil {
+				msg, err := sink.Recv(mpi.AnySource, mpi.AnyTag)
+				if err != nil {
 					b.Error(err)
 					return
 				}
+				msg.Release()
 			}
 		}()
 		for j := 0; j < benchBatch; j++ {

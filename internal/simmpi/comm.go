@@ -23,6 +23,7 @@ type Comm struct {
 var (
 	_ mpi.Comm         = (*Comm)(nil)
 	_ mpi.CountTracker = (*Comm)(nil)
+	_ mpi.SharedSender = (*Comm)(nil)
 )
 
 // Rank returns this endpoint's rank.
@@ -41,26 +42,26 @@ func (c *Comm) checkPeer(rank int) error {
 	return nil
 }
 
-// Send delivers data to dst. Sends are eager and buffered: the message is
-// copied into the destination mailbox and the call returns. Sends from a
-// killed rank fail with mpi.ErrKilled; sends to a dead rank are silently
-// dropped (fail-stop peers just stop reading the network).
-func (c *Comm) Send(dst, tag int, data []byte) error {
+// sendPrologue performs the common Send-side checks and bookkeeping.
+// ok reports whether the message should actually be deposited (false
+// with a nil error means the destination is dead and the send is
+// silently dropped, like a lost packet).
+func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
 	if err := c.checkPeer(dst); err != nil {
-		return err
+		return false, err
 	}
 	if c.world.aborted.Load() {
-		return mpi.ErrAborted
+		return false, mpi.ErrAborted
 	}
 	if c.world.dead[c.rank].Load() {
-		return mpi.ErrKilled
+		return false, mpi.ErrKilled
 	}
 	if c.world.interrupted.Load() {
-		return mpi.ErrInterrupted
+		return false, mpi.ErrInterrupted
 	}
 	c.sent[dst].Add(1)
 	c.world.met.sends.Inc()
-	c.world.met.sendBytes.Add(uint64(len(data)))
+	c.world.met.sendBytes.Add(uint64(n))
 	if d := c.world.sendDelay; d > 0 {
 		// Emulated wire latency is charged to the sender whether or not
 		// the destination is alive, like a NIC pushing into the fabric.
@@ -68,15 +69,72 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	}
 	if c.world.dead[dst].Load() {
 		c.world.met.drops.Inc()
-		return nil
+		return false, nil
+	}
+	return true, nil
+}
+
+// Send delivers data to dst. Sends are eager and buffered: the message is
+// copied once at the transport boundary — into a pooled arena buffer the
+// receiver owns until it releases it (see mpi.Message.Data) — and the
+// call returns, so the sender may reuse data immediately. Sends from a
+// killed rank fail with mpi.ErrKilled; sends to a dead rank are silently
+// dropped (fail-stop peers just stop reading the network).
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	ok, err := c.sendPrologue(dst, len(data))
+	if !ok {
+		return err
 	}
 	// Copy at the boundary: the sender may reuse its buffer immediately.
 	var buf []byte
+	var pb *mpi.PooledBuf
 	if data != nil {
-		buf = make([]byte, len(data))
+		if c.world.pool != nil {
+			buf, pb = c.world.pool.acquire(len(data))
+			c.world.met.bytesPooled.Add(uint64(len(data)))
+		} else {
+			buf = make([]byte, len(data))
+		}
 		copy(buf, data)
 	}
-	c.world.mailboxes[dst].deposit(c.rank, tag, buf)
+	if !c.world.mailboxes[dst].deposit(c.rank, tag, buf, pb) && pb != nil {
+		pb.Release() // dropped at the door (dead/aborted/interrupted)
+	}
+	return nil
+}
+
+// AcquireBuffer implements mpi.SharedSender: it hands out a pooled
+// buffer the caller encodes into once and then shares across several
+// SendPooled calls.
+func (c *Comm) AcquireBuffer(n int) ([]byte, *mpi.PooledBuf) {
+	if c.world.pool == nil || n == 0 {
+		return make([]byte, n), nil
+	}
+	c.world.met.bytesPooled.Add(uint64(n))
+	return c.world.pool.acquire(n)
+}
+
+// SendPooled implements mpi.SharedSender: like Send, but data (a view of
+// pb's pooled buffer) is shared with the destination instead of copied —
+// the copy-on-write fan-out path the redundancy layer uses to send one
+// encoded payload to every replica. Each successful deposit takes its
+// own reference on pb; the caller's reference survives the call.
+func (c *Comm) SendPooled(dst, tag int, data []byte, pb *mpi.PooledBuf) error {
+	if pb == nil {
+		return c.Send(dst, tag, data)
+	}
+	ok, err := c.sendPrologue(dst, len(data))
+	if !ok {
+		return err
+	}
+	// Retain before publication: the receiver may consume and release
+	// the very moment the deposit lands.
+	pb.Retain()
+	if !c.world.mailboxes[dst].deposit(c.rank, tag, data, pb) {
+		pb.Release()
+		return nil
+	}
+	c.world.met.copiesElided.Inc()
 	return nil
 }
 
@@ -121,6 +179,11 @@ func (c *Comm) Isend(dst, tag int, data []byte) (mpi.Request, error) {
 		st:   mpi.Status{Source: c.rank, Tag: tag, Len: len(data)},
 		err:  err,
 	}, nil
+}
+
+// statusOf derives a completion status from a delivered message.
+func statusOf(msg mpi.Message) mpi.Status {
+	return mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
 }
 
 // Irecv starts a non-blocking receive. Completion is lazy: the matching
@@ -186,45 +249,49 @@ type request struct {
 
 var _ mpi.Request = (*request)(nil)
 
-// Wait blocks until the operation completes.
-func (r *request) Wait() (mpi.Status, error) {
+// Wait blocks until the operation completes and returns the delivered
+// message (zero for sends), its status, and any error. Buffer ownership
+// transfers to the caller with the message (see mpi.Message.Data).
+func (r *request) Wait() (mpi.Message, mpi.Status, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.done {
-		return r.st, r.err
+		return r.msg, r.st, r.err
 	}
 	msg, err := r.comm.Recv(r.src, r.tag)
 	r.done = true
 	r.err = err
 	if err == nil {
 		r.msg = msg
-		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
+		r.st = statusOf(msg)
 	}
-	return r.st, r.err
+	return r.msg, r.st, r.err
 }
 
 // Test polls for completion without blocking.
-func (r *request) Test() (bool, mpi.Status, error) {
+func (r *request) Test() (bool, mpi.Message, mpi.Status, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.done {
-		return true, r.st, r.err
+		return true, r.msg, r.st, r.err
 	}
 	msg, ok, err := r.comm.world.mailboxes[r.comm.rank].tryReceive(r.src, r.tag)
 	if !ok {
-		return false, mpi.Status{}, nil
+		return false, mpi.Message{}, mpi.Status{}, nil
 	}
 	r.done = true
 	r.err = err
 	if err == nil {
 		r.comm.noteRecv(msg.Source)
 		r.msg = msg
-		r.st = mpi.Status{Source: msg.Source, Tag: msg.Tag, Len: len(msg.Data)}
+		r.st = statusOf(msg)
 	}
-	return true, r.st, r.err
+	return true, r.msg, r.st, r.err
 }
 
 // Message returns the received payload after completion.
+//
+// Deprecated: use the Message returned by Wait or Test directly.
 func (r *request) Message() mpi.Message {
 	r.mu.Lock()
 	defer r.mu.Unlock()

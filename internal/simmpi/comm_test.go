@@ -216,7 +216,7 @@ func TestIsendCompletesImmediately(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	done, _, err := req.Test()
+	done, _, _, err := req.Test()
 	if !done || err != nil {
 		t.Fatalf("Isend request: done=%v err=%v", done, err)
 	}
@@ -229,26 +229,31 @@ func TestIrecvWaitAndMessage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if done, _, _ := req.Test(); done {
+	if done, _, _, _ := req.Test(); done {
 		t.Fatal("Irecv complete before send")
 	}
 	if err := c0.Send(1, 4, []byte("payload")); err != nil {
 		t.Fatal(err)
 	}
-	st, err := req.Wait()
+	msg, st, err := req.Wait()
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Len != 7 || st.Source != 0 {
 		t.Fatalf("status %+v", st)
 	}
-	if string(req.Message().Data) != "payload" {
-		t.Fatalf("message %q", req.Message().Data)
+	if string(msg.Data) != "payload" {
+		t.Fatalf("message %q", msg.Data)
 	}
-	// Wait is idempotent.
-	if _, err := req.Wait(); err != nil {
-		t.Fatal(err)
+	// Wait is idempotent, and the deprecated accessor still works.
+	if again, _, err := req.Wait(); err != nil || string(again.Data) != "payload" {
+		t.Fatalf("second Wait: %q err=%v", again.Data, err)
 	}
+	//lint:ignore SA1019 the deprecated accessor must keep returning the payload
+	if got := req.Message(); string(got.Data) != "payload" {
+		t.Fatalf("message %q", got.Data)
+	}
+	msg.Release()
 }
 
 func TestIrecvTestCompletion(t *testing.T) {
@@ -263,10 +268,10 @@ func TestIrecvTestCompletion(t *testing.T) {
 	}
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		done, st, err := req.Test()
+		done, msg, st, err := req.Test()
 		if done {
-			if err != nil || st.Len != 1 {
-				t.Fatalf("done=%v st=%+v err=%v", done, st, err)
+			if err != nil || st.Len != 1 || string(msg.Data) != "z" {
+				t.Fatalf("done=%v st=%+v msg=%q err=%v", done, st, msg.Data, err)
 			}
 			break
 		}

@@ -7,11 +7,14 @@ import (
 	"repro/internal/mpi"
 )
 
-// envelope is a message in flight.
+// envelope is a message in flight. buf is the pooled-buffer handle data
+// lives in (nil for unpooled or oversized payloads); the reference it
+// carries transfers to the receiver on match, or is released on purge.
 type envelope struct {
 	source int
 	tag    int
 	data   []byte
+	buf    *mpi.PooledBuf
 	seq    uint64 // arrival order, for FIFO matching across (source, tag)
 }
 
@@ -43,19 +46,23 @@ func (mb *mailbox) broadcast() {
 	mb.mu.Unlock()
 }
 
-// deposit enqueues a message. Deposits to dead ranks, aborted worlds, or
-// interrupted epochs are dropped, like packets to a crashed node (an
-// interrupted epoch's traffic is recomputed from the checkpoint anyway).
-func (mb *mailbox) deposit(source, tag int, data []byte) {
+// deposit enqueues a message and reports whether it was accepted.
+// Deposits to dead ranks, aborted worlds, or interrupted epochs are
+// dropped (returning false), like packets to a crashed node (an
+// interrupted epoch's traffic is recomputed from the checkpoint anyway);
+// the caller still owns pb's reference on that path and must release it.
+// On acceptance the reference rides the envelope to the receiver.
+func (mb *mailbox) deposit(source, tag int, data []byte, pb *mpi.PooledBuf) bool {
 	if mb.world.aborted.Load() || mb.world.interrupted.Load() || mb.world.dead[mb.owner].Load() {
-		return
+		return false
 	}
 	mb.mu.Lock()
-	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, seq: mb.next})
+	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, buf: pb, seq: mb.next})
 	mb.next++
 	mb.world.met.mailboxHWM.SetMax(int64(len(mb.queue)))
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
+	return true
 }
 
 func matches(e envelope, src, tag int) bool {
@@ -93,7 +100,7 @@ func (mb *mailbox) receive(src, tag int) (mpi.Message, error) {
 		if idx, ok := mb.match(src, tag); ok {
 			e := mb.queue[idx]
 			mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
-			return mpi.Message{Source: e.source, Tag: e.tag, Data: e.data}, nil
+			return mpi.NewMessage(e.source, e.tag, e.data, e.buf), nil
 		}
 		if err := mb.errIfDown(src); err != nil {
 			return mpi.Message{}, err
@@ -109,7 +116,7 @@ func (mb *mailbox) tryReceive(src, tag int) (mpi.Message, bool, error) {
 	if idx, ok := mb.match(src, tag); ok {
 		e := mb.queue[idx]
 		mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
-		return mpi.Message{Source: e.source, Tag: e.tag, Data: e.data}, true, nil
+		return mpi.NewMessage(e.source, e.tag, e.data, e.buf), true, nil
 	}
 	if err := mb.errIfDown(src); err != nil {
 		return mpi.Message{}, true, err
@@ -149,9 +156,15 @@ func (mb *mailbox) match(src, tag int) (int, bool) {
 
 // purge discards all unmatched messages: stale traffic from an epoch
 // that is being rolled back, or addressed to a rank incarnation that no
-// longer exists.
+// longer exists. Pooled buffers ride envelopes with a reference each, so
+// purge releases them back to the arena instead of leaking them.
 func (mb *mailbox) purge() {
 	mb.mu.Lock()
+	for i := range mb.queue {
+		if pb := mb.queue[i].buf; pb != nil {
+			pb.Release()
+		}
+	}
 	mb.queue = nil
 	mb.cond.Broadcast()
 	mb.mu.Unlock()

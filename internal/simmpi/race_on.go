@@ -1,0 +1,9 @@
+//go:build race
+
+package simmpi
+
+// raceEnabled reports whether the race detector instruments this build.
+// Timing-budget tests skip under it (instrumented atomics cost multiples
+// of their production price) and the buffer arena poisons recycled
+// buffers so use-after-release reads are deterministic garbage.
+const raceEnabled = true

@@ -31,15 +31,18 @@ type World struct {
 	mailboxes []*mailbox
 	comms     []*Comm
 
+	// pool is the payload buffer arena; nil when pooling is disabled
+	// (mpi.WithoutPooling), in which case every send allocates fresh.
+	pool *arena
+
 	dead        []atomic.Bool
 	aborted     atomic.Bool
 	interrupted atomic.Bool
 
-	// Telemetry. reg defaults to a fresh private registry; WithObs
+	// Telemetry. reg defaults to a fresh private registry; mpi.WithObs
 	// injects a shared one (or nil to disable entirely).
-	reg    *obs.Registry
-	regSet bool
-	met    worldMetrics
+	reg *obs.Registry
+	met worldMetrics
 }
 
 // worldMetrics holds the runtime's instruments, resolved once at world
@@ -55,24 +58,32 @@ type worldMetrics struct {
 	interrupts *obs.Counter // epoch pauses for in-place recovery
 	revives    *obs.Counter // dead ranks brought back by Revive
 	mailboxHWM *obs.Gauge   // deepest unmatched-message backlog of any rank
+
+	// Zero-copy path instruments.
+	bytesPooled  *obs.Counter // payload bytes carried in arena buffers
+	copiesElided *obs.Counter // deep copies avoided by shared (COW) sends
 }
 
 func newWorldMetrics(reg *obs.Registry) worldMetrics {
 	return worldMetrics{
-		sends:      reg.Counter("simmpi_sends_total"),
-		recvs:      reg.Counter("simmpi_recvs_total"),
-		sendBytes:  reg.Counter("simmpi_send_bytes_total"),
-		drops:      reg.Counter("simmpi_drops_total"),
-		kills:      reg.Counter("simmpi_kills_total"),
-		aborts:     reg.Counter("simmpi_aborts_total"),
-		interrupts: reg.Counter("simmpi_interrupts_total"),
-		revives:    reg.Counter("simmpi_revives_total"),
-		mailboxHWM: reg.Gauge("simmpi_mailbox_depth_hwm"),
+		sends:        reg.Counter("simmpi_sends_total"),
+		recvs:        reg.Counter("simmpi_recvs_total"),
+		sendBytes:    reg.Counter("simmpi_send_bytes_total"),
+		drops:        reg.Counter("simmpi_drops_total"),
+		kills:        reg.Counter("simmpi_kills_total"),
+		aborts:       reg.Counter("simmpi_aborts_total"),
+		interrupts:   reg.Counter("simmpi_interrupts_total"),
+		revives:      reg.Counter("simmpi_revives_total"),
+		mailboxHWM:   reg.Gauge("simmpi_mailbox_depth_hwm"),
+		bytesPooled:  reg.Counter("simmpi_bytes_pooled_total"),
+		copiesElided: reg.Counter("simmpi_copies_elided_total"),
 	}
 }
 
-// Option configures a World.
-type Option func(*World)
+// Option configures a World. It is the shared mpi.Option surface: the
+// same option list a caller hands to NewWorld also configures
+// redundancy.Wrap, each constructor applying the fields it understands.
+type Option = mpi.Option
 
 // WithSendDelay makes every physical Send cost the sender the given
 // latency before the message is deposited. In-process channel transfer is
@@ -81,9 +92,9 @@ type Option func(*World)
 // redundancy layer fans each virtual send into r physical sends, it makes
 // communication time dilate linearly in the redundancy degree exactly as
 // Eq. 1 of the paper models.
-func WithSendDelay(d time.Duration) Option {
-	return func(w *World) { w.sendDelay = d }
-}
+//
+// Deprecated: use mpi.WithSendDelay.
+func WithSendDelay(d time.Duration) Option { return mpi.WithSendDelay(d) }
 
 // WithObs registers the world's runtime instruments (message, byte,
 // drop, kill, abort counters and the mailbox-depth high-water mark) in
@@ -92,28 +103,32 @@ func WithSendDelay(d time.Duration) Option {
 // private registry, readable via Obs. Passing nil disables the world's
 // telemetry entirely (the no-op benchmark baseline); note Deaths then
 // reads as zero.
-func WithObs(reg *obs.Registry) Option {
-	return func(w *World) {
-		w.reg = reg
-		w.regSet = true
-	}
-}
+//
+// Deprecated: use mpi.WithObs.
+func WithObs(reg *obs.Registry) Option { return mpi.WithObs(reg) }
 
-// NewWorld creates a world with n ranks, all alive.
+// NewWorld creates a world with n ranks, all alive. Options are the
+// shared mpi.Option set; NewWorld applies SendDelay, Obs, and pooling
+// and ignores the redundancy-layer fields (degree, hash comparison,
+// corrupt ranks), so one option list can configure the whole stack.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("simmpi: world size %d: %w", n, mpi.ErrInvalidRank)
 	}
+	o := mpi.ResolveOptions(opts)
 	w := &World{
 		size:      n,
+		sendDelay: o.SendDelay,
 		mailboxes: make([]*mailbox, n),
 		comms:     make([]*Comm, n),
 		dead:      make([]atomic.Bool, n),
 	}
-	for _, opt := range opts {
-		opt(w)
+	if !o.NoPooling {
+		w.pool = newArena()
 	}
-	if !w.regSet {
+	if o.ObsSet {
+		w.reg = o.Obs
+	} else {
 		w.reg = obs.NewRegistry()
 	}
 	w.met = newWorldMetrics(w.reg)
