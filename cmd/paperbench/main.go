@@ -257,6 +257,13 @@ func generators() map[string]generator {
 			}
 			return renderTable(t, o.csv), nil
 		}},
+		"overlap": {"sync vs pipelined checkpoint write path: effective δ (live)", func(o options) (string, error) {
+			t, err := expt.Overlap(expt.DefaultOverlapParams())
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
+		}},
 		"fig8": {"line graph of table4", func(o options) (string, error) {
 			res, err := table4Result(o)
 			if err != nil {

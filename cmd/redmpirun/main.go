@@ -70,6 +70,10 @@ func run(args []string) error {
 		sendLat  = fs.Duration("send-latency", 0, "emulated per-message wire latency")
 		timeout  = fs.Duration("timeout", 2*time.Minute, "per-attempt watchdog")
 		compress = fs.Bool("compress", false, "DEFLATE-compress checkpoint images")
+		shards   = fs.Int("compress-shards", 0, "compress checkpoint images in N parallel shards (with -compress; 0/1 = single stream)")
+
+		asyncCkpt = fs.Bool("async-checkpoint", false, "pipeline checkpoint compress+write onto background workers (overlap with compute)")
+		asyncWkrs = fs.Int("async-workers", 0, "background writer pool size for -async-checkpoint (0 = GOMAXPROCS)")
 
 		kill     = fs.String("kill", "", "deterministic kill list rank[@offset],... (e.g. 2@0s,3@50ms); replaces -mtbf draws")
 		killOnce = fs.Bool("kill-once", false, "apply -kill to the first attempt only (forces exactly one restart cycle)")
@@ -108,6 +112,9 @@ func run(args []string) error {
 		PeerReplicas:   *peerRep,
 		StableEvery:    *stableEv,
 		PartialRestart: *partialR,
+
+		AsyncCheckpoint: *asyncCkpt,
+		AsyncWorkers:    *asyncWkrs,
 	}
 	if *kill != "" {
 		schedule, err := parseKillList(*kill)
@@ -176,7 +183,9 @@ func run(args []string) error {
 		if inner == nil {
 			inner = checkpoint.NewMemStorage()
 		}
-		cfg.Storage = &checkpoint.CompressedStorage{Inner: inner, Obs: reg}
+		cfg.Storage = &checkpoint.CompressedStorage{Inner: inner, Obs: reg, Shards: *shards}
+	} else if *shards > 1 {
+		return fmt.Errorf("-compress-shards requires -compress")
 	}
 
 	fmt.Printf("launching %s: N=%d r=%g (%d physical ranks under Eq. 8)\n",

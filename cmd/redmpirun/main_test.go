@@ -57,10 +57,11 @@ func TestGoldenMetricsSnapshot(t *testing.T) {
 		}
 	}
 
-	// Wall-time derived counters are the only nondeterministic ones;
-	// everything else must be byte-identical run to run.
+	// Wall-time derived counters (_ms gauges, _ns stall/overlap totals)
+	// are the only nondeterministic ones; everything else must be
+	// byte-identical run to run.
 	got := snap.FilterCounters(func(name string) bool {
-		return !strings.Contains(name, "_ms")
+		return !strings.Contains(name, "_ms") && !strings.Contains(name, "_ns")
 	}).Format()
 
 	path := filepath.Join("testdata", "golden", "metrics.txt")

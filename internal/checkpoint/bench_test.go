@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/simmpi"
 )
@@ -107,6 +108,116 @@ func BenchmarkPeerReplicateCommit(b *testing.B) {
 		w.Interrupt()
 		wg.Wait()
 		b.StartTimer()
+	}
+}
+
+// benchDelayStorage emulates a stable store with a fixed per-image write
+// latency, so the interval benchmark has real write time for the async
+// pipeline to hide (a MemStorage write is sub-microsecond).
+type benchDelayStorage struct {
+	Storage
+	latency time.Duration
+}
+
+func (s *benchDelayStorage) Write(gen uint64, rank int, state []byte) error {
+	time.Sleep(s.latency)
+	return s.Storage.Write(gen, rank, state)
+}
+
+// benchCheckpointInterval runs one checkpointed compute loop: each of the
+// two ranks alternates an emulated compute step with a collective
+// checkpoint against a store whose writes cost 2ms. The sync path pays
+// compute+write per generation; the pipelined path pays only compute plus
+// coordination, deferring writes to background workers.
+func benchCheckpointInterval(b *testing.B, pipe *Pipeline) {
+	const (
+		gens         = 8
+		computeDelay = time.Millisecond
+		writeDelay   = 2 * time.Millisecond
+	)
+	state := bytes.Repeat([]byte{0xEE}, 64<<10)
+	b.SetBytes(gens * int64(len(state)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		store := &benchDelayStorage{Storage: NewMemStorage(), latency: writeDelay}
+		w, err := simmpi.NewWorld(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for r := 0; r < 2; r++ {
+			c, cerr := w.Comm(r)
+			if cerr != nil {
+				b.Fatal(cerr)
+			}
+			wg.Add(1)
+			go func(c *simmpi.Comm) {
+				defer wg.Done()
+				cl, err := NewClient(c, Config{Storage: store, Pipeline: pipe})
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				for g := 0; g < gens; g++ {
+					time.Sleep(computeDelay)
+					if err := cl.Checkpoint(state, true); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+				if err := cl.Drain(); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkCheckpointInterval contrasts the blocking and pipelined write
+// paths on the same checkpointed compute loop; the gap between the two
+// is the per-interval wall time the async pipeline returns to compute.
+func BenchmarkCheckpointInterval(b *testing.B) {
+	b.Run("sync", func(b *testing.B) {
+		benchCheckpointInterval(b, nil)
+	})
+	b.Run("async", func(b *testing.B) {
+		pipe := NewPipeline(2)
+		defer pipe.Close()
+		benchCheckpointInterval(b, pipe)
+	})
+}
+
+// BenchmarkShardedCompress contrasts single-stream DEFLATE with the
+// chunked parallel layout on a 4 MiB repetitive image (write+read). On a
+// single-core host the sharded variant measures framing overhead rather
+// than speedup; the gate pins both so a multi-core regression still
+// shows.
+func BenchmarkShardedCompress(b *testing.B) {
+	state := bytes.Repeat([]byte{0, 0, 0, 0, 0, 0, 240, 63}, 1<<19)
+	for _, bc := range []struct {
+		name   string
+		shards int
+	}{
+		{"single", 1},
+		{"sharded", 4},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := &CompressedStorage{Inner: NewMemStorage(), Shards: bc.shards}
+			b.SetBytes(int64(len(state)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Write(uint64(i+1), 0, state); err != nil {
+					b.Fatal(err)
+				}
+				if err := s.Commit(uint64(i+1), 1); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.Read(uint64(i+1), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -3,6 +3,9 @@ package checkpoint
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/mpi"
 	"repro/internal/obs"
@@ -38,6 +41,14 @@ type Config struct {
 	// restart restore without any network traffic. The writer-only
 	// job-level counters (attempted/committed) are unaffected.
 	WriteAllReplicas bool
+	// Pipeline, when non-nil, switches the client to asynchronous
+	// pipelined checkpointing: Checkpoint snapshot-copies state into a
+	// pooled buffer and returns while compression and Storage.Write run
+	// on the pipeline's workers; the generation commits at the next
+	// checkpoint or an explicit Drain. All clients of a job must share
+	// one Pipeline (or all run synchronously). See async.go for the
+	// stage layout and the drain/commit ordering contract.
+	Pipeline *Pipeline
 	// Obs, when non-nil, receives the protocol's counters (snapshots
 	// attempted/committed, bytes written, bookmark retries, quiescence
 	// failures, restores). Clients of one job should share a registry.
@@ -60,6 +71,20 @@ type Client struct {
 	checkpoints int
 	restores    int
 
+	// Async-pipeline state (used only when cfg.Pipeline != nil). The
+	// WaitGroup tracks this client's in-flight background write; the
+	// worker's Done provides the happens-before edge that publishes
+	// asyncErr to drainLocal without extra fencing. pendingGen is the
+	// written-but-not-yet-committed generation awaiting the next drain
+	// point.
+	inflight   sync.WaitGroup
+	inflightN  atomic.Int32
+	asyncMu    sync.Mutex
+	asyncErr   error
+	pendingGen uint64
+	hasPending bool
+	wasWriter  bool
+
 	met clientMetrics
 }
 
@@ -72,6 +97,10 @@ type clientMetrics struct {
 	retries      *obs.Counter
 	notQuiescent *obs.Counter
 	restores     *obs.Counter
+	stallNs      *obs.Counter
+	overlapNs    *obs.Counter
+	drainWaits   *obs.Counter
+	inflight     *obs.Gauge
 }
 
 // NewClient creates a checkpoint client over the given communicator.
@@ -90,6 +119,10 @@ func NewClient(comm mpi.Comm, cfg Config) (*Client, error) {
 		retries:      cfg.Obs.Counter("checkpoint_bookmark_retries_total"),
 		notQuiescent: cfg.Obs.Counter("checkpoint_not_quiescent_total"),
 		restores:     cfg.Obs.Counter("checkpoint_restores_total"),
+		stallNs:      cfg.Obs.Counter("checkpoint_stall_ns_total"),
+		overlapNs:    cfg.Obs.Counter("checkpoint_overlap_ns_total"),
+		drainWaits:   cfg.Obs.Counter("checkpoint_drain_waits_total"),
+		inflight:     cfg.Obs.Gauge("checkpoint_async_inflight"),
 	}
 	return cl, nil
 }
@@ -129,15 +162,40 @@ func (cl *Client) MaybeCheckpoint(step int, state []byte, writer bool) (bool, er
 //
 // The generation number is agreed by broadcasting rank 0's view, so
 // clients that joined after a restart stay aligned.
+//
+// With Config.Pipeline set, the write runs asynchronously (see
+// async.go): the state is snapshot-copied into a pooled buffer inside
+// the coordinated region and the commit of this generation is deferred
+// to the next checkpoint or Drain. In both modes the wall time spent
+// inside this call accumulates in checkpoint_stall_ns_total (lead
+// replica of rank 0 only), so stall/checkpoints is the effective δ the
+// application observes.
 func (cl *Client) Checkpoint(state []byte, writer bool) error {
 	// Job-level counters are bumped by the writer replica of rank 0
 	// only: the protocol is collective, so every rank (and under
 	// redundancy, every replica) runs this code, and counting on one
 	// deterministic participant keeps "attempted == generations tried".
 	lead := writer && cl.comm.Rank() == 0
+	cl.wasWriter = writer
 	if lead {
 		cl.met.attempted.Inc()
 	}
+	start := time.Now()
+	var err error
+	if cl.cfg.Pipeline != nil {
+		err = cl.checkpointAsync(state, writer, lead)
+	} else {
+		err = cl.checkpointSync(state, writer, lead)
+	}
+	if err == nil && lead {
+		cl.met.stallNs.Add(uint64(time.Since(start).Nanoseconds()))
+	}
+	return err
+}
+
+// checkpointSync is the original fully synchronous protocol: write and
+// commit both happen inside the barrier-bracketed region.
+func (cl *Client) checkpointSync(state []byte, writer, lead bool) error {
 	if err := mpi.Barrier(cl.comm); err != nil {
 		return fmt.Errorf("checkpoint barrier: %w", err)
 	}
@@ -292,6 +350,15 @@ func totalsEqualize(sentRows, recvRows [][]byte) (bool, error) {
 // Restore loads this rank's state from the newest committed generation.
 // ok is false when no checkpoint exists (fresh start).
 func (cl *Client) Restore() (state []byte, ok bool, err error) {
+	if cl.cfg.Pipeline != nil {
+		// Never race a background write against storage reads. Restore
+		// is not collective, so only the local wait happens here;
+		// callers that want the pending generation to be restorable
+		// must run the collective Drain first.
+		if derr := cl.drainLocal(); derr != nil {
+			return nil, false, derr
+		}
+	}
 	gen, n, ok, err := cl.cfg.Storage.Latest()
 	if err != nil {
 		return nil, false, fmt.Errorf("restore: %w", err)

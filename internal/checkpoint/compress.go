@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"bytes"
 	"compress/flate"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"sync"
@@ -31,11 +32,33 @@ type CompressedStorage struct {
 	Inner Storage
 	// Level is the flate level; zero means flate.DefaultCompression.
 	Level int
+	// Shards, when > 1, splits images larger than ChunkSize into
+	// fixed-size framed chunks compressed by up to Shards goroutines in
+	// parallel (the self-describing container format below). 0 or 1
+	// keeps the single-stream layout. Read handles both layouts
+	// regardless of the current setting, so stores written with either
+	// configuration stay restorable.
+	Shards int
+	// ChunkSize is the raw bytes per chunk in sharded mode; zero means
+	// DefaultChunkSize. Images at or below one chunk use the
+	// single-stream layout even when Shards > 1.
+	ChunkSize int
 	// Obs, when non-nil, accumulates checkpoint_raw_bytes_total and
 	// checkpoint_compressed_bytes_total; their ratio is the achieved
 	// compression ratio. Writes are rare, so counters resolve lazily.
 	Obs *obs.Registry
 }
+
+// DefaultChunkSize is the sharded-mode chunk granularity: large enough
+// that per-chunk DEFLATE window warmup doesn't hurt the ratio much,
+// small enough that typical rank images split across several workers.
+const DefaultChunkSize = 256 * 1024
+
+// shardMagic opens the sharded container. The first byte 0xD7 encodes
+// DEFLATE block type 3 (reserved/invalid), so no legal single-stream
+// flate payload can begin with it — Read distinguishes the two layouts
+// from the payload alone.
+var shardMagic = [4]byte{0xD7, 'C', 'K', 'S'}
 
 var _ Storage = (*CompressedStorage)(nil)
 
@@ -44,16 +67,9 @@ func NewCompressedStorage(inner Storage) *CompressedStorage {
 	return &CompressedStorage{Inner: inner, Level: flate.DefaultCompression}
 }
 
-// Write implements Storage. The compressed image is built in pooled
-// scratch and handed to Inner.Write, which must not retain it (every
-// Storage implementation copies at its boundary).
-func (s *CompressedStorage) Write(gen uint64, rank int, state []byte) error {
-	level := s.Level
-	if level == 0 {
-		level = flate.DefaultCompression
-	}
-	sc := compressPool.Get().(*compressScratch)
-	defer compressPool.Put(sc)
+// deflateInto compresses data into sc.buf (reset first), reusing the
+// scratch's flate.Writer when its level matches.
+func deflateInto(sc *compressScratch, level int, data []byte) error {
 	sc.buf.Reset()
 	if sc.w == nil || sc.level != level {
 		w, err := flate.NewWriter(&sc.buf, level)
@@ -64,22 +80,118 @@ func (s *CompressedStorage) Write(gen uint64, rank int, state []byte) error {
 	} else {
 		sc.w.Reset(&sc.buf)
 	}
-	if _, err := sc.w.Write(state); err != nil {
+	if _, err := sc.w.Write(data); err != nil {
 		return fmt.Errorf("checkpoint: compressing: %w", err)
 	}
 	if err := sc.w.Close(); err != nil {
 		return fmt.Errorf("checkpoint: compressing: %w", err)
+	}
+	return nil
+}
+
+// Write implements Storage. The compressed image is built in pooled
+// scratch and handed to Inner.Write, which must not retain it (every
+// Storage implementation copies at its boundary).
+func (s *CompressedStorage) Write(gen uint64, rank int, state []byte) error {
+	level := s.Level
+	if level == 0 {
+		level = flate.DefaultCompression
+	}
+	chunkSize := s.ChunkSize
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	if s.Shards > 1 && len(state) > chunkSize {
+		return s.writeSharded(gen, rank, state, level, chunkSize)
+	}
+	sc := compressPool.Get().(*compressScratch)
+	defer compressPool.Put(sc)
+	if err := deflateInto(sc, level, state); err != nil {
+		return err
 	}
 	s.Obs.Counter("checkpoint_raw_bytes_total").Add(uint64(len(state)))
 	s.Obs.Counter("checkpoint_compressed_bytes_total").Add(uint64(sc.buf.Len()))
 	return s.Inner.Write(gen, rank, sc.buf.Bytes())
 }
 
-// Read implements Storage.
+// writeSharded compresses fixed-size chunks of state in parallel and
+// frames them in the self-describing sharded container:
+//
+//	magic(4) | uvarint rawSize | uvarint chunkSize | uvarint nChunks |
+//	nChunks × (uvarint frameLen | frameLen bytes of DEFLATE)
+//
+// Chunk i covers raw bytes [i·chunkSize, min((i+1)·chunkSize, rawSize)).
+func (s *CompressedStorage) writeSharded(gen uint64, rank int, state []byte, level, chunkSize int) error {
+	nChunks := (len(state) + chunkSize - 1) / chunkSize
+	workers := s.Shards
+	if workers > nChunks {
+		workers = nChunks
+	}
+	scratches := make([]*compressScratch, nChunks)
+	errs := make([]error, nChunks)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lo := i * chunkSize
+				hi := lo + chunkSize
+				if hi > len(state) {
+					hi = len(state)
+				}
+				sc := compressPool.Get().(*compressScratch)
+				scratches[i] = sc
+				errs[i] = deflateInto(sc, level, state[lo:hi])
+			}
+		}()
+	}
+	for i := 0; i < nChunks; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	defer func() {
+		for _, sc := range scratches {
+			if sc != nil {
+				compressPool.Put(sc)
+			}
+		}
+	}()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	out := make([]byte, 0, len(shardMagic)+3*binary.MaxVarintLen64+len(state)/2)
+	out = append(out, shardMagic[:]...)
+	out = appendUvarint(out, uint64(len(state)))
+	out = appendUvarint(out, uint64(chunkSize))
+	out = appendUvarint(out, uint64(nChunks))
+	for _, sc := range scratches {
+		out = appendUvarint(out, uint64(sc.buf.Len()))
+		out = append(out, sc.buf.Bytes()...)
+	}
+	s.Obs.Counter("checkpoint_raw_bytes_total").Add(uint64(len(state)))
+	s.Obs.Counter("checkpoint_compressed_bytes_total").Add(uint64(len(out)))
+	return s.Inner.Write(gen, rank, out)
+}
+
+// Read implements Storage. It detects the layout from the payload:
+// sharded containers open with shardMagic (whose first byte is an
+// invalid DEFLATE block type), anything else is a legacy single stream.
 func (s *CompressedStorage) Read(gen uint64, rank int) ([]byte, error) {
 	compressed, err := s.Inner.Read(gen, rank)
 	if err != nil {
 		return nil, err
+	}
+	if len(compressed) >= len(shardMagic) && bytes.Equal(compressed[:len(shardMagic)], shardMagic[:]) {
+		state, err := readSharded(compressed[len(shardMagic):], s.Shards)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: decompressing gen %d rank %d: %w", gen, rank, err)
+		}
+		return state, nil
 	}
 	r := flate.NewReader(bytes.NewReader(compressed))
 	defer r.Close()
@@ -88,6 +200,91 @@ func (s *CompressedStorage) Read(gen uint64, rank int) ([]byte, error) {
 		return nil, fmt.Errorf("checkpoint: decompressing gen %d rank %d: %w", gen, rank, err)
 	}
 	return state, nil
+}
+
+// readSharded decodes the sharded container, decompressing chunks with
+// up to shards parallel workers (minimum one).
+func readSharded(payload []byte, shards int) ([]byte, error) {
+	rawSize, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	chunkSize, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	nChunks, payload, err := readUvarint(payload)
+	if err != nil {
+		return nil, err
+	}
+	if chunkSize == 0 || nChunks == 0 ||
+		nChunks != (rawSize+chunkSize-1)/chunkSize {
+		return nil, fmt.Errorf("checkpoint: sharded header raw=%d chunk=%d n=%d inconsistent",
+			rawSize, chunkSize, nChunks)
+	}
+	frames := make([][]byte, nChunks)
+	for i := range frames {
+		var frameLen uint64
+		frameLen, payload, err = readUvarint(payload)
+		if err != nil {
+			return nil, err
+		}
+		if frameLen > uint64(len(payload)) {
+			return nil, fmt.Errorf("checkpoint: sharded frame %d truncated", i)
+		}
+		frames[i] = payload[:frameLen]
+		payload = payload[frameLen:]
+	}
+	if len(payload) != 0 {
+		return nil, fmt.Errorf("checkpoint: %d trailing bytes after sharded frames", len(payload))
+	}
+	out := make([]byte, rawSize)
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(frames) {
+		shards = len(frames)
+	}
+	errs := make([]error, len(frames))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				lo := uint64(i) * chunkSize
+				hi := lo + chunkSize
+				if hi > rawSize {
+					hi = rawSize
+				}
+				r := flate.NewReader(bytes.NewReader(frames[i]))
+				n, err := io.ReadFull(r, out[lo:hi])
+				if err != nil {
+					errs[i] = fmt.Errorf("chunk %d: %w", i, err)
+					r.Close()
+					continue
+				}
+				// The chunk must end exactly at its frame boundary.
+				var extra [1]byte
+				if m, _ := r.Read(extra[:]); m != 0 {
+					errs[i] = fmt.Errorf("chunk %d: longer than %d raw bytes", i, n)
+				}
+				r.Close()
+			}
+		}()
+	}
+	for i := range frames {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
 }
 
 // Commit implements Storage.

@@ -92,3 +92,150 @@ func TestCompressedReadPropagatesInnerErrors(t *testing.T) {
 		t.Fatal("read of a generation that was never written must fail")
 	}
 }
+
+// Sharded-layout coverage. The container must round-trip, interoperate
+// with the single-stream layout in both directions, and fail loudly on
+// corruption — same bar as the legacy paths above.
+
+// shardedTestState builds a compressible-but-not-trivial image.
+func shardedTestState(n int) []byte {
+	state := make([]byte, n)
+	for i := range state {
+		state[i] = byte(i * 31 / 7)
+	}
+	return state
+}
+
+func TestShardedRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		size      int
+		shards    int
+		chunkSize int
+	}{
+		{"even-chunks", 64 * 1024, 4, 16 * 1024},
+		{"ragged-tail", 64*1024 + 123, 4, 16 * 1024},
+		{"more-shards-than-chunks", 3 * 1024, 8, 1024},
+		{"single-byte-tail", 2*1024 + 1, 2, 1024},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inner := NewMemStorage()
+			s := &CompressedStorage{Inner: inner, Shards: tc.shards, ChunkSize: tc.chunkSize}
+			state := shardedTestState(tc.size)
+			if err := s.Write(1, 0, state); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Commit(1, 1); err != nil {
+				t.Fatal(err)
+			}
+			stored, err := inner.Read(1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(stored, shardMagic[:]) {
+				t.Fatal("large image did not use the sharded container")
+			}
+			got, err := s.Read(1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, state) {
+				t.Fatal("sharded round trip mismatch")
+			}
+		})
+	}
+}
+
+func TestShardedSmallImageStaysSingleStream(t *testing.T) {
+	inner := NewMemStorage()
+	s := &CompressedStorage{Inner: inner, Shards: 4, ChunkSize: 16 * 1024}
+	state := shardedTestState(1024) // <= one chunk
+	if err := s.Write(1, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := inner.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(stored, shardMagic[:]) {
+		t.Fatal("small image was sharded")
+	}
+	got, err := s.Read(1, 0)
+	if err != nil || !bytes.Equal(got, state) {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestShardedCrossLayoutRead: a store written sharded must be readable
+// by a single-stream-configured instance and vice versa — restarts may
+// run with different knobs than the job that wrote the checkpoint.
+func TestShardedCrossLayoutRead(t *testing.T) {
+	inner := NewMemStorage()
+	sharded := &CompressedStorage{Inner: inner, Shards: 4, ChunkSize: 8 * 1024}
+	plain := NewCompressedStorage(inner)
+	state := shardedTestState(40 * 1024)
+
+	if err := sharded.Write(1, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Write(2, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := inner.Commit(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := plain.Read(1, 0); err != nil || !bytes.Equal(got, state) {
+		t.Fatalf("plain reader on sharded container: %v", err)
+	}
+	if got, err := sharded.Read(2, 0); err != nil || !bytes.Equal(got, state) {
+		t.Fatalf("sharded reader on single stream: %v", err)
+	}
+}
+
+func TestShardedCorruptionIsAnError(t *testing.T) {
+	inner := NewMemStorage()
+	s := &CompressedStorage{Inner: inner, Shards: 4, ChunkSize: 8 * 1024}
+	state := shardedTestState(40 * 1024)
+	if err := s.Write(1, 0, state); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := inner.Read(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("truncated", func(t *testing.T) {
+		if err := inner.Write(1, 0, stored[:len(stored)/2]); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := s.Read(1, 0); err == nil {
+			t.Fatalf("truncated container restored %d bytes with nil error", len(got))
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		if err := inner.Write(1, 0, append(append([]byte(nil), stored...), 0xEE)); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := s.Read(1, 0); err == nil {
+			t.Fatalf("trailing garbage restored %d bytes with nil error", len(got))
+		}
+	})
+	t.Run("header-mismatch", func(t *testing.T) {
+		bad := append([]byte(nil), stored...)
+		bad[len(shardMagic)] ^= 0x01 // perturb the rawSize varint
+		if err := inner.Write(1, 0, bad); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := s.Read(1, 0); err == nil {
+			t.Fatalf("inconsistent header restored %d bytes with nil error", len(got))
+		}
+	})
+}

@@ -44,8 +44,10 @@ type IncrementalEncoder struct {
 	// full/incremental trade-off of the literature.
 	FullEvery int
 
-	base  []byte // last full image
-	since int    // deltas since the last full image
+	base    []byte // last full image
+	since   int    // deltas since the last full image
+	scratch []byte // reused output buffer; returned by Encode each call
+	dirty   []int  // reused dirty-page index scratch
 }
 
 // Stats describes what one Encode call produced.
@@ -73,17 +75,20 @@ func (e *IncrementalEncoder) fullEvery() int {
 	return e.FullEvery
 }
 
-// Encode produces the next image for state. The returned buffer is
-// self-contained and owned by the caller.
+// Encode produces the next image for state. The returned buffer is the
+// encoder's reused scratch: it is valid only until the next Encode call
+// on the same encoder. Callers that persist it synchronously (the normal
+// checkpoint write path) need no copy; callers that retain it across
+// snapshots must copy it first.
 func (e *IncrementalEncoder) Encode(state []byte) ([]byte, IncrementalStats) {
 	ps := e.pageSize()
 	needFull := e.base == nil || len(e.base) != len(state) || e.since >= e.fullEvery()-1
 	if needFull {
 		e.base = append(e.base[:0], state...)
 		e.since = 0
-		out := make([]byte, 0, 16+len(state))
-		out = appendIncrHeader(out, incrFull, len(state))
+		out := appendIncrHeader(e.scratch[:0], incrFull, len(state))
 		out = append(out, state...)
+		e.scratch = out
 		return out, IncrementalStats{
 			Full:         true,
 			Pages:        pageCount(len(state), ps),
@@ -93,7 +98,7 @@ func (e *IncrementalEncoder) Encode(state []byte) ([]byte, IncrementalStats) {
 	}
 	// Delta: collect changed pages against the running base and update
 	// the base so the next delta stacks on this one.
-	var dirty []int
+	dirty := e.dirty[:0]
 	for p := 0; p < pageCount(len(state), ps); p++ {
 		lo := p * ps
 		hi := min(lo+ps, len(state))
@@ -101,8 +106,8 @@ func (e *IncrementalEncoder) Encode(state []byte) ([]byte, IncrementalStats) {
 			dirty = append(dirty, p)
 		}
 	}
-	out := make([]byte, 0, 24+len(dirty)*(8+ps))
-	out = appendIncrHeader(out, incrDelta, len(state))
+	e.dirty = dirty
+	out := appendIncrHeader(e.scratch[:0], incrDelta, len(state))
 	out = appendUvarint(out, uint64(ps))
 	out = appendUvarint(out, uint64(len(dirty)))
 	for _, p := range dirty {
@@ -112,6 +117,7 @@ func (e *IncrementalEncoder) Encode(state []byte) ([]byte, IncrementalStats) {
 		out = append(out, state[lo:hi]...)
 		copy(e.base[lo:hi], state[lo:hi])
 	}
+	e.scratch = out
 	e.since++
 	return out, IncrementalStats{
 		Pages:        len(dirty),

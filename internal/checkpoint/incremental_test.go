@@ -12,10 +12,13 @@ import (
 func TestIncrementalFullThenDeltas(t *testing.T) {
 	enc := &IncrementalEncoder{PageSize: 8, FullEvery: 100}
 	state := make([]byte, 64)
-	img1, st1 := enc.Encode(state)
+	img1raw, st1 := enc.Encode(state)
 	if !st1.Full {
 		t.Fatal("first image must be full")
 	}
+	// Encode's return is scratch, valid only until the next call — copy
+	// because we hold img1 across the second Encode.
+	img1 := append([]byte(nil), img1raw...)
 	// Touch one byte: exactly one dirty page.
 	state[17] = 0xAB
 	img2, st2 := enc.Encode(state)
@@ -266,12 +269,47 @@ func TestCompressedThroughClientEndToEnd(t *testing.T) {
 	})
 }
 
+// TestIncrementalEncodeSteadyStateAllocs pins the scratch-reuse contract:
+// once the encoder's output buffer and dirty-page slice have grown to the
+// workload's size, steady-state delta encoding allocates nothing.
+func TestIncrementalEncodeSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	enc := &IncrementalEncoder{PageSize: 256, FullEvery: 1 << 30}
+	state := make([]byte, 1<<16)
+	i := 0
+	round := func() {
+		// Touch a handful of pages so every round is a non-empty delta.
+		for k := 0; k < 4; k++ {
+			state[(i*7919+k*104729)%len(state)]++
+		}
+		i++
+		enc.Encode(state)
+	}
+	for k := 0; k < 20; k++ {
+		round() // grow scratch and dirty to their steady-state sizes
+	}
+	if avg := testing.AllocsPerRun(100, round); avg > 0 {
+		t.Errorf("steady-state delta Encode allocates %.2f, want 0", avg)
+	}
+	// Forced full images must also ride the same scratch buffer.
+	encFull := &IncrementalEncoder{PageSize: 256, FullEvery: 1}
+	for k := 0; k < 20; k++ {
+		encFull.Encode(state)
+	}
+	if avg := testing.AllocsPerRun(100, func() { encFull.Encode(state) }); avg > 0 {
+		t.Errorf("steady-state full Encode allocates %.2f, want 0", avg)
+	}
+}
+
 // FuzzIncrementalDecoder hardens the image decoder against arbitrary
 // bytes: it must never panic and never corrupt previously applied state
 // silently on rejected input.
 func FuzzIncrementalDecoder(f *testing.F) {
 	enc := &IncrementalEncoder{PageSize: 8, FullEvery: 4}
-	full, _ := enc.Encode(bytes.Repeat([]byte{1}, 32))
+	fullRaw, _ := enc.Encode(bytes.Repeat([]byte{1}, 32))
+	full := append([]byte(nil), fullRaw...) // scratch is reused by the next Encode
 	state := bytes.Repeat([]byte{1}, 32)
 	state[3] = 9
 	delta, _ := enc.Encode(state)

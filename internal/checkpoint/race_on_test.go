@@ -1,0 +1,7 @@
+//go:build race
+
+package checkpoint
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-budget tests skip under it (instrumentation allocates).
+const raceEnabled = true

@@ -101,6 +101,7 @@ type partialGate struct {
 	spheres [][]int
 	store   checkpoint.Storage
 	peer    *checkpoint.PeerStore
+	pipe    *checkpoint.Pipeline
 	inj     *failure.Injector
 	jobReg  *obs.Registry
 	factory func() apps.App
@@ -138,8 +139,8 @@ type partialGate struct {
 
 func newPartialGate(cfg Config, world *simmpi.World, rankMap *redundancy.RankMap,
 	spheres [][]int, store checkpoint.Storage, peer *checkpoint.PeerStore,
-	inj *failure.Injector, jobReg *obs.Registry, acct *stepAccounting,
-	factory func() apps.App,
+	pipe *checkpoint.Pipeline, inj *failure.Injector, jobReg *obs.Registry,
+	acct *stepAccounting, factory func() apps.App,
 ) *partialGate {
 	g := &partialGate{
 		cfg:         cfg,
@@ -148,6 +149,7 @@ func newPartialGate(cfg Config, world *simmpi.World, rankMap *redundancy.RankMap
 		spheres:     spheres,
 		store:       store,
 		peer:        peer,
+		pipe:        pipe,
 		inj:         inj,
 		jobReg:      jobReg,
 		factory:     factory,
@@ -266,6 +268,7 @@ func (g *partialGate) runEpoch(p int) epochResult {
 		ccfg.StepInterval = g.cfg.StepInterval
 		ccfg.SkipBookmark = g.cfg.SkipBookmark
 	}
+	ccfg.Pipeline = g.pipe
 	client, err := checkpoint.NewClient(rc, ccfg)
 	if err != nil {
 		return epochResult{err: err}
@@ -295,6 +298,16 @@ func (g *partialGate) runEpoch(p int) epochResult {
 	}
 	app := g.factory()
 	runErr := app.Run(ctx)
+	if runErr == nil && g.pipe != nil {
+		// Drain before declaring the epoch complete so the final
+		// generation commits — the explicit drain point of the
+		// async-pipeline ordering contract. Collective: every rank that
+		// finished cleanly participates; if a failure felled the others,
+		// the drain's barriers surface the usual failure-class errors
+		// and epochEnd treats this rank as a casualty, same as a
+		// mid-checkpoint death.
+		runErr = client.Drain()
+	}
 	return epochResult{
 		app:         app,
 		stats:       rc.Stats(),

@@ -41,6 +41,19 @@ type Config struct {
 	StepInterval int
 	// SkipBookmark disables the quiescence verification.
 	SkipBookmark bool
+	// AsyncCheckpoint moves compression and storage writes off the
+	// checkpoint line onto a background worker pool: ranks snapshot
+	// into pooled buffers inside the coordinated region and return to
+	// compute while the write drains; the generation commits at the
+	// next checkpoint (or the end-of-run drain). Effective δ — the
+	// stall the application observes — shrinks to the snapshot copy
+	// plus coordination. Incompatible with PeerReplicas: the peer tier
+	// replicates over application messages, and background sends would
+	// corrupt the bookmark quiescence counts.
+	AsyncCheckpoint bool
+	// AsyncWorkers sizes the background write pool; zero means
+	// GOMAXPROCS. Only meaningful with AsyncCheckpoint.
+	AsyncWorkers int
 
 	// PeerReplicas, when positive, layers an in-memory peer-replicated
 	// checkpoint tier over Storage: each rank's snapshot is additionally
@@ -134,6 +147,12 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: PartialRestart requires PeerReplicas > 0")
 	case cfg.PartialRestart && cfg.StepInterval == 0:
 		return fmt.Errorf("core: PartialRestart requires StepInterval > 0")
+	case cfg.AsyncCheckpoint && cfg.PeerReplicas > 0:
+		return fmt.Errorf("core: AsyncCheckpoint is incompatible with PeerReplicas " +
+			"(peer replication sends application messages from background goroutines, " +
+			"which would corrupt the bookmark quiescence counts)")
+	case cfg.AsyncWorkers < 0:
+		return fmt.Errorf("core: AsyncWorkers = %d", cfg.AsyncWorkers)
 	}
 	for _, k := range cfg.StepKills {
 		if k.Step <= 0 || k.Rank < 0 {
@@ -276,6 +295,15 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 		jobReg = obs.NewRegistry()
 	}
 	rm := newRunnerMetrics(jobReg)
+	// One pipeline spans the whole Run: its workers survive restart
+	// attempts (abandoned jobs from a killed attempt drain harmlessly —
+	// their generations are never committed, and a rewrite by the next
+	// attempt produces identical bytes from the deterministic app).
+	var pipe *checkpoint.Pipeline
+	if cfg.AsyncCheckpoint && cfg.StepInterval > 0 {
+		pipe = checkpoint.NewPipeline(cfg.AsyncWorkers)
+		defer pipe.Close()
+	}
 	// Step accounting spans the whole Run: the high-water marks survive
 	// restarts so that recomputation after a full restart counts too.
 	acct := newStepAccounting(rankMap.VirtualSize(), cfg.StepKills, jobReg)
@@ -292,7 +320,7 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 		}
 		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
 		at, apps, redStats, worldSnap, appErr := runAttempt(
-			cfg, rankMap, store, stream.Split(), timeout, attempt, jobReg, acct, factory)
+			cfg, rankMap, store, pipe, stream.Split(), timeout, attempt, jobReg, acct, factory)
 		at.Index = attempt
 		res.Attempts = append(res.Attempts, at)
 		res.TotalFailures += at.Failures
@@ -371,8 +399,8 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 // returned Snapshot holds the attempt world's communication counters;
 // the caller decides whether to merge them into the job registry.
 func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storage,
-	stream *stats.Stream, timeout time.Duration, attempt int, jobReg *obs.Registry,
-	acct *stepAccounting, factory func() apps.App,
+	pipe *checkpoint.Pipeline, stream *stats.Stream, timeout time.Duration,
+	attempt int, jobReg *obs.Registry, acct *stepAccounting, factory func() apps.App,
 ) (Attempt, []apps.App, redundancy.Stats, obs.Snapshot, error) {
 	var at Attempt
 	begin := time.Now()
@@ -441,7 +469,7 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 		}
 	}
 
-	g := newPartialGate(cfg, world, rankMap, spheres, store, peer, inj, jobReg, acct, factory)
+	g := newPartialGate(cfg, world, rankMap, spheres, store, peer, pipe, inj, jobReg, acct, factory)
 	g.startServers()
 	if inj != nil {
 		inj.Start()

@@ -1,0 +1,63 @@
+package expt
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverlapAsyncHidesWriteLatency pins the experiment's headline with
+// the deterministic parts of the table: both modes checkpoint the same
+// number of generations, the sync row's effective δ carries the emulated
+// write latency while the async row's does not, and only the async row
+// records hidden write time.
+func TestOverlapAsyncHidesWriteLatency(t *testing.T) {
+	p := DefaultOverlapParams()
+	tab, err := Overlap(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	sync, async := tab.Rows[0], tab.Rows[1]
+	if sync[0] != "sync" || async[0] != "async" {
+		t.Fatalf("row order: %q, %q", sync[0], async[0])
+	}
+	if sync[1] != async[1] {
+		t.Fatalf("checkpoint counts differ: sync=%s async=%s", sync[1], async[1])
+	}
+	dSync, err := time.ParseDuration(sync[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dAsync, err := time.ParseDuration(async[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sync path blocks on the emulated write; the pipelined path's
+	// stall is coordination only. Half the write latency is a generous
+	// margin against scheduler noise.
+	if dSync < p.WriteLatency {
+		t.Errorf("sync effective δ = %v, want ≥ write latency %v", dSync, p.WriteLatency)
+	}
+	if dAsync >= p.WriteLatency/2 {
+		t.Errorf("async effective δ = %v, want well under write latency %v", dAsync, p.WriteLatency)
+	}
+	if dAsync >= dSync {
+		t.Errorf("async δ %v not below sync δ %v", dAsync, dSync)
+	}
+	hiddenSync, err := time.ParseDuration(sync[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	hiddenAsync, err := time.ParseDuration(async[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hiddenSync != 0 {
+		t.Errorf("sync row hid %v of write time; the blocking path hides nothing", hiddenSync)
+	}
+	if hiddenAsync < p.WriteLatency {
+		t.Errorf("async hidden write time = %v, want ≥ one write latency %v", hiddenAsync, p.WriteLatency)
+	}
+}

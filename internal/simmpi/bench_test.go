@@ -1,6 +1,7 @@
 package simmpi
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/mpi"
@@ -99,5 +100,48 @@ func BenchmarkEpochBoundary(b *testing.B) {
 			w.Revive(3)
 			w.Resume()
 		}
+	}
+}
+
+// BenchmarkMailboxManyWaiters is the thundering-herd workload the
+// targeted-wakeup rework attacks: many goroutines blocked on distinct
+// tags of one mailbox while a sender deposits round-robin. With the old
+// per-deposit Broadcast every deposit woke all waiters to rescan the
+// queue and park again (O(waiters) wakeups per message); per-selector
+// wait queues wake exactly the matching waiter.
+func BenchmarkMailboxManyWaiters(b *testing.B) {
+	const waiters = 32
+	const msgs = benchBatch
+	w, err := NewWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	payload := make([]byte, 64)
+	b.SetBytes(msgs * int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(waiters)
+		for t := 0; t < waiters; t++ {
+			go func(tag int) {
+				defer wg.Done()
+				for k := 0; k < msgs/waiters; k++ {
+					msg, err := c1.Recv(0, tag)
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					msg.Release()
+				}
+			}(t + 1)
+		}
+		for k := 0; k < msgs; k++ {
+			if err := c0.Send(1, (k%waiters)+1, payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		wg.Wait()
 	}
 }

@@ -18,31 +18,93 @@ type envelope struct {
 	seq    uint64 // arrival order, for FIFO matching across (source, tag)
 }
 
+// waitKey is a blocked operation's (source, tag) selector, wildcards
+// included — the granularity of targeted wakeups.
+type waitKey struct {
+	src, tag int
+}
+
+// waitQueue holds the waiters blocked on one selector. n counts them so
+// the map entry can be dropped when the last one leaves (worlds create
+// many short-lived tag patterns; the map must not grow monotonically).
+type waitQueue struct {
+	cond *sync.Cond
+	n    int
+}
+
 // mailbox holds the unmatched messages addressed to one rank. Receivers
 // scan it under the lock for the earliest envelope matching their
 // (source, tag) selectors — exactly MPI's matching rule: FIFO per
 // (source, tag) pair, with wildcards selecting the earliest arrival among
 // all matching pairs.
+//
+// Blocked receivers and probers park on per-selector wait queues instead
+// of one shared sync.Cond: a deposit wakes only the (at most four)
+// selector patterns its (source, tag) can match, not every waiter on the
+// rank. Under fan-in workloads — many goroutines blocked on distinct
+// tags — the old per-deposit Broadcast woke all of them to re-scan the
+// queue and go back to sleep, a classic thundering herd.
 type mailbox struct {
 	world *World
 	owner int
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []envelope
-	next  uint64
+	mu      sync.Mutex
+	waiters map[waitKey]*waitQueue
+	queue   []envelope
+	next    uint64
 }
 
 func newMailbox(w *World, owner int) *mailbox {
-	mb := &mailbox{world: w, owner: owner}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
+	return &mailbox{world: w, owner: owner, waiters: make(map[waitKey]*waitQueue)}
+}
+
+// wait parks the caller on its selector's queue until signalled. Caller
+// holds mb.mu; the queue is re-checked by the caller's loop after wakeup,
+// so a stale or stolen wakeup is always safe.
+func (mb *mailbox) wait(src, tag int) {
+	k := waitKey{src: src, tag: tag}
+	q := mb.waiters[k]
+	if q == nil {
+		q = &waitQueue{cond: sync.NewCond(&mb.mu)}
+		mb.waiters[k] = q
+	}
+	q.n++
+	q.cond.Wait()
+	q.n--
+	if q.n == 0 {
+		delete(mb.waiters, k)
+	}
+}
+
+// signalArrival wakes one waiter on each selector pattern that can match
+// a newly arrived (source, tag) message: the exact pair, the two
+// single-wildcard forms, and the full wildcard. Caller holds mb.mu.
+func (mb *mailbox) signalArrival(source, tag int) {
+	mb.signalKey(waitKey{src: source, tag: tag})
+	mb.signalKey(waitKey{src: source, tag: mpi.AnyTag})
+	mb.signalKey(waitKey{src: mpi.AnySource, tag: tag})
+	mb.signalKey(waitKey{src: mpi.AnySource, tag: mpi.AnyTag})
+}
+
+func (mb *mailbox) signalKey(k waitKey) {
+	if q := mb.waiters[k]; q != nil {
+		q.cond.Signal()
+	}
+}
+
+// wakeAllLocked broadcasts every wait queue. Liveness transitions (kill,
+// abort, interrupt, resume, purge) must wake everyone: the predicates
+// waiters re-check (errIfDown) are not tied to any selector.
+func (mb *mailbox) wakeAllLocked() {
+	for _, q := range mb.waiters {
+		q.cond.Broadcast()
+	}
 }
 
 // broadcast wakes all waiters so they can re-check liveness predicates.
 func (mb *mailbox) broadcast() {
 	mb.mu.Lock()
-	mb.cond.Broadcast()
+	mb.wakeAllLocked()
 	mb.mu.Unlock()
 }
 
@@ -60,7 +122,7 @@ func (mb *mailbox) deposit(source, tag int, data []byte, pb *mpi.PooledBuf) bool
 	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, buf: pb, seq: mb.next})
 	mb.next++
 	mb.world.met.mailboxHWM.SetMax(int64(len(mb.queue)))
-	mb.cond.Broadcast()
+	mb.signalArrival(source, tag)
 	mb.mu.Unlock()
 	return true
 }
@@ -105,7 +167,7 @@ func (mb *mailbox) receive(src, tag int) (mpi.Message, error) {
 		if err := mb.errIfDown(src); err != nil {
 			return mpi.Message{}, err
 		}
-		mb.cond.Wait()
+		mb.wait(src, tag)
 	}
 }
 
@@ -132,12 +194,17 @@ func (mb *mailbox) probe(src, tag int) (mpi.Status, error) {
 	for {
 		if idx, ok := mb.match(src, tag); ok {
 			e := mb.queue[idx]
+			// The probe may have absorbed the deposit's single wakeup
+			// for this selector without consuming the message; pass the
+			// wakeup on so a sibling waiter (e.g. the matching receive)
+			// is not stranded with a deliverable message in the queue.
+			mb.signalKey(waitKey{src: src, tag: tag})
 			return mpi.Status{Source: e.source, Tag: e.tag, Len: len(e.data)}, nil
 		}
 		if err := mb.errIfDown(src); err != nil {
 			return mpi.Status{}, err
 		}
-		mb.cond.Wait()
+		mb.wait(src, tag)
 	}
 }
 
@@ -166,7 +233,7 @@ func (mb *mailbox) purge() {
 		}
 	}
 	mb.queue = nil
-	mb.cond.Broadcast()
+	mb.wakeAllLocked()
 	mb.mu.Unlock()
 }
 

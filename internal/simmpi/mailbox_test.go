@@ -1,0 +1,215 @@
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// The targeted-wakeup rework replaced the mailbox's single broadcast
+// condvar with per-(source, tag) wait queues. These tests pin the wakeup
+// routing: deposits wake only matching selectors, probes hand their
+// wakeup on, wildcards still match everything, and the waiter map does
+// not leak entries.
+
+func TestTargetedWakeupRoutesEachTagToItsWaiter(t *testing.T) {
+	const waiters = 16
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	wg.Add(waiters)
+	for tag := 1; tag <= waiters; tag++ {
+		go func(tag int) {
+			defer wg.Done()
+			msg, err := c1.Recv(0, tag)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if len(msg.Data) != tag {
+				errs <- fmt.Errorf("tag %d got %d bytes", tag, len(msg.Data))
+			}
+			msg.Release()
+		}(tag)
+	}
+	// Deposit in reverse order so late tags wake first — any cross-tag
+	// wakeup misrouting shows up as a hang or a wrong payload.
+	for tag := waiters; tag >= 1; tag-- {
+		if err := c0.Send(1, tag, make([]byte, tag)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestProbePassesWakeupToReceiver: a probe and a receive block on the
+// same selector; one deposit arrives. The deposit's single wakeup for
+// that selector may land on the probe, which does not consume the
+// message — the probe must chain-signal so the receiver still gets it.
+// (The converse race — the receiver consumes first and the probe keeps
+// waiting for a future message — is legal probe semantics, so only the
+// receiver's completion is guaranteed after one deposit; a second
+// deposit then releases the probe.)
+func TestProbePassesWakeupToReceiver(t *testing.T) {
+	for round := 0; round < 50; round++ {
+		w, err := NewWorld(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c0, _ := w.Comm(0)
+		c1, _ := w.Comm(1)
+		probeDone := make(chan error, 1)
+		recvDone := make(chan error, 1)
+		go func() {
+			_, err := c1.Probe(0, 7)
+			probeDone <- err
+		}()
+		go func() {
+			msg, err := c1.Recv(0, 7)
+			if err == nil {
+				msg.Release()
+			}
+			recvDone <- err
+		}()
+		// Give both waiters time to park before the single deposit.
+		time.Sleep(100 * time.Microsecond)
+		if err := c0.Send(1, 7, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-recvDone:
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: wakeup lost — receiver stranded behind the probe", round)
+		}
+		// A second message releases the probe if the receiver consumed
+		// the first one before the probe saw it.
+		if err := c0.Send(1, 7, []byte("y")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-probeDone:
+			if err != nil {
+				t.Fatalf("round %d: probe: %v", round, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: probe never woke", round)
+		}
+	}
+}
+
+func TestWildcardWaitersWakeOnSpecificDeposit(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c2, _ := w.Comm(2)
+	cases := []struct{ src, tag int }{
+		{mpi.AnySource, mpi.AnyTag},
+		{mpi.AnySource, 9},
+		{0, mpi.AnyTag},
+	}
+	for _, tc := range cases {
+		done := make(chan error, 1)
+		go func() {
+			msg, err := c2.Recv(tc.src, tc.tag)
+			if err == nil {
+				msg.Release()
+			}
+			done <- err
+		}()
+		time.Sleep(100 * time.Microsecond)
+		if err := c0.Send(2, 9, []byte("w")); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("selector (%d,%d): %v", tc.src, tc.tag, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("selector (%d,%d): wildcard waiter never woke", tc.src, tc.tag)
+		}
+	}
+}
+
+// TestWaiterMapDrains: wait-queue entries must be dropped when their
+// last waiter leaves; a long-lived world must not accumulate dead
+// selector entries.
+func TestWaiterMapDrains(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	for tag := 1; tag <= 100; tag++ {
+		done := make(chan struct{})
+		go func(tag int) {
+			defer close(done)
+			msg, err := c1.Recv(0, tag)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			msg.Release()
+		}(tag)
+		time.Sleep(20 * time.Microsecond) // let the waiter park
+		if err := c0.Send(1, tag, []byte("d")); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+	}
+	mb := w.mailboxes[1]
+	mb.mu.Lock()
+	n := len(mb.waiters)
+	mb.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("waiter map holds %d stale entries after all waiters left", n)
+	}
+}
+
+// TestKillWakesAllSelectors: liveness transitions must reach every wait
+// queue, not just matching selectors.
+func TestKillWakesAllSelectors(t *testing.T) {
+	w, err := NewWorld(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := w.Comm(2)
+	const n = 8
+	done := make(chan error, n)
+	for tag := 1; tag <= n; tag++ {
+		go func(tag int) {
+			_, err := c2.Recv(0, tag)
+			done <- err
+		}(tag)
+	}
+	time.Sleep(200 * time.Microsecond)
+	w.Kill(0) // the awaited peer dies; every waiter must error out
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("receive returned a message from a dead rank")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("kill did not wake a parked waiter")
+		}
+	}
+}
