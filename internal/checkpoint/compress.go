@@ -217,6 +217,25 @@ func readSharded(payload []byte, shards int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Harden against crafted headers before any header-driven allocation:
+	// a DEFLATE stream inflates at most ~1032× (8 bits in, one 258-byte
+	// match out is the format's densest encoding), so a container whose
+	// claimed raw size exceeds that bound on the bytes actually present
+	// is forged or corrupt — reject it instead of allocating terabytes.
+	// Likewise every chunk costs at least one frame-length byte, bounding
+	// nChunks by the remaining payload. These caps also keep the
+	// ceil-division below from overflowing: rawSize is now small enough
+	// that rawSize+chunkSize wraps only when chunkSize is absurd, and a
+	// wrapped sum yields quotient 0 ≠ nChunks, which rejects.
+	const maxDeflateRatio = 1032
+	if rawSize > maxDeflateRatio*uint64(len(payload))+64 {
+		return nil, fmt.Errorf("checkpoint: sharded header claims %d raw bytes from %d compressed",
+			rawSize, len(payload))
+	}
+	if nChunks > uint64(len(payload)) {
+		return nil, fmt.Errorf("checkpoint: sharded header claims %d chunks in %d bytes",
+			nChunks, len(payload))
+	}
 	if chunkSize == 0 || nChunks == 0 ||
 		nChunks != (rawSize+chunkSize-1)/chunkSize {
 		return nil, fmt.Errorf("checkpoint: sharded header raw=%d chunk=%d n=%d inconsistent",

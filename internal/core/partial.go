@@ -189,20 +189,21 @@ func (g *partialGate) startServers() {
 	if g.peer == nil {
 		return
 	}
-	for p := 0; p < g.world.Size(); p++ {
-		if !g.world.Alive(p) {
-			continue
-		}
+	// ForEachLive skips dead regions a word at a time; at start every
+	// rank is live and after a recovery everyone has been revived, so
+	// this is the same set the old Alive poll produced, without the
+	// per-rank liveness check.
+	g.world.ForEachLive(func(p int) {
 		comm, err := g.world.Comm(p)
 		if err != nil {
-			continue
+			return
 		}
 		g.serverWG.Add(1)
 		go func(c *simmpi.Comm) {
 			defer g.serverWG.Done()
 			g.peer.Serve(c)
 		}(comm)
-	}
+	})
 }
 
 // spawnAll registers every rank as active before launching any driver,
@@ -481,16 +482,18 @@ func (g *partialGate) tryRecover(sphere int) bool {
 	}
 
 	var revived []int
-	for p := 0; p < g.world.Size(); p++ {
-		if g.world.Alive(p) {
-			continue
-		}
+	// The world is quiesced (interrupted, injector stopped between kills),
+	// so the dead-rank sweep is an exact snapshot — and it costs
+	// O(failures), not a 100k-rank Alive poll.
+	g.world.ForEachDead(func(p int) {
 		// The rank's memory died with it: wipe its shard before the new
 		// incarnation rejoins, so fetches are never routed to it until it
 		// re-stashes at the next checkpoint.
 		g.peer.InvalidateRank(p)
-		g.world.Revive(p)
 		revived = append(revived, p)
+	})
+	for _, p := range revived {
+		g.world.Revive(p)
 	}
 	g.inj.Rearm()
 	g.world.Resume()

@@ -65,16 +65,29 @@ type Injector struct {
 	// sphereOf maps a physical rank to its sphere index; -1 if unmapped.
 	sphereOf []int
 
-	mu        sync.Mutex
-	remaining []int        // live replicas per sphere
-	deadRanks map[int]bool // ranks currently counted dead (cleared by Rearm)
-	log       []Kill
-	stopped   bool
-	stopCh    chan struct{}
-	doneCh    chan struct{}
-	jobFailed chan int // sphere index whose last replica died; capacity 1
-	started   bool
+	// Accounting is O(active failures), never O(world size): dead ranks
+	// live in a compact bitset with a side list of the ranks actually
+	// killed this epoch, and spheres that lost a replica go on a dirty
+	// list — so Rearm after an in-place recovery undoes exactly the
+	// kills that happened (two slice walks of length #kills), instead of
+	// rebuilding per-sphere state across a 100k-rank world.
+	mu          sync.Mutex
+	remaining   []int    // live replicas per sphere
+	deadWords   []uint64 // bitset of ranks currently counted dead
+	deadList    []int    // the set bits of deadWords, in kill order
+	dirtySphere []int    // spheres with at least one dead replica this epoch
+	log         []Kill
+	stopped     bool
+	stopCh      chan struct{}
+	doneCh      chan struct{}
+	jobFailed   chan int // sphere index whose last replica died; capacity 1
+	started     bool
 }
+
+func bitGet(words []uint64, i int) bool { return words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+func bitSet(words []uint64, i int)   { words[i>>6] |= 1 << (uint(i) & 63) }
+func bitClear(words []uint64, i int) { words[i>>6] &^= 1 << (uint(i) & 63) }
 
 // New creates an injector over the given sphere map (spheres[v] lists the
 // physical ranks of virtual rank v, as redundancy.RankMap.Sphere returns).
@@ -104,7 +117,7 @@ func New(target KillTarget, spheres [][]int, cfg Config) (*Injector, error) {
 		cfg:       cfg,
 		sphereOf:  make([]int, maxPhys+1),
 		remaining: make([]int, len(spheres)),
-		deadRanks: make(map[int]bool),
+		deadWords: make([]uint64, (maxPhys+64)/64),
 		stopCh:    make(chan struct{}),
 		doneCh:    make(chan struct{}),
 		jobFailed: make(chan int, 1),
@@ -239,10 +252,14 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 	inj.log = append(inj.log, Kill{Rank: rank, After: at})
 	var exhausted = -1
 	sphere := -1
-	if rank < len(inj.sphereOf) && !inj.deadRanks[rank] {
-		inj.deadRanks[rank] = true
+	if rank < len(inj.sphereOf) && !bitGet(inj.deadWords, rank) {
+		bitSet(inj.deadWords, rank)
+		inj.deadList = append(inj.deadList, rank)
 		if v := inj.sphereOf[rank]; v >= 0 {
 			sphere = v
+			if inj.remaining[v] == len(inj.spheres[v]) {
+				inj.dirtySphere = append(inj.dirtySphere, v)
+			}
 			inj.remaining[v]--
 			if inj.remaining[v] == 0 {
 				exhausted = v
@@ -281,13 +298,19 @@ func (inj *Injector) InjectNow(rank int) {
 // revived every dead rank: all spheres return to full strength and any
 // undelivered job-failure event is discarded as stale (it described a
 // sphere that is alive again). The kill log is preserved — Failures()
-// keeps counting across recoveries.
+// keeps counting across recoveries. Cost is O(kills this epoch): only
+// the dirty spheres and the actually-dead bits are reset, never the full
+// world.
 func (inj *Injector) Rearm() {
 	inj.mu.Lock()
-	for v, sphere := range inj.spheres {
-		inj.remaining[v] = len(sphere)
+	for _, v := range inj.dirtySphere {
+		inj.remaining[v] = len(inj.spheres[v])
 	}
-	inj.deadRanks = make(map[int]bool)
+	inj.dirtySphere = inj.dirtySphere[:0]
+	for _, r := range inj.deadList {
+		bitClear(inj.deadWords, r)
+	}
+	inj.deadList = inj.deadList[:0]
 	inj.mu.Unlock()
 	select {
 	case <-inj.jobFailed:

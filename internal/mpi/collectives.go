@@ -537,5 +537,12 @@ func unpackParts(buf []byte, want int) ([][]byte, error) {
 		out = append(out, buf[:ln:ln])
 		buf = buf[ln:]
 	}
+	if len(buf) != 0 {
+		// Strict framing: every byte must be accounted for. Trailing
+		// garbage means a corrupt or forged payload, and accepting it
+		// would make the encoding ambiguous (two wire images, one part
+		// list).
+		return nil, fmt.Errorf("mpi: %d trailing bytes after %d packed parts", len(buf), n)
+	}
 	return out, nil
 }

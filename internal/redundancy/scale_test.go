@@ -1,0 +1,113 @@
+package redundancy
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/simmpi"
+)
+
+// TestScaleLargeWorldDegree2 runs degree-2 replication on a world big
+// enough that the sharded mailbox table stops being one-shard-per-rank:
+// 300 virtual ranks × 2 replicas = 600 physical ranks, past the 512-shard
+// cap, so every shard multiplexes at least two mailboxes. The redundancy
+// layer must run unchanged on that layout — ring traffic, collectives,
+// and mid-run replica loss all behave exactly as they do at small N.
+func TestScaleLargeWorldDegree2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-world scale test")
+	}
+	const n = 300
+	m, err := NewRankMap(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PhysicalSize() != 2*n {
+		t.Fatalf("physical size %d, want %d", m.PhysicalSize(), 2*n)
+	}
+	w, err := simmpi.NewWorld(m.PhysicalSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim virtual ranks lose their second replica between the barrier
+	// and the allreduce; the surviving replica must carry the rank through.
+	victims := map[int]bool{10: true, 100: true, 250: true}
+	killedPhys := map[int]bool{}
+	for v := range victims {
+		sphere, err := m.Sphere(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sphere) != 2 {
+			t.Fatalf("sphere(%d) = %v, want 2 replicas", v, sphere)
+		}
+		killedPhys[sphere[1]] = true
+	}
+
+	wantSum := float64(n*(n+1)) / 2
+	var mu sync.Mutex
+	results := map[string]float64{}
+	appErr, failures := w.Run(func(pc *simmpi.Comm) error {
+		rc, err := New(pc, m, Options{Live: w})
+		if err != nil {
+			return err
+		}
+		me := rc.Rank()
+		right := (me + 1) % n
+		left := (me - 1 + n) % n
+		for iter := 0; iter < 2; iter++ {
+			if err := rc.Send(right, 5, []byte{byte(me), byte(me >> 8), byte(iter)}); err != nil {
+				return err
+			}
+			msg, err := rc.Recv(left, 5)
+			if err != nil {
+				return err
+			}
+			if got := int(msg.Data[0]) | int(msg.Data[1])<<8; got != left || int(msg.Data[2]) != iter {
+				return fmt.Errorf("rank %d iter %d: got ring payload from %d iter %d", me, iter, got, msg.Data[2])
+			}
+		}
+		if err := mpi.Barrier(rc); err != nil {
+			return err
+		}
+		// Each victim's second replica kills itself at a deterministic
+		// point in its own flow; its unwind is the expected failure.
+		if victims[me] && rc.ReplicaIndex() == 1 {
+			w.Kill(pc.Rank())
+		}
+		out, err := mpi.AllreduceFloat64s(rc, []float64{float64(me + 1)}, mpi.OpSum)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[fmt.Sprintf("%d/%d", me, rc.ReplicaIndex())] = out[0]
+		mu.Unlock()
+		return nil
+	})
+	if appErr != nil {
+		t.Fatalf("app error: %v", appErr)
+	}
+	for _, f := range failures {
+		if !killedPhys[f.Rank] {
+			t.Fatalf("unexpected failure on physical rank %d: %v", f.Rank, f.Err)
+		}
+	}
+	// Every surviving replica — including the victims' remaining one —
+	// must hold the identical global sum.
+	if len(results) < 2*n-len(killedPhys) {
+		t.Fatalf("%d replica results, want at least %d", len(results), 2*n-len(killedPhys))
+	}
+	for key, got := range results {
+		if got != wantSum {
+			t.Fatalf("replica %s computed %v, want %v", key, got, wantSum)
+		}
+	}
+	for v := range victims {
+		if _, ok := results[fmt.Sprintf("%d/0", v)]; !ok {
+			t.Fatalf("victim rank %d's surviving replica produced no result", v)
+		}
+	}
+}

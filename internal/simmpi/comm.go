@@ -9,6 +9,66 @@ import (
 	"repro/internal/mpi"
 )
 
+// denseCountThreshold bounds the world size at which per-peer message
+// counters use dense atomic arrays. The dense layout costs O(n²) words
+// across a world (two arrays of n per rank) — fine at laptop scale,
+// 160 GB at 100k ranks — so larger worlds fall back to lazy sparse maps:
+// a rank only pays for the peers it actually exchanges with, which for
+// collective patterns is O(log n).
+const denseCountThreshold = 1024
+
+// peerCounts tracks per-peer message totals for one direction. Exactly
+// one representation is active: dense (lock-free, preallocated at world
+// construction) below the threshold, sparse (mutex + lazy map) above.
+type peerCounts struct {
+	dense []atomic.Uint64
+
+	mu     sync.Mutex
+	sparse map[int]uint64
+}
+
+func (p *peerCounts) add(peer int) {
+	if p.dense != nil {
+		p.dense[peer].Add(1)
+		return
+	}
+	p.mu.Lock()
+	if p.sparse == nil {
+		p.sparse = make(map[int]uint64)
+	}
+	p.sparse[peer]++
+	p.mu.Unlock()
+}
+
+// snapshot materializes the dense view the bookmark exchange consumes.
+func (p *peerCounts) snapshot(n int) []uint64 {
+	out := make([]uint64, n)
+	if p.dense != nil {
+		for i := range p.dense {
+			out[i] = p.dense[i].Load()
+		}
+		return out
+	}
+	p.mu.Lock()
+	for peer, v := range p.sparse {
+		out[peer] = v
+	}
+	p.mu.Unlock()
+	return out
+}
+
+func (p *peerCounts) reset() {
+	if p.dense != nil {
+		for i := range p.dense {
+			p.dense[i].Store(0)
+		}
+		return
+	}
+	p.mu.Lock()
+	p.sparse = nil
+	p.mu.Unlock()
+}
+
 // Comm is the communicator endpoint for one rank of a World. It
 // implements mpi.Comm and mpi.CountTracker.
 type Comm struct {
@@ -16,8 +76,8 @@ type Comm struct {
 	rank  int
 
 	// Per-peer message totals for the checkpoint bookmark exchange.
-	sent []atomic.Uint64
-	recv []atomic.Uint64
+	sent peerCounts
+	recv peerCounts
 }
 
 var (
@@ -50,25 +110,26 @@ func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
 	if err := c.checkPeer(dst); err != nil {
 		return false, err
 	}
-	if c.world.aborted.Load() {
+	w := c.world
+	if w.aborted.Load() {
 		return false, mpi.ErrAborted
 	}
-	if c.world.dead[c.rank].Load() {
+	if w.dead.get(c.rank) {
 		return false, mpi.ErrKilled
 	}
-	if c.world.interrupted.Load() {
+	if w.interrupted.Load() {
 		return false, mpi.ErrInterrupted
 	}
-	c.sent[dst].Add(1)
-	c.world.met.sends.Inc()
-	c.world.met.sendBytes.Add(uint64(n))
-	if d := c.world.sendDelay; d > 0 {
+	c.sent.add(dst)
+	w.met.sends.Inc()
+	w.met.sendBytes.Add(uint64(n))
+	if d := w.sendDelay; d > 0 {
 		// Emulated wire latency is charged to the sender whether or not
 		// the destination is alive, like a NIC pushing into the fabric.
 		time.Sleep(d)
 	}
-	if c.world.dead[dst].Load() {
-		c.world.met.drops.Inc()
+	if w.dead.get(dst) {
+		w.met.drops.Inc()
 		return false, nil
 	}
 	return true, nil
@@ -97,7 +158,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 		}
 		copy(buf, data)
 	}
-	if !c.world.mailboxes[dst].deposit(c.rank, tag, buf, pb) && pb != nil {
+	if !c.world.table.deposit(dst, c.rank, tag, buf, pb) && pb != nil {
 		pb.Release() // dropped at the door (dead/aborted/interrupted)
 	}
 	return nil
@@ -130,7 +191,7 @@ func (c *Comm) SendPooled(dst, tag int, data []byte, pb *mpi.PooledBuf) error {
 	// Retain before publication: the receiver may consume and release
 	// the very moment the deposit lands.
 	pb.Retain()
-	if !c.world.mailboxes[dst].deposit(c.rank, tag, data, pb) {
+	if !c.world.table.deposit(dst, c.rank, tag, data, pb) {
 		pb.Release()
 		return nil
 	}
@@ -145,7 +206,7 @@ func (c *Comm) Recv(src, tag int) (mpi.Message, error) {
 			return mpi.Message{}, err
 		}
 	}
-	msg, err := c.world.mailboxes[c.rank].receive(src, tag)
+	msg, err := c.world.table.receive(c.rank, src, tag)
 	if err != nil {
 		return mpi.Message{}, err
 	}
@@ -155,7 +216,7 @@ func (c *Comm) Recv(src, tag int) (mpi.Message, error) {
 
 // noteRecv performs per-peer and world-level receive bookkeeping.
 func (c *Comm) noteRecv(src int) {
-	c.recv[src].Add(1)
+	c.recv.add(src)
 	c.world.met.recvs.Inc()
 }
 
@@ -166,7 +227,7 @@ func (c *Comm) Probe(src, tag int) (mpi.Status, error) {
 			return mpi.Status{}, err
 		}
 	}
-	return c.world.mailboxes[c.rank].probe(src, tag)
+	return c.world.table.probe(c.rank, src, tag)
 }
 
 // Isend starts a non-blocking send. Because sends are eager, the
@@ -199,38 +260,24 @@ func (c *Comm) Irecv(src, tag int) (mpi.Request, error) {
 }
 
 // SentCounts implements mpi.CountTracker.
-func (c *Comm) SentCounts() []uint64 {
-	out := make([]uint64, len(c.sent))
-	for i := range c.sent {
-		out[i] = c.sent[i].Load()
-	}
-	return out
-}
+func (c *Comm) SentCounts() []uint64 { return c.sent.snapshot(c.world.size) }
 
 // RecvCounts implements mpi.CountTracker.
-func (c *Comm) RecvCounts() []uint64 {
-	out := make([]uint64, len(c.recv))
-	for i := range c.recv {
-		out[i] = c.recv[i].Load()
-	}
-	return out
-}
+func (c *Comm) RecvCounts() []uint64 { return c.recv.snapshot(c.world.size) }
 
 // resetCounts zeroes the per-peer totals at an epoch boundary (Resume):
 // the purged traffic will never be received, so carrying its counts
 // forward would wedge every future bookmark exchange.
 func (c *Comm) resetCounts() {
-	for i := range c.sent {
-		c.sent[i].Store(0)
-		c.recv[i].Store(0)
-	}
+	c.sent.reset()
+	c.recv.reset()
 }
 
 // PendingMessages returns the number of deposited-but-unreceived messages
 // for this rank. The checkpoint coordinator uses it in tests to verify
 // quiescence.
 func (c *Comm) PendingMessages() int {
-	return c.world.mailboxes[c.rank].pending()
+	return c.world.table.pending(c.rank)
 }
 
 // request implements mpi.Request for simmpi operations.
@@ -275,7 +322,7 @@ func (r *request) Test() (bool, mpi.Message, mpi.Status, error) {
 	if r.done {
 		return true, r.msg, r.st, r.err
 	}
-	msg, ok, err := r.comm.world.mailboxes[r.comm.rank].tryReceive(r.src, r.tag)
+	msg, ok, err := r.comm.world.table.tryReceive(r.comm.rank, r.src, r.tag)
 	if !ok {
 		return false, mpi.Message{}, mpi.Status{}, nil
 	}

@@ -7,15 +7,61 @@ import (
 	"repro/internal/mpi"
 )
 
+// This file holds the box-level half of the runtime's matching engine:
+// the per-destination-rank state (rankBox) with its pair-indexed message
+// queues and selector-keyed wait queues. The shard-level half — lock
+// striping, waiter registration, liveness sweeps — lives in table.go.
+
 // envelope is a message in flight. buf is the pooled-buffer handle data
 // lives in (nil for unpooled or oversized payloads); the reference it
 // carries transfers to the receiver on match, or is released on purge.
+// seq is the arrival stamp at the destination box, the total order that
+// makes wildcard matching exact across pairs.
 type envelope struct {
 	source int
 	tag    int
 	data   []byte
 	buf    *mpi.PooledBuf
-	seq    uint64 // arrival order, for FIFO matching across (source, tag)
+	seq    uint64
+}
+
+// pairKey identifies one (source, tag) message class at a destination —
+// the granularity at which MPI guarantees FIFO ordering.
+type pairKey struct {
+	src, tag int
+}
+
+// pairQueue is the FIFO of unmatched messages for one (source, tag)
+// pair. It is a sliding-window slice: pop advances head instead of
+// re-slicing the front, and the backing array is reused once drained, so
+// the steady-state deposit/match cycle allocates nothing. Empty queues
+// are kept in the box's pair map (and on the shard free list once
+// evicted) because collective tag windows revisit the same pairs every
+// iteration.
+type pairQueue struct {
+	key      pairKey
+	head     int
+	msgs     []envelope
+	nextFree *pairQueue
+}
+
+func (q *pairQueue) empty() bool { return q.head == len(q.msgs) }
+
+func (q *pairQueue) len() int { return len(q.msgs) - q.head }
+
+func (q *pairQueue) headSeq() uint64 { return q.msgs[q.head].seq }
+
+func (q *pairQueue) push(e envelope) { q.msgs = append(q.msgs, e) }
+
+func (q *pairQueue) pop() envelope {
+	e := q.msgs[q.head]
+	q.msgs[q.head] = envelope{} // drop payload references eagerly
+	q.head++
+	if q.head == len(q.msgs) {
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	}
+	return e
 }
 
 // waitKey is a blocked operation's (source, tag) selector, wildcards
@@ -24,225 +70,158 @@ type waitKey struct {
 	src, tag int
 }
 
-// waitQueue holds the waiters blocked on one selector. n counts them so
-// the map entry can be dropped when the last one leaves (worlds create
-// many short-lived tag patterns; the map must not grow monotonically).
+// waitQueue holds the waiters blocked on one selector of one box. n
+// counts registered waiters (a waiter stays registered while it re-scans
+// between wakeups, so a Signal aimed at its selector is never wasted on
+// an empty queue). Queues are recycled through the shard free list —
+// the condvar is rebound once to the shard mutex and reused forever, so
+// parking allocates nothing in steady state. activeIdx is the queue's
+// position in the shard's active list (-1 when idle), which is what
+// makes liveness broadcasts O(parked waiters) instead of O(world size).
 type waitQueue struct {
-	cond *sync.Cond
-	n    int
+	cond      *sync.Cond
+	n         int
+	activeIdx int
+	nextFree  *waitQueue
 }
 
-// mailbox holds the unmatched messages addressed to one rank. Receivers
-// scan it under the lock for the earliest envelope matching their
-// (source, tag) selectors — exactly MPI's matching rule: FIFO per
-// (source, tag) pair, with wildcards selecting the earliest arrival among
-// all matching pairs.
-//
-// Blocked receivers and probers park on per-selector wait queues instead
-// of one shared sync.Cond: a deposit wakes only the (at most four)
-// selector patterns its (source, tag) can match, not every waiter on the
-// rank. Under fan-in workloads — many goroutines blocked on distinct
-// tags — the old per-deposit Broadcast woke all of them to re-scan the
-// queue and go back to sleep, a classic thundering herd.
-type mailbox struct {
-	world *World
-	owner int
-
-	mu      sync.Mutex
+// rankBox holds the unmatched messages addressed to one rank, indexed by
+// (source, tag) pair, plus the rank's parked waiters. Receivers match
+// under the owning shard's lock: exact selectors are a single map
+// lookup + FIFO pop; wildcard selectors take the minimum arrival stamp
+// across matching pairs — exactly MPI's rule (FIFO per (source, tag),
+// wildcards selecting the earliest arrival among all matching pairs).
+type rankBox struct {
+	owner   int
+	pairs   map[pairKey]*pairQueue
 	waiters map[waitKey]*waitQueue
-	queue   []envelope
-	next    uint64
+	nq      int    // queued messages across all pairs
+	seq     uint64 // next arrival stamp
+	dirty   bool   // on the shard's dirty list (has seen deposits since last sweep)
 }
 
-func newMailbox(w *World, owner int) *mailbox {
-	return &mailbox{world: w, owner: owner, waiters: make(map[waitKey]*waitQueue)}
+func newRankBox(owner int) *rankBox {
+	// Size hints pre-allocate the first bucket so the first deposit and
+	// first park do not each pay a map-grow allocation on the hot path.
+	return &rankBox{
+		owner:   owner,
+		pairs:   make(map[pairKey]*pairQueue, 8),
+		waiters: make(map[waitKey]*waitQueue, 8),
+	}
 }
 
-// wait parks the caller on its selector's queue until signalled. Caller
-// holds mb.mu; the queue is re-checked by the caller's loop after wakeup,
-// so a stale or stolen wakeup is always safe.
-func (mb *mailbox) wait(src, tag int) {
-	k := waitKey{src: src, tag: tag}
-	q := mb.waiters[k]
+// pairsGCThreshold bounds the number of retained-but-empty pair queues
+// per box: below it, empties stay mapped for reuse (collectives cycle
+// through a small set of pairs); above it, drained queues are evicted to
+// the shard free list so worlds with churning tag patterns do not grow
+// monotonically.
+const pairsGCThreshold = 64
+
+// match finds, removes, and returns the earliest-arrived queued envelope
+// matching the selectors. The caller holds the owning shard's lock.
+func (b *rankBox) match(s *mboxShard, src, tag int) (envelope, bool) {
+	if src != mpi.AnySource && tag != mpi.AnyTag {
+		q := b.pairs[pairKey{src, tag}]
+		if q == nil || q.empty() {
+			return envelope{}, false
+		}
+		return b.popFrom(s, q), true
+	}
+	q := b.peekWild(src, tag)
 	if q == nil {
-		q = &waitQueue{cond: sync.NewCond(&mb.mu)}
-		mb.waiters[k] = q
+		return envelope{}, false
 	}
-	q.n++
-	q.cond.Wait()
-	q.n--
-	if q.n == 0 {
-		delete(mb.waiters, k)
-	}
+	return b.popFrom(s, q), true
 }
 
-// signalArrival wakes one waiter on each selector pattern that can match
-// a newly arrived (source, tag) message: the exact pair, the two
-// single-wildcard forms, and the full wildcard. Caller holds mb.mu.
-func (mb *mailbox) signalArrival(source, tag int) {
-	mb.signalKey(waitKey{src: source, tag: tag})
-	mb.signalKey(waitKey{src: source, tag: mpi.AnyTag})
-	mb.signalKey(waitKey{src: mpi.AnySource, tag: tag})
-	mb.signalKey(waitKey{src: mpi.AnySource, tag: mpi.AnyTag})
-}
-
-func (mb *mailbox) signalKey(k waitKey) {
-	if q := mb.waiters[k]; q != nil {
-		q.cond.Signal()
-	}
-}
-
-// wakeAllLocked broadcasts every wait queue. Liveness transitions (kill,
-// abort, interrupt, resume, purge) must wake everyone: the predicates
-// waiters re-check (errIfDown) are not tied to any selector.
-func (mb *mailbox) wakeAllLocked() {
-	for _, q := range mb.waiters {
-		q.cond.Broadcast()
-	}
-}
-
-// broadcast wakes all waiters so they can re-check liveness predicates.
-func (mb *mailbox) broadcast() {
-	mb.mu.Lock()
-	mb.wakeAllLocked()
-	mb.mu.Unlock()
-}
-
-// deposit enqueues a message and reports whether it was accepted.
-// Deposits to dead ranks, aborted worlds, or interrupted epochs are
-// dropped (returning false), like packets to a crashed node (an
-// interrupted epoch's traffic is recomputed from the checkpoint anyway);
-// the caller still owns pb's reference on that path and must release it.
-// On acceptance the reference rides the envelope to the receiver.
-func (mb *mailbox) deposit(source, tag int, data []byte, pb *mpi.PooledBuf) bool {
-	if mb.world.aborted.Load() || mb.world.interrupted.Load() || mb.world.dead[mb.owner].Load() {
-		return false
-	}
-	mb.mu.Lock()
-	mb.queue = append(mb.queue, envelope{source: source, tag: tag, data: data, buf: pb, seq: mb.next})
-	mb.next++
-	mb.world.met.mailboxHWM.SetMax(int64(len(mb.queue)))
-	mb.signalArrival(source, tag)
-	mb.mu.Unlock()
-	return true
-}
-
-func matches(e envelope, src, tag int) bool {
-	return (src == mpi.AnySource || e.source == src) &&
-		(tag == mpi.AnyTag || e.tag == tag)
-}
-
-// errIfDown returns the error that should abort the owner's operation, or
-// nil if the owner may keep waiting for a message from src.
-func (mb *mailbox) errIfDown(src int) error {
-	if mb.world.aborted.Load() {
-		return mpi.ErrAborted
-	}
-	if mb.world.dead[mb.owner].Load() {
-		return mpi.ErrKilled
-	}
-	if mb.world.interrupted.Load() {
-		return mpi.ErrInterrupted
-	}
-	if src != mpi.AnySource && mb.world.dead[src].Load() {
-		return mpi.ErrPeerDead
-	}
-	return nil
-}
-
-// receive blocks until a message matching (src, tag) is available and
-// removes and returns it. It unblocks with an error when the owner is
-// killed, the world aborts, or a specific awaited peer dies first.
-// A message already delivered before the peer died is still returned:
-// death invalidates only *future* traffic.
-func (mb *mailbox) receive(src, tag int) (mpi.Message, error) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		if idx, ok := mb.match(src, tag); ok {
-			e := mb.queue[idx]
-			mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
-			return mpi.NewMessage(e.source, e.tag, e.data, e.buf), nil
+// peek returns the earliest matching envelope without consuming it
+// (probe semantics). The caller holds the owning shard's lock.
+func (b *rankBox) peek(src, tag int) (envelope, bool) {
+	if src != mpi.AnySource && tag != mpi.AnyTag {
+		q := b.pairs[pairKey{src, tag}]
+		if q == nil || q.empty() {
+			return envelope{}, false
 		}
-		if err := mb.errIfDown(src); err != nil {
-			return mpi.Message{}, err
-		}
-		mb.wait(src, tag)
+		return q.msgs[q.head], true
 	}
+	q := b.peekWild(src, tag)
+	if q == nil {
+		return envelope{}, false
+	}
+	return q.msgs[q.head], true
 }
 
-// tryReceive attempts a non-blocking matched receive.
-func (mb *mailbox) tryReceive(src, tag int) (mpi.Message, bool, error) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	if idx, ok := mb.match(src, tag); ok {
-		e := mb.queue[idx]
-		mb.queue = append(mb.queue[:idx], mb.queue[idx+1:]...)
-		return mpi.NewMessage(e.source, e.tag, e.data, e.buf), true, nil
+// peekWild selects the non-empty pair queue with the earliest head
+// arrival among those matching a wildcard selector.
+func (b *rankBox) peekWild(src, tag int) *pairQueue {
+	if b.nq == 0 {
+		return nil
 	}
-	if err := mb.errIfDown(src); err != nil {
-		return mpi.Message{}, true, err
-	}
-	return mpi.Message{}, false, nil
-}
-
-// probe blocks until a matching message is available and returns its
-// envelope without consuming it.
-func (mb *mailbox) probe(src, tag int) (mpi.Status, error) {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	for {
-		if idx, ok := mb.match(src, tag); ok {
-			e := mb.queue[idx]
-			// The probe may have absorbed the deposit's single wakeup
-			// for this selector without consuming the message; pass the
-			// wakeup on so a sibling waiter (e.g. the matching receive)
-			// is not stranded with a deliverable message in the queue.
-			mb.signalKey(waitKey{src: src, tag: tag})
-			return mpi.Status{Source: e.source, Tag: e.tag, Len: len(e.data)}, nil
+	var best *pairQueue
+	for k, q := range b.pairs {
+		if q.empty() {
+			continue
 		}
-		if err := mb.errIfDown(src); err != nil {
-			return mpi.Status{}, err
+		if src != mpi.AnySource && k.src != src {
+			continue
 		}
-		mb.wait(src, tag)
-	}
-}
-
-// match finds the earliest-arrived queued envelope matching the
-// selectors. Linear scan: queues stay short because matching consumes
-// eagerly; envelopes carry seq so "earliest" is exact even though
-// removals reorder nothing (the queue is already arrival-ordered).
-func (mb *mailbox) match(src, tag int) (int, bool) {
-	for i, e := range mb.queue {
-		if matches(e, src, tag) {
-			return i, true
+		if tag != mpi.AnyTag && k.tag != tag {
+			continue
+		}
+		if best == nil || q.headSeq() < best.headSeq() {
+			best = q
 		}
 	}
-	return 0, false
+	return best
 }
 
-// purge discards all unmatched messages: stale traffic from an epoch
-// that is being rolled back, or addressed to a rank incarnation that no
+// popFrom removes the head of q, evicting the drained queue to the shard
+// free list when the box's pair map has grown past the GC threshold.
+func (b *rankBox) popFrom(s *mboxShard, q *pairQueue) envelope {
+	e := q.pop()
+	b.nq--
+	if q.empty() && len(b.pairs) > pairsGCThreshold {
+		delete(b.pairs, q.key)
+		s.freePairQueue(q)
+	}
+	return e
+}
+
+// depositLocked enqueues one envelope. The caller holds the shard lock
+// and has already performed the liveness checks.
+func (b *rankBox) depositLocked(s *mboxShard, src, tag int, data []byte, pb *mpi.PooledBuf) {
+	k := pairKey{src, tag}
+	q := b.pairs[k]
+	if q == nil {
+		q = s.allocPairQueue(k)
+		b.pairs[k] = q
+	}
+	q.push(envelope{source: src, tag: tag, data: data, buf: pb, seq: b.seq})
+	b.seq++
+	b.nq++
+}
+
+// purgeLocked discards all unmatched messages: stale traffic from an
+// epoch being rolled back, or addressed to a rank incarnation that no
 // longer exists. Pooled buffers ride envelopes with a reference each, so
 // purge releases them back to the arena instead of leaking them.
-func (mb *mailbox) purge() {
-	mb.mu.Lock()
-	for i := range mb.queue {
-		if pb := mb.queue[i].buf; pb != nil {
-			pb.Release()
+func (b *rankBox) purgeLocked(s *mboxShard) {
+	for k, q := range b.pairs {
+		for !q.empty() {
+			e := q.pop()
+			if e.buf != nil {
+				e.buf.Release()
+			}
 		}
+		delete(b.pairs, k)
+		s.freePairQueue(q)
 	}
-	mb.queue = nil
-	mb.wakeAllLocked()
-	mb.mu.Unlock()
+	b.nq = 0
 }
 
-// pending returns the number of unmatched messages, for tests and the
-// bookmark-exchange verifier.
-func (mb *mailbox) pending() int {
-	mb.mu.Lock()
-	defer mb.mu.Unlock()
-	return len(mb.queue)
+func matchesSelector(src, tag, wantSrc, wantTag int) bool {
+	return (wantSrc == mpi.AnySource || src == wantSrc) &&
+		(wantTag == mpi.AnyTag || tag == wantTag)
 }
 
 func isFailureErr(err error) bool {

@@ -175,12 +175,16 @@ func TestWaiterMapDrains(t *testing.T) {
 		}
 		<-done
 	}
-	mb := w.mailboxes[1]
-	mb.mu.Lock()
-	n := len(mb.waiters)
-	mb.mu.Unlock()
+	s := w.table.shardFor(1)
+	s.mu.Lock()
+	n := len(s.box(1).waiters)
+	act := len(s.active)
+	s.mu.Unlock()
 	if n != 0 {
 		t.Fatalf("waiter map holds %d stale entries after all waiters left", n)
+	}
+	if act != 0 {
+		t.Fatalf("shard active list holds %d stale queues after all waiters left", act)
 	}
 }
 

@@ -11,6 +11,12 @@
 // An entire World can be aborted, unblocking every rank with
 // mpi.ErrAborted — this is how the orchestrator tears a job down when a
 // whole replica sphere has died and a restart from checkpoint is needed.
+//
+// The runtime is sized for the paper's operating point: worlds of 100k+
+// virtual ranks. Mailboxes live in a lock-striped shard table (see
+// table.go), liveness is a compact atomic bitset, and every liveness
+// transition costs O(parked waiters + ranks with traffic), never O(world
+// size).
 package simmpi
 
 import (
@@ -28,16 +34,23 @@ import (
 type World struct {
 	size      int
 	sendDelay time.Duration
-	mailboxes []*mailbox
+	table     *mboxTable
 	comms     []*Comm
 
 	// pool is the payload buffer arena; nil when pooling is disabled
 	// (mpi.WithoutPooling), in which case every send allocates fresh.
 	pool *arena
 
-	dead        []atomic.Bool
+	dead        *atomicBitset
+	alive       atomic.Int64
 	aborted     atomic.Bool
 	interrupted atomic.Bool
+
+	// livenessWakeups counts waiters woken by liveness broadcasts
+	// (Kill/Abort/Interrupt/Resume). The epoch-gate regression tests pin
+	// this to the number of parked waiters, proving transitions do not
+	// scale with world size.
+	livenessWakeups atomic.Uint64
 
 	// Telemetry. reg defaults to a fresh private registry; mpi.WithObs
 	// injects a shared one (or nil to disable entirely).
@@ -111,6 +124,11 @@ func WithObs(reg *obs.Registry) Option { return mpi.WithObs(reg) }
 // shared mpi.Option set; NewWorld applies SendDelay, Obs, and pooling
 // and ignores the redundancy-layer fields (degree, hash comparison,
 // corrupt ranks), so one option list can configure the whole stack.
+//
+// Construction is cheap per rank: mailboxes materialize lazily in the
+// shard table on first traffic, and per-peer counters are dense arrays
+// only below denseCountThreshold ranks, so a 100k-rank world costs
+// megabytes, not the O(n²) the dense layout would.
 func NewWorld(n int, opts ...Option) (*World, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("simmpi: world size %d: %w", n, mpi.ErrInvalidRank)
@@ -119,10 +137,11 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	w := &World{
 		size:      n,
 		sendDelay: o.SendDelay,
-		mailboxes: make([]*mailbox, n),
 		comms:     make([]*Comm, n),
-		dead:      make([]atomic.Bool, n),
+		dead:      newAtomicBitset(n),
 	}
+	w.alive.Store(int64(n))
+	w.table = newMboxTable(w, n)
 	if !o.NoPooling {
 		w.pool = newArena()
 	}
@@ -132,14 +151,14 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 		w.reg = obs.NewRegistry()
 	}
 	w.met = newWorldMetrics(w.reg)
-	for i := range w.mailboxes {
-		w.mailboxes[i] = newMailbox(w, i)
-	}
+	dense := n <= denseCountThreshold
 	for i := range w.comms {
-		w.comms[i] = &Comm{world: w, rank: i,
-			sent: make([]atomic.Uint64, n),
-			recv: make([]atomic.Uint64, n),
+		c := &Comm{world: w, rank: i}
+		if dense {
+			c.sent.dense = make([]atomic.Uint64, n)
+			c.recv.dense = make([]atomic.Uint64, n)
 		}
+		w.comms[i] = c
 	}
 	return w, nil
 }
@@ -155,22 +174,44 @@ func (w *World) Comm(rank int) (*Comm, error) {
 	return w.comms[rank], nil
 }
 
+// errIfDown returns the error that should abort an operation by owner
+// waiting on src, or nil if the owner may keep waiting.
+func (w *World) errIfDown(owner, src int) error {
+	if w.aborted.Load() {
+		return mpi.ErrAborted
+	}
+	if w.dead.get(owner) {
+		return mpi.ErrKilled
+	}
+	if w.interrupted.Load() {
+		return mpi.ErrInterrupted
+	}
+	if src != mpi.AnySource && w.dead.get(src) {
+		return mpi.ErrPeerDead
+	}
+	return nil
+}
+
 // Kill marks a rank failed (fail-stop). Its pending and future operations
 // error, messages addressed to it are dropped, and receives posted
 // against it by peers fail with mpi.ErrPeerDead. Killing a dead rank is a
 // no-op.
+//
+// Cost is O(parked waiters): the dead bit is one CAS, and the wakeup
+// broadcast visits only shards advertising waiters. The bit is published
+// (sequentially consistent) before the waiter flags are read, and
+// waiters register before their final liveness check, so a kill can
+// never slip between a waiter's check and its park.
 func (w *World) Kill(rank int) {
 	if rank < 0 || rank >= w.size {
 		return
 	}
-	if w.dead[rank].Swap(true) {
+	if w.dead.set(rank) {
 		return
 	}
+	w.alive.Add(-1)
 	w.met.kills.Inc()
-	// Liveness changed: wake every waiter so it can re-evaluate.
-	for _, mb := range w.mailboxes {
-		mb.broadcast()
-	}
+	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
 // Alive reports whether the rank is still alive.
@@ -178,24 +219,34 @@ func (w *World) Alive(rank int) bool {
 	if rank < 0 || rank >= w.size {
 		return false
 	}
-	return !w.dead[rank].Load()
+	return !w.dead.get(rank)
 }
 
-// AliveCount returns the number of live ranks.
-func (w *World) AliveCount() int {
-	n := 0
-	for i := 0; i < w.size; i++ {
-		if !w.dead[i].Load() {
-			n++
-		}
-	}
-	return n
-}
+// AliveCount returns the number of live ranks in O(1).
+func (w *World) AliveCount() int { return int(w.alive.Load()) }
+
+// ForEachDead calls fn for every dead rank in ascending order, skipping
+// fully-live regions 64 ranks at a time. This is the O(failures) sweep
+// the recovery paths use instead of polling Alive across the world.
+// Concurrent Kill/Revive make the iteration a racy view, not a snapshot;
+// call it from a quiesced world (epoch gate held, injector stopped) when
+// an exact set is needed.
+func (w *World) ForEachDead(fn func(rank int)) { w.dead.forEachSet(fn) }
+
+// ForEachLive calls fn for every live rank in ascending order. The same
+// snapshot caveat as ForEachDead applies.
+func (w *World) ForEachLive(fn func(rank int)) { w.dead.forEachClear(fn) }
 
 // Deaths returns the number of kills so far, read from the
 // simmpi_kills_total counter (zero when telemetry is disabled via
 // WithObs(nil)).
 func (w *World) Deaths() int { return int(w.met.kills.Value()) }
+
+// LivenessWakeups returns the cumulative number of waiters woken by
+// liveness broadcasts (Kill, Abort, Interrupt, Resume). Regression tests
+// use it to pin the wakeup cost of an epoch transition to the number of
+// parked waiters, independent of world size.
+func (w *World) LivenessWakeups() uint64 { return w.livenessWakeups.Load() }
 
 // Obs returns the registry holding this world's runtime instruments
 // (nil when telemetry was disabled with WithObs(nil)).
@@ -208,9 +259,7 @@ func (w *World) Abort() {
 		return
 	}
 	w.met.aborts.Inc()
-	for _, mb := range w.mailboxes {
-		mb.broadcast()
-	}
+	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
 // Aborted reports whether the world has been aborted.
@@ -227,9 +276,7 @@ func (w *World) Interrupt() {
 		return
 	}
 	w.met.interrupts.Inc()
-	for _, mb := range w.mailboxes {
-		mb.broadcast()
-	}
+	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
 // Interrupted reports whether the world is paused for recovery.
@@ -244,33 +291,32 @@ func (w *World) Revive(rank int) {
 	if rank < 0 || rank >= w.size {
 		return
 	}
-	if !w.dead[rank].Swap(false) {
+	if !w.dead.clear(rank) {
 		return
 	}
+	w.alive.Add(1)
 	w.met.revives.Inc()
-	w.mailboxes[rank].purge()
+	w.table.purgeRank(rank)
 }
 
-// Resume ends an interrupt and starts a fresh epoch: every mailbox is
-// purged (in-flight messages of the interrupted epoch must not leak into
-// the recomputation) and every communicator's per-peer sent/received
-// totals are zeroed so the bookmark-exchange quiescence check starts
-// from a symmetric state. Callers must ensure all rank goroutines are
-// parked before resuming.
+// Resume ends an interrupt and starts a fresh epoch: every mailbox with
+// traffic is purged (in-flight messages of the interrupted epoch must
+// not leak into the recomputation) and every communicator's per-peer
+// sent/received totals are zeroed so the bookmark-exchange quiescence
+// check starts from a symmetric state. Callers must ensure all rank
+// goroutines are parked before resuming. The purge walks only the
+// shards' dirty lists — ranks untouched since the last sweep cost
+// nothing.
 func (w *World) Resume() {
 	if !w.interrupted.Load() {
 		return
 	}
-	for _, mb := range w.mailboxes {
-		mb.purge()
-	}
+	w.table.purgeAll()
 	for _, c := range w.comms {
 		c.resetCounts()
 	}
 	w.interrupted.Store(false)
-	for _, mb := range w.mailboxes {
-		mb.broadcast()
-	}
+	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
 // RankError pairs a rank with the error its function returned.
