@@ -217,3 +217,85 @@ func TestKillWakesAllSelectors(t *testing.T) {
 		}
 	}
 }
+
+// TestOverlappingSelectorsNoLostWakeup regression-tests a lost-wakeup
+// hazard in arrival signaling. Waiter A parks on (src=1, AnyTag), waiter
+// B on (AnySource, tag=5); rank 1 deposits (1,3) then (1,5). Both
+// deposits route a Signal to A's queue — and sync.Cond.Signal reaches
+// only goroutines blocked in Wait, so if A is momentarily awake (woken
+// by the first deposit, not yet re-holding the shard lock) the second
+// Signal is a silent no-op. A protocol that stops at the first populated
+// selector queue then never tries (AnySource, 5): A consumes (1,3) and
+// leaves, and B strands parked with (1,5) deliverable in the box. The
+// fixed protocol signals every matching selector pattern, so B gets its
+// own wakeup regardless of A's scheduling. The race window depends on
+// timing, so the scenario loops; outcomes are deterministic (A always
+// takes (1,3), the only message matching (1,3)'s selector set first by
+// arrival order, B takes (1,5)), and a global deadline turns the old
+// code's deadlock into a failure instead of a hung test run.
+func TestOverlappingSelectorsNoLostWakeup(t *testing.T) {
+	const iters = 2000
+	w, err := NewWorld(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := w.Comm(0)
+	c1, _ := w.Comm(1)
+	finished := make(chan error, 1)
+	go func() {
+		for i := 0; i < iters; i++ {
+			var wg sync.WaitGroup
+			errs := make(chan error, 2)
+			wg.Add(2)
+			go func() { // waiter A: exact source, any tag
+				defer wg.Done()
+				msg, err := c0.Recv(1, mpi.AnyTag)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if msg.Tag != 3 {
+					errs <- fmt.Errorf("A got tag %d, want 3", msg.Tag)
+				}
+				msg.Release()
+			}()
+			go func() { // waiter B: any source, exact tag
+				defer wg.Done()
+				msg, err := c0.Recv(mpi.AnySource, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if msg.Tag != 5 {
+					errs <- fmt.Errorf("B got tag %d, want 5", msg.Tag)
+				}
+				msg.Release()
+			}()
+			if err := c1.Send(0, 3, []byte{1}); err != nil {
+				finished <- err
+				return
+			}
+			if err := c1.Send(0, 5, []byte{2}); err != nil {
+				finished <- err
+				return
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if err != nil {
+					finished <- err
+					return
+				}
+			}
+		}
+		finished <- nil
+	}()
+	select {
+	case err := <-finished:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("lost wakeup: a receiver stranded with a deliverable message (wake-one signal absorbed by an awake waiter)")
+	}
+}

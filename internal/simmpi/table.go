@@ -178,36 +178,38 @@ func (s *mboxShard) deregister(b *rankBox, k waitKey, q *waitQueue) {
 	}
 }
 
-// signalArrival wakes at most one waiter able to consume a newly arrived
-// (source, tag) message, trying the exact selector first, then the three
-// wildcard forms. Bounded wake-batching: the old design signalled one
-// waiter on each of the four patterns (up to 3 spurious wakeups per
-// message under collective fan-in); one matching waiter is sufficient
-// because every woken waiter re-scans the box exhaustively under the
-// shard lock before parking again, and probes chain the wakeup onward
-// (see probe). Caller holds s.mu.
+// signalArrival wakes waiters able to consume a newly arrived
+// (source, tag) message: every selector pattern the message matches is
+// signaled — the exact key and the three wildcard forms — with one
+// Signal (wake-one) per queue. Stopping at the first populated queue
+// would be unsound: sync.Cond.Signal is delivered only to goroutines
+// currently blocked in Wait, so when that queue's registered waiters
+// are all momentarily awake (woken earlier, not yet re-holding the
+// lock) the Signal is a silent no-op — and an early return would then
+// skip the wildcard queues, stranding a parked waiter even though a
+// message it matches sits in the box (the awake waiter may consume a
+// *different*, earlier-arrived message and leave). Per-queue wake-one
+// remains sound: a Signal is lost only when none of that queue's
+// waiters are parked, and an awake waiter always re-scans the box
+// exhaustively under the shard lock before parking again, so it cannot
+// park with a deliverable message present. Patterns with no registered
+// waiters cost one map lookup and no wakeup, so the collective fan-in
+// hot path (a single AnySource selector live) still pays for exactly
+// one Signal per message. Caller holds s.mu.
 func (s *mboxShard) signalArrival(b *rankBox, src, tag int) {
 	if len(b.waiters) == 0 {
 		return
 	}
-	if s.signalKey(b, waitKey{src, tag}) {
-		return
-	}
-	if s.signalKey(b, waitKey{src, mpi.AnyTag}) {
-		return
-	}
-	if s.signalKey(b, waitKey{mpi.AnySource, tag}) {
-		return
-	}
+	s.signalKey(b, waitKey{src, tag})
+	s.signalKey(b, waitKey{src, mpi.AnyTag})
+	s.signalKey(b, waitKey{mpi.AnySource, tag})
 	s.signalKey(b, waitKey{mpi.AnySource, mpi.AnyTag})
 }
 
-func (s *mboxShard) signalKey(b *rankBox, k waitKey) bool {
+func (s *mboxShard) signalKey(b *rankBox, k waitKey) {
 	if q := b.waiters[k]; q != nil && q.n > 0 {
 		q.cond.Signal()
-		return true
 	}
-	return false
 }
 
 // deposit enqueues a message and reports whether it was accepted.
@@ -302,11 +304,12 @@ func (t *mboxTable) probe(owner, src, tag int) (mpi.Status, error) {
 			if q != nil {
 				s.deregister(b, k, q)
 			}
-			// The probe may have absorbed the deposit's single wakeup
-			// without consuming the message; chain it onward (routed by
-			// the envelope's real coordinates, since wake-one may need to
-			// reach a differently-selective waiter) so a sibling receive
-			// is not stranded with a deliverable message in the queue.
+			// The probe may have absorbed its queue's per-message Signal
+			// without consuming the message; chain the wakeup onward
+			// (routed by the envelope's real coordinates so every queue
+			// that matches it is re-signaled) so a sibling receive parked
+			// on the same selector is not stranded with a deliverable
+			// message in the box.
 			s.signalArrival(b, e.source, e.tag)
 			s.mu.Unlock()
 			return mpi.Status{Source: e.source, Tag: e.tag, Len: len(e.data)}, nil
@@ -338,8 +341,14 @@ func (t *mboxTable) pending(rank int) int {
 // wakeAll broadcasts every registered waiter so it re-checks its
 // liveness predicates. Only shards advertising waiters are locked, and
 // within a shard only the active wait queues are walked: the cost is
-// O(parked waiters), not O(world size). Returns the number of waiters
-// woken (the epoch-gate wakeup budget tests pin this).
+// O(parked waiters), not O(world size). Returns the number of
+// registered waiters notified — q.n counts a waiter from register to
+// deregister, so one that is momentarily awake re-scanning (not blocked
+// in Wait) is included even though the Broadcast does not unpark it.
+// The count is therefore an upper bound on goroutines actually woken;
+// it equals them exactly when every registered waiter is quiescently
+// parked, which is the regime the epoch-gate wakeup budget tests
+// arrange before asserting on it.
 func (t *mboxTable) wakeAll() int {
 	woken := 0
 	for i := range t.shards {

@@ -53,7 +53,11 @@ func TestEpochWakeupsBoundedByParkedWaiters(t *testing.T) {
 
 		// One kill: every parked waiter must be woken exactly once to
 		// observe the death — no more (no thundering rebroadcasts), no
-		// less (no stranded waiter), and no O(world) sweep.
+		// less (no stranded waiter), and no O(world) sweep. The counter
+		// tallies registered-waiters-notified, an upper bound on actual
+		// unparks; here the two coincide because no traffic is in flight,
+		// so every registered waiter is quiescently blocked in Wait when
+		// the broadcast lands (see wakeAll).
 		base := w.LivenessWakeups()
 		w.Kill(victim)
 		for i := 0; i < waiters; i++ {

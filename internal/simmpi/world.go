@@ -46,10 +46,11 @@ type World struct {
 	aborted     atomic.Bool
 	interrupted atomic.Bool
 
-	// livenessWakeups counts waiters woken by liveness broadcasts
-	// (Kill/Abort/Interrupt/Resume). The epoch-gate regression tests pin
-	// this to the number of parked waiters, proving transitions do not
-	// scale with world size.
+	// livenessWakeups counts registered waiters notified by liveness
+	// broadcasts (Kill/Abort/Interrupt/Resume) — an upper bound on
+	// goroutines unparked (see LivenessWakeups). The epoch-gate
+	// regression tests pin this to the number of parked waiters, proving
+	// transitions do not scale with world size.
 	livenessWakeups atomic.Uint64
 
 	// Telemetry. reg defaults to a fresh private registry; mpi.WithObs
@@ -242,10 +243,15 @@ func (w *World) ForEachLive(fn func(rank int)) { w.dead.forEachClear(fn) }
 // WithObs(nil)).
 func (w *World) Deaths() int { return int(w.met.kills.Value()) }
 
-// LivenessWakeups returns the cumulative number of waiters woken by
-// liveness broadcasts (Kill, Abort, Interrupt, Resume). Regression tests
-// use it to pin the wakeup cost of an epoch transition to the number of
-// parked waiters, independent of world size.
+// LivenessWakeups returns the cumulative number of registered waiters
+// notified by liveness broadcasts (Kill, Abort, Interrupt, Resume). A
+// waiter counts from register to deregister, so one that is awake
+// re-scanning when the broadcast lands is included even though no
+// goroutine is unparked for it: the value is an upper bound on actual
+// wakeups, exact when all waiters are quiescently parked. Regression
+// tests arrange that regime and use it to pin the wakeup cost of an
+// epoch transition to the number of parked waiters, independent of
+// world size.
 func (w *World) LivenessWakeups() uint64 { return w.livenessWakeups.Load() }
 
 // Obs returns the registry holding this world's runtime instruments
