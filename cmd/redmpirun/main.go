@@ -86,6 +86,10 @@ func run(args []string) error {
 
 		metricsF = fs.String("metrics", "", "write the job metrics snapshot as JSON to this file and print the rendered table")
 		traceF   = fs.String("trace", "", "write the structured event trace as JSONL to this file")
+		obsAddr  = fs.String("obs-addr", "", "serve live introspection (/metrics, /healthz, /ranks, /timeline) on this address for the run's duration")
+		flightF  = fs.String("flight", "", "write the flight recorder's black box as JSONL to this file at exit (success or failure)")
+		flightC  = fs.Int("flight-cap", obs.DefaultFlightCap, "per-rank flight-recorder ring capacity")
+		flightCk = fs.String("flight-clock", "logical", "flight-recorder clock: logical (deterministic) | mono (wall-time phase durations)")
 		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this address for the run's duration")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file at exit")
@@ -149,6 +153,24 @@ func run(args []string) error {
 		}
 		tracer = obs.NewTracer(traceFile)
 		cfg.Tracer = tracer
+	}
+	if *flightCk != "logical" && *flightCk != "mono" {
+		return fmt.Errorf("unknown -flight-clock %q (logical | mono)", *flightCk)
+	}
+	var rec *obs.Recorder
+	if *flightF != "" || *obsAddr != "" {
+		rec = obs.NewRecorder(*flightC, *flightCk == "mono")
+		cfg.Recorder = rec
+	}
+	if *obsAddr != "" {
+		srv := obs.NewServer(reg, rec)
+		cfg.RankView = srv.SetRankView
+		bound, serr := srv.Start(*obsAddr)
+		if serr != nil {
+			return serr
+		}
+		defer srv.Stop() //nolint:errcheck // best-effort teardown
+		fmt.Printf("introspection: http://%s/metrics\n", bound)
 	}
 	if *pprofA != "" || *cpuProf != "" || *memProf != "" {
 		stop, perr := obs.StartProfiling(obs.ProfileConfig{
@@ -220,6 +242,13 @@ func run(args []string) error {
 		}
 		fmt.Print(res.Metrics.Format())
 	}
+	// The black box dumps on both success and failure — a failed run is
+	// exactly when the forensic timeline matters.
+	if *flightF != "" {
+		if err := writeFlight(*flightF, rec); err != nil {
+			return err
+		}
+	}
 	if runErr != nil {
 		return runErr
 	}
@@ -227,6 +256,19 @@ func run(args []string) error {
 		fmt.Println("result:", describe(res.CompletedApps[0]))
 	}
 	return nil
+}
+
+// writeFlight dumps the flight recorder's retained records as JSONL.
+func writeFlight(path string, rec *obs.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteJSONL(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing flight dump: %w", err)
+	}
+	return f.Close()
 }
 
 // writeMetrics serialises the snapshot as indented JSON.

@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureDump is a hand-built logical-clock black box: two ranks, a
+// recovery episode tiled by its three phases on the virtual stream
+// (rank -1), transport points, and rework markers. Lines are grouped by
+// rank but deliberately not fully sorted — redreport must canonicalize.
+const fixtureDump = `{"seq":0,"kind":"send","rank":0,"sphere":-1,"step":7,"arg":1}
+{"seq":1,"kind":"send","rank":0,"sphere":-1,"step":7,"arg":1}
+{"seq":2,"kind":"restore","ev":"B","rank":0,"sphere":-1,"step":0,"arg":0}
+{"seq":3,"kind":"restore","ev":"E","rank":0,"sphere":-1,"step":0,"arg":0}
+{"seq":0,"kind":"dead","rank":1,"sphere":-1,"step":0,"arg":0}
+{"seq":1,"kind":"revive","rank":1,"sphere":-1,"step":0,"arg":0}
+{"seq":0,"kind":"kill","rank":-1,"sphere":0,"step":0,"arg":1}
+{"seq":1,"kind":"sphere_exhausted","rank":-1,"sphere":0,"step":0,"arg":1}
+{"seq":2,"kind":"recovery","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":3,"kind":"recovery_drain","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":4,"kind":"recovery_drain","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":5,"kind":"recovery_revive","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":6,"kind":"recovery_revive","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":7,"kind":"recovery_resume","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":8,"kind":"recovery_resume","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":9,"kind":"recovery","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":10,"kind":"recompute","rank":-1,"sphere":-1,"step":36,"arg":0}
+{"seq":11,"kind":"recompute","rank":-1,"sphere":-1,"step":37,"arg":0}
+`
+
+func writeFixture(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "box.jsonl")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReportRoundTripByteStable(t *testing.T) {
+	path := writeFixture(t, fixtureDump)
+	render := func() []byte {
+		var buf bytes.Buffer
+		if err := run([]string{path}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("report not byte-stable:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	out := string(a)
+	for _, want := range []string{
+		"18 records, 3 ranks, clock=logical",
+		"recovery", "recovery_drain",
+		"episode 0 (sphere 0): total=7 drain=1 revive=1 resume=1",
+		"sphere_exhausted",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Rework rollup: count and note (tabwriter pads with spaces).
+	if !regexp.MustCompile(`recompute\s+2\s+\(rework`).MatchString(out) {
+		t.Errorf("recompute rollup missing or wrong count:\n%s", out)
+	}
+	if strings.Contains(out, "unpaired") {
+		t.Errorf("fixture has no unpaired markers, report disagrees:\n%s", out)
+	}
+}
+
+func TestReportMonoDurations(t *testing.T) {
+	// The same episode with wall-clock stamps: 5ms total tiled 2+1+2ms.
+	mono := `{"seq":0,"ns":1000000,"kind":"recovery","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":1,"ns":1000000,"kind":"recovery_drain","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":2,"ns":3000000,"kind":"recovery_drain","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":3,"ns":3000000,"kind":"recovery_revive","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":4,"ns":4000000,"kind":"recovery_revive","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":5,"ns":4000000,"kind":"recovery_resume","ev":"B","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":6,"ns":6000000,"kind":"recovery_resume","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":7,"ns":6000000,"kind":"recovery","ev":"E","rank":-1,"sphere":0,"step":0,"arg":0}
+{"seq":8,"ns":500000,"kind":"sphere_exhausted","rank":-1,"sphere":0,"step":0,"arg":1}
+`
+	path := writeFixture(t, mono)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "clock=mono") {
+		t.Fatalf("mono dump not detected:\n%s", out)
+	}
+	if !strings.Contains(out, "total=5ms drain=2ms revive=1ms resume=2ms") {
+		t.Errorf("episode durations wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "detect=500µs") {
+		t.Errorf("detection latency missing:\n%s", out)
+	}
+}
+
+func TestPerfettoExportValidJSON(t *testing.T) {
+	path := writeFixture(t, fixtureDump)
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-perfetto", tracePath, path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &payload); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v", err)
+	}
+	if payload.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", payload.DisplayTimeUnit)
+	}
+	var complete, instant int
+	for _, ev := range payload.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			if ev.Name == "recovery" && ev.Dur != 7 {
+				t.Errorf("recovery span dur = %v, want 7 ordinal µs", ev.Dur)
+			}
+		case "i":
+			instant++
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	// 5 spans (restore + recovery + 3 phases), 8 point records.
+	if complete != 5 || instant != 8 {
+		t.Errorf("trace events = %d spans + %d instants, want 5 + 8", complete, instant)
+	}
+}
+
+func TestUnpairedMarkersReported(t *testing.T) {
+	// An E whose B was overwritten by the ring, and a B whose E never
+	// came (run died mid-phase).
+	dump := `{"seq":5,"kind":"restore","ev":"E","rank":0,"sphere":-1,"step":0,"arg":0}
+{"seq":6,"kind":"pipeline_drain","ev":"B","rank":0,"sphere":-1,"step":3,"arg":0}
+`
+	path := writeFixture(t, dump)
+	var buf bytes.Buffer
+	if err := run([]string{path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "unpaired span markers: 2") {
+		t.Errorf("unpaired markers not reported:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil, &bytes.Buffer{}); err == nil {
+		t.Error("no input files accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "missing.jsonl")}, &bytes.Buffer{}); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeFixture(t, "{not json}\n")
+	if err := run([]string{bad}, &bytes.Buffer{}); err == nil ||
+		!strings.Contains(err.Error(), ":1:") {
+		t.Errorf("malformed line error = %v, want line-numbered parse error", err)
+	}
+}

@@ -290,6 +290,8 @@ func (cl *Client) Drain() error {
 	if cl.cfg.Pipeline == nil {
 		return nil
 	}
+	sp := cl.cfg.Flight.StartSpan("pipeline_drain", cl.flightRank, -1, int(cl.gen))
+	defer sp.End()
 	if err := cl.drainLocal(); err != nil {
 		return err
 	}

@@ -57,6 +57,12 @@ type Config struct {
 	// the writer replica of each rank emits, so each virtual rank owns
 	// one deterministic event stream.
 	Trace *obs.Tracer
+	// Flight, when non-nil, receives fixed-size recovery-phase spans
+	// ("restore", "pipeline_drain"). The stream is the comm's physical
+	// rank when the comm exposes one (redundancy-wrapped endpoints), so
+	// a virtual rank's replicas never interleave on one stream; plain
+	// comms use their own rank.
+	Flight *obs.Recorder
 }
 
 // Client coordinates snapshots and restores for one rank (or one replica
@@ -85,7 +91,18 @@ type Client struct {
 	hasPending bool
 	wasWriter  bool
 
+	// flightRank is the black-box stream Restore/Drain spans land on:
+	// the physical rank for redundancy-wrapped comms, comm.Rank()
+	// otherwise.
+	flightRank int
+
 	met clientMetrics
+}
+
+// physicalRanker is the optional comm capability exposing the physical
+// rank beneath a virtual endpoint (redundancy.Comm implements it).
+type physicalRanker interface {
+	Physical() int
 }
 
 // clientMetrics holds the protocol's registry instruments (nil and
@@ -111,7 +128,10 @@ func NewClient(comm mpi.Comm, cfg Config) (*Client, error) {
 	if cfg.BookmarkRetries <= 0 {
 		cfg.BookmarkRetries = 3
 	}
-	cl := &Client{comm: comm, cfg: cfg}
+	cl := &Client{comm: comm, cfg: cfg, flightRank: comm.Rank()}
+	if pr, ok := comm.(physicalRanker); ok {
+		cl.flightRank = pr.Physical()
+	}
 	cl.met = clientMetrics{
 		attempted:    cfg.Obs.Counter("checkpoint_attempted_total"),
 		committed:    cfg.Obs.Counter("checkpoint_committed_total"),
@@ -350,6 +370,8 @@ func totalsEqualize(sentRows, recvRows [][]byte) (bool, error) {
 // Restore loads this rank's state from the newest committed generation.
 // ok is false when no checkpoint exists (fresh start).
 func (cl *Client) Restore() (state []byte, ok bool, err error) {
+	sp := cl.cfg.Flight.StartSpan("restore", cl.flightRank, -1, 0)
+	defer sp.End()
 	if cl.cfg.Pipeline != nil {
 		// Never race a background write against storage reads. Restore
 		// is not collective, so only the local wait happens here;

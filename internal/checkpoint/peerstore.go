@@ -73,6 +73,10 @@ type PeerStoreConfig struct {
 	Obs *obs.Registry
 	// Trace, when non-nil, receives partial-restart fetch events.
 	Trace *obs.Tracer
+	// Flight, when non-nil, receives a "peer_fetch" span per fetch on
+	// the fetching rank's black-box stream (sphere = virtual rank being
+	// fetched, step = generation).
+	Flight *obs.Recorder
 }
 
 // PeerStore keeps checkpoint images replicated in the memory of peer
@@ -508,6 +512,8 @@ func (pv *peerView) Read(gen uint64, rank int) ([]byte, error) {
 func (pv *peerView) fetch(gen uint64, rank int) ([]byte, error) {
 	ps := pv.ps
 	me := pv.comm.Rank()
+	sp := ps.cfg.Flight.StartSpan("peer_fetch", me, rank, int(gen))
+	defer sp.End()
 	backoff := ps.cfg.FetchBackoff
 	for round := 0; round < ps.cfg.FetchRetries; round++ {
 		if round > 0 {

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// flightSpan is a paired B/E interval reconstructed from the recorder.
+type flightSpan struct {
+	kind   string
+	rank   int
+	sphere int
+	step   int
+	nanos  int64 // E.Nanos - B.Nanos (mono dumps)
+}
+
+// pairFlightSpans mirrors redreport's pairing: per-(rank, kind) stacks
+// over the canonical (rank, seq) record order.
+func pairFlightSpans(t *testing.T, recs []obs.Record) []flightSpan {
+	t.Helper()
+	type key struct {
+		rank int32
+		kind string
+	}
+	open := map[key][]obs.Record{}
+	var out []flightSpan
+	for _, r := range recs {
+		k := key{r.Rank, r.Kind}
+		switch r.Ev {
+		case obs.EvBegin:
+			open[k] = append(open[k], r)
+		case obs.EvEnd:
+			stack := open[k]
+			if len(stack) == 0 {
+				t.Fatalf("span end without begin: %+v", r)
+			}
+			b := stack[len(stack)-1]
+			open[k] = stack[:len(stack)-1]
+			out = append(out, flightSpan{
+				kind: r.Kind, rank: int(r.Rank), sphere: int(b.Sphere),
+				step: int(b.Step), nanos: r.Nanos - b.Nanos,
+			})
+		}
+	}
+	return out
+}
+
+// TestFlightRecoveryTimeline is the PR's forensics acceptance test: a
+// deterministic sphere kill must leave a black box whose recovery span
+// tiles into drain/revive/resume phases summing to the episode's wall
+// time, alongside the kill, exhaustion, revive, and rework records that
+// explain it.
+func TestFlightRecoveryTimeline(t *testing.T) {
+	factory := cgFactory(t, 6, 60)
+	rec := obs.NewRecorder(8192, true) // mono: real durations; cap >> traffic
+	cfg := peerConfig(true)
+	cfg.Recorder = rec
+
+	res, err := Run(cfg, factory)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartialRestarts != 1 {
+		t.Fatalf("PartialRestarts = %d, want 1", res.PartialRestarts)
+	}
+
+	recs := rec.Records()
+	counts := map[string]int{}
+	for _, r := range recs {
+		if r.Ev == "" {
+			counts[r.Kind]++
+		}
+	}
+	if counts["kill"] != 2 || counts["dead"] != 2 {
+		t.Errorf("kill/dead records = %d/%d, want 2/2", counts["kill"], counts["dead"])
+	}
+	if counts["sphere_exhausted"] != 1 {
+		t.Errorf("sphere_exhausted records = %d, want 1", counts["sphere_exhausted"])
+	}
+	if counts["revive"] != 2 {
+		t.Errorf("revive records = %d, want 2", counts["revive"])
+	}
+	if int64(counts["recompute"]) != res.RecomputedSteps {
+		t.Errorf("recompute records = %d, want RecomputedSteps = %d",
+			counts["recompute"], res.RecomputedSteps)
+	}
+
+	spans := pairFlightSpans(t, recs)
+	var recovery, phaseSum int64
+	phases := map[string]int64{}
+	for _, sp := range spans {
+		switch sp.kind {
+		case "recovery":
+			recovery = sp.nanos
+		case "recovery_drain", "recovery_revive", "recovery_resume":
+			phases[sp.kind] += sp.nanos
+			phaseSum += sp.nanos
+		}
+	}
+	if recovery <= 0 {
+		t.Fatal("no recovery span recorded")
+	}
+	if len(phases) != 3 {
+		t.Fatalf("recovery phases = %v, want drain+revive+resume", phases)
+	}
+	// The children tile the parent: what is not in a child is only span
+	// bookkeeping and the usable-generation recheck. 5% of the episode
+	// (plus a scheduler-noise epsilon for very fast recoveries) is the
+	// budget the acceptance criterion sets.
+	gap := recovery - phaseSum
+	if gap < 0 {
+		gap = -gap
+	}
+	if budget := recovery/20 + int64(200*time.Microsecond); gap > budget {
+		t.Fatalf("recovery phases sum to %v of %v (gap %v > budget %v): %v",
+			time.Duration(phaseSum), time.Duration(recovery), time.Duration(gap),
+			time.Duration(budget), phases)
+	}
+
+	// The revived ranks fetched their image from a buddy: peer_fetch
+	// spans must appear on their streams.
+	var fetches int
+	for _, sp := range spans {
+		if sp.kind == "peer_fetch" {
+			fetches++
+		}
+	}
+	if fetches == 0 {
+		t.Error("no peer_fetch spans; revived ranks restored without the peer tier?")
+	}
+}
+
+// TestFlightDeterministicAcrossRuns pins the black-box determinism
+// contract: in logical-clock mode, two runs of the same seeded,
+// failure-free job dump byte-identical JSONL. (Failure injection runs
+// kill from the injector goroutine, whose records race the victim's own
+// send stream — determinism is promised for failure-free jobs, which is
+// what the contract in Recorder.WriteJSONL documents.)
+func TestFlightDeterministicAcrossRuns(t *testing.T) {
+	factory := cgFactory(t, 6, 40)
+	dump := func() []byte {
+		rec := obs.NewRecorder(1<<14, false)
+		cfg := Config{
+			Ranks:          4,
+			Degree:         2,
+			StepInterval:   5,
+			Seed:           7,
+			AttemptTimeout: time.Minute,
+			Recorder:       rec,
+		}
+		res, err := Run(cfg, factory)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Completed {
+			t.Fatal("job did not complete")
+		}
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("black boxes differ between identical runs (%d vs %d bytes)", len(a), len(b))
+	}
+	if len(a) == 0 {
+		t.Fatal("empty black box")
+	}
+}

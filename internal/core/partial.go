@@ -36,15 +36,17 @@ type stepAccounting struct {
 	hwm        []atomic.Int64
 	observed   *obs.Gauge // runner_steps_observed
 	recomputed *obs.Gauge // runner_recomputed_steps
+	flight     *obs.Recorder
 	kills      []StepKill
 	fired      []atomic.Bool
 }
 
-func newStepAccounting(nVirtual int, kills []StepKill, reg *obs.Registry) *stepAccounting {
+func newStepAccounting(nVirtual int, kills []StepKill, reg *obs.Registry, flight *obs.Recorder) *stepAccounting {
 	return &stepAccounting{
 		hwm:        make([]atomic.Int64, nVirtual),
 		observed:   reg.Gauge("runner_steps_observed"),
 		recomputed: reg.Gauge("runner_recomputed_steps"),
+		flight:     flight,
 		kills:      kills,
 		fired:      make([]atomic.Bool, len(kills)),
 	}
@@ -57,6 +59,9 @@ func (a *stepAccounting) note(v, step int) {
 		cur := a.hwm[v].Load()
 		if int64(step) <= cur {
 			a.recomputed.Add(1)
+			// Rework, observed directly: redreport counts these records
+			// to attribute lost-and-redone steps to each recovery.
+			a.flight.Emit("recompute", v, -1, step, 0)
 			return
 		}
 		if a.hwm[v].CompareAndSwap(cur, int64(step)) {
@@ -258,6 +263,7 @@ func (g *partialGate) runEpoch(p int) epochResult {
 		Storage: g.store,
 		Obs:     g.jobReg,
 		Trace:   g.cfg.Tracer,
+		Flight:  g.cfg.Recorder,
 	}
 	if g.peer != nil {
 		// Every replica stashes into its own memory shard, so survivors
@@ -462,6 +468,15 @@ func (g *partialGate) tryRecover(sphere int) bool {
 		return false
 	}
 
+	// The recovery span tiles into drain/revive/resume children, so a
+	// timeline reader can attribute the episode's wall time to its
+	// phases (the children sum to the parent, minus span bookkeeping).
+	rec := g.cfg.Recorder
+	episode := g.partialRestarts
+	sp := rec.StartSpan("recovery", -1, sphere, episode)
+	defer sp.End()
+
+	drain := rec.StartSpan("recovery_drain", -1, sphere, episode)
 	g.mu.Lock()
 	g.interrupting = true
 	g.mu.Unlock()
@@ -472,6 +487,7 @@ func (g *partialGate) tryRecover(sphere int) bool {
 	}
 	g.mu.Unlock()
 	g.serverWG.Wait()
+	drain.End()
 
 	// Re-check under quiesced state: more deaths may have landed while
 	// draining, and they may have taken the last holder with them.
@@ -481,6 +497,7 @@ func (g *partialGate) tryRecover(sphere int) bool {
 		return false // caller aborts; parked drivers wake and exit
 	}
 
+	revSpan := rec.StartSpan("recovery_revive", -1, sphere, episode)
 	var revived []int
 	// The world is quiesced (interrupted, injector stopped between kills),
 	// so the dead-rank sweep is an exact snapshot — and it costs
@@ -495,6 +512,9 @@ func (g *partialGate) tryRecover(sphere int) bool {
 	for _, p := range revived {
 		g.world.Revive(p)
 	}
+	revSpan.End()
+
+	resume := rec.StartSpan("recovery_resume", -1, sphere, episode)
 	g.inj.Rearm()
 	g.world.Resume()
 	g.startServers()
@@ -516,6 +536,7 @@ func (g *partialGate) tryRecover(sphere int) bool {
 	}
 	g.mu.Unlock()
 	close(old)
+	resume.End()
 
 	g.partials.Inc()
 	g.cfg.Tracer.Emit("partial_restart", -1, sphere, int(gen), map[string]any{

@@ -124,6 +124,16 @@ type Config struct {
 	// the checkpoint protocol, and the failure injector. Nil (the
 	// default) is the no-op tracer.
 	Tracer *obs.Tracer
+	// Recorder, when non-nil, is the bounded flight recorder threaded
+	// through every layer: the transport (sends, drops, liveness), the
+	// failure injector (kills, sphere exhaustion), the checkpoint tier
+	// (restore, drain, peer-fetch spans), and the runner's own recovery
+	// spans. Nil (the default) disables flight recording entirely.
+	Recorder *obs.Recorder
+	// RankView, when non-nil, is called once per attempt with the fresh
+	// world's liveness view — the hook the introspection server's
+	// /ranks endpoint uses to track the current attempt.
+	RankView func(obs.RankView)
 }
 
 // Validate checks the configuration.
@@ -306,7 +316,7 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 	}
 	// Step accounting spans the whole Run: the high-water marks survive
 	// restarts so that recomputation after a full restart counts too.
-	acct := newStepAccounting(rankMap.VirtualSize(), cfg.StepKills, jobReg)
+	acct := newStepAccounting(rankMap.VirtualSize(), cfg.StepKills, jobReg, cfg.Recorder)
 
 	res := Result{PhysicalRanks: rankMap.PhysicalSize()}
 	start := time.Now()
@@ -319,8 +329,10 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 			rm.restarts.Inc()
 		}
 		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
+		attemptSpan := cfg.Recorder.StartSpan("attempt", -1, -1, attempt)
 		at, apps, redStats, worldSnap, appErr := runAttempt(
 			cfg, rankMap, store, pipe, stream.Split(), timeout, attempt, jobReg, acct, factory)
+		attemptSpan.End()
 		at.Index = attempt
 		res.Attempts = append(res.Attempts, at)
 		res.TotalFailures += at.Failures
@@ -410,9 +422,15 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 	if cfg.SendDelay > 0 {
 		worldOpts = append(worldOpts, mpi.WithSendDelay(cfg.SendDelay))
 	}
+	if cfg.Recorder != nil {
+		worldOpts = append(worldOpts, mpi.WithFlight(cfg.Recorder))
+	}
 	world, err := simmpi.NewWorld(rankMap.PhysicalSize(), worldOpts...)
 	if err != nil {
 		return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
+	}
+	if cfg.RankView != nil {
+		cfg.RankView(world)
 	}
 
 	spheres := make([][]int, rankMap.VirtualSize())
@@ -441,6 +459,7 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 			Schedule: schedule,
 			Obs:      jobReg,
 			Trace:    cfg.Tracer,
+			Flight:   cfg.Recorder,
 		})
 		if err != nil {
 			return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
@@ -463,6 +482,7 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 			Live:        world,
 			Obs:         jobReg,
 			Trace:       cfg.Tracer,
+			Flight:      cfg.Recorder,
 		})
 		if err != nil {
 			return at, nil, redundancy.Stats{}, obs.Snapshot{}, err

@@ -54,6 +54,11 @@ type Config struct {
 	// Trace, when non-nil, receives one "kill" event per injection
 	// (rank = physical rank, sphere = its replica sphere).
 	Trace *obs.Tracer
+	// Flight, when non-nil, receives one fixed-size "kill" record per
+	// injection (arg = kill ordinal) and a "sphere_exhausted" record when
+	// a kill empties a replica sphere — the black-box view of why a
+	// recovery started.
+	Flight *obs.Recorder
 }
 
 // Injector drives one job attempt's failures.
@@ -250,6 +255,7 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 	inj.target.Kill(rank)
 	inj.mu.Lock()
 	inj.log = append(inj.log, Kill{Rank: rank, After: at})
+	ordinal := int64(len(inj.log))
 	var exhausted = -1
 	sphere := -1
 	if rank < len(inj.sphereOf) && !bitGet(inj.deadWords, rank) {
@@ -280,7 +286,11 @@ func (inj *Injector) kill(rank int, at time.Duration) {
 	inj.cfg.Trace.Emit("kill", rank, sphere, 0, map[string]any{
 		"after_ms": at.Milliseconds(),
 	})
+	// Arg carries the kill ordinal (1-based), never wall time, so
+	// deterministic-mode dumps stay byte-stable.
+	inj.cfg.Flight.Emit("kill", rank, sphere, 0, ordinal)
 	if exhausted >= 0 {
+		inj.cfg.Flight.Emit("sphere_exhausted", rank, exhausted, 0, ordinal)
 		select {
 		case inj.jobFailed <- exhausted:
 		default:

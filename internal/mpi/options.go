@@ -45,6 +45,10 @@ type Options struct {
 	// NoPooling disables the transport's buffer arena: every payload is
 	// a fresh allocation and Release is a no-op. Debug/baseline knob.
 	NoPooling bool
+	// Flight is the bounded flight recorder receiving the transport's
+	// forensic records (sends, drops, liveness transitions); nil
+	// disables flight recording.
+	Flight *obs.Recorder
 }
 
 // Option configures a communicator constructor.
@@ -106,4 +110,13 @@ func WithObs(reg *obs.Registry) Option {
 // pooled path is judged against.
 func WithoutPooling() Option {
 	return func(o *Options) { o.NoPooling = true }
+}
+
+// WithFlight attaches a bounded flight recorder to the transport: every
+// send, drop, and liveness transition (kill, abort, interrupt, revive,
+// resume) leaves a fixed-size record in the per-rank ring, the black
+// box a post-mortem reads. Nil (the default) disables recording; the
+// hot-path cost is then a single nil check.
+func WithFlight(rec *obs.Recorder) Option {
+	return func(o *Options) { o.Flight = rec }
 }

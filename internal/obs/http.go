@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+)
+
+// RankView is the liveness surface /ranks exposes; *simmpi.World
+// implements it. The view is attached per attempt (worlds are torn down
+// and rebuilt across restarts), so the server holds it through an
+// atomic swap rather than at construction.
+type RankView interface {
+	Size() int
+	AliveCount() int
+	ForEachDead(fn func(rank int))
+}
+
+// Server is the live introspection endpoint of a running job:
+//
+//	/metrics  — the Registry snapshot in Prometheus text format 0.0.4
+//	/healthz  — liveness probe ("ok")
+//	/ranks    — the world's liveness bitset as JSON (size, alive, dead ranks)
+//	/timeline — the flight recorder's recent records as JSON
+//
+// Registry and Recorder may each be nil; the matching endpoints then
+// serve empty-but-well-formed responses, so a caller can wire up
+// whichever subset of telemetry it enabled.
+type Server struct {
+	reg   *Registry
+	rec   *Recorder
+	ranks atomic.Pointer[rankViewBox]
+	srv   *http.Server
+	ln    net.Listener
+}
+
+type rankViewBox struct{ v RankView }
+
+// NewServer creates an introspection server over the given registry and
+// recorder (either may be nil).
+func NewServer(reg *Registry, rec *Recorder) *Server {
+	return &Server{reg: reg, rec: rec}
+}
+
+// SetRankView attaches (or replaces) the liveness view behind /ranks.
+// Safe to call concurrently with request handling; the orchestrator
+// calls it once per attempt with the fresh world.
+func (s *Server) SetRankView(v RankView) {
+	s.ranks.Store(&rankViewBox{v: v})
+}
+
+// Handler returns the HTTP handler serving the four endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.Snapshot().WritePrometheus(w); err != nil {
+			// Headers are gone; nothing useful left to do but note it.
+			return
+		}
+	})
+	mux.HandleFunc("/ranks", func(w http.ResponseWriter, _ *http.Request) {
+		reply := ranksReply{Dead: []int{}}
+		if box := s.ranks.Load(); box != nil && box.v != nil {
+			reply.Size = box.v.Size()
+			reply.Alive = box.v.AliveCount()
+			box.v.ForEachDead(func(rank int) {
+				reply.Dead = append(reply.Dead, rank)
+			})
+		}
+		writeJSON(w, reply)
+	})
+	mux.HandleFunc("/timeline", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		reply := timelineReply{Clock: "none", Records: []Record{}}
+		if s.rec != nil {
+			reply.Clock = "logical"
+			if s.rec.Mono() {
+				reply.Clock = "mono"
+			}
+			reply.Dropped = s.rec.Dropped()
+			reply.Records = s.rec.Tail(n)
+		}
+		writeJSON(w, reply)
+	})
+	return mux
+}
+
+// ranksReply is the /ranks JSON shape.
+type ranksReply struct {
+	Size  int   `json:"size"`
+	Alive int   `json:"alive"`
+	Dead  []int `json:"dead"`
+}
+
+// timelineReply is the /timeline JSON shape.
+type timelineReply struct {
+	Clock   string   `json:"clock"`
+	Dropped uint64   `json:"dropped"`
+	Records []Record `json:"records"`
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	data, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(append(data, '\n'))
+}
+
+// Start binds addr and serves in the background, returning the bound
+// address (useful with a ":0" port). Stop shuts the listener down.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Stop
+	return ln.Addr().String(), nil
+}
+
+// Stop closes the server started by Start. Safe when Start never ran.
+func (s *Server) Stop() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

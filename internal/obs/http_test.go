@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+type fakeRankView struct {
+	size int
+	dead []int
+}
+
+func (v fakeRankView) Size() int       { return v.size }
+func (v fakeRankView) AliveCount() int { return v.size - len(v.dead) }
+func (v fakeRankView) ForEachDead(fn func(rank int)) {
+	for _, r := range v.dead {
+		fn(r)
+	}
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runner_attempts_total").Inc()
+	rec := NewRecorder(16, false)
+	rec.Emit("kill", 3, 1, 0, 1)
+	srv := NewServer(reg, rec)
+	srv.SetRankView(fakeRankView{size: 8, dead: []int{3, 5}})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := get(t, ts, "/healthz")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz: %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = get(t, ts, "/metrics")
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("/metrics Content-Type = %q, want text format 0.0.4", ct)
+	}
+	if !strings.Contains(body, "runner_attempts_total 1") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	_, body = get(t, ts, "/ranks")
+	var ranks struct {
+		Size  int   `json:"size"`
+		Alive int   `json:"alive"`
+		Dead  []int `json:"dead"`
+	}
+	if err := json.Unmarshal([]byte(body), &ranks); err != nil {
+		t.Fatalf("/ranks not JSON: %v\n%s", err, body)
+	}
+	if ranks.Size != 8 || ranks.Alive != 6 || len(ranks.Dead) != 2 {
+		t.Fatalf("/ranks = %+v", ranks)
+	}
+
+	_, body = get(t, ts, "/timeline?n=5")
+	var tl struct {
+		Clock   string   `json:"clock"`
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal([]byte(body), &tl); err != nil {
+		t.Fatalf("/timeline not JSON: %v\n%s", err, body)
+	}
+	if tl.Clock != "logical" || len(tl.Records) != 1 || tl.Records[0].Kind != "kill" {
+		t.Fatalf("/timeline = %+v", tl)
+	}
+}
+
+func TestServerNilTelemetry(t *testing.T) {
+	ts := httptest.NewServer(NewServer(nil, nil).Handler())
+	defer ts.Close()
+	resp, body := get(t, ts, "/metrics")
+	if resp.StatusCode != http.StatusOK || body != "" {
+		t.Fatalf("/metrics on nil registry: %d %q", resp.StatusCode, body)
+	}
+	_, body = get(t, ts, "/ranks")
+	if strings.TrimSpace(body) != `{"size":0,"alive":0,"dead":[]}` {
+		t.Fatalf("/ranks on nil view: %q", body)
+	}
+	_, body = get(t, ts, "/timeline")
+	if !strings.Contains(body, `"clock":"none"`) {
+		t.Fatalf("/timeline on nil recorder: %q", body)
+	}
+}
+
+func TestServerStartStop(t *testing.T) {
+	srv := NewServer(NewRegistry(), nil)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+	if err := srv.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(fmt.Sprintf("http://%s/healthz", addr)); err == nil {
+		t.Fatal("server still serving after Stop")
+	}
+	if err := (&Server{}).Stop(); err != nil {
+		t.Fatalf("Stop without Start: %v", err)
+	}
+}

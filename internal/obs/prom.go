@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in Prometheus text exposition
+// format 0.0.4: counters and gauges as single samples, histograms as
+// cumulative le-labelled buckets plus _sum and _count. Instruments come
+// out sorted by name (Snapshot already guarantees that), so the
+// exposition of a deterministic run is byte-stable — the golden test
+// pins it.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	for _, c := range s.Counters {
+		name := promName(c.Name)
+		b.WriteString("# TYPE " + name + " counter\n")
+		b.WriteString(name + " " + strconv.FormatUint(c.Value, 10) + "\n")
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		b.WriteString("# TYPE " + name + " gauge\n")
+		b.WriteString(name + " " + strconv.FormatInt(g.Value, 10) + "\n")
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name)
+		b.WriteString("# TYPE " + name + " histogram\n")
+		var cum uint64
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatPromFloat(h.Bounds[i])
+			}
+			b.WriteString(name + `_bucket{le="` + le + `"} ` + strconv.FormatUint(cum, 10) + "\n")
+		}
+		b.WriteString(name + "_sum " + formatPromFloat(h.Sum) + "\n")
+		b.WriteString(name + "_count " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// formatPromFloat renders a float the way Prometheus clients do:
+// shortest representation that round-trips.
+func formatPromFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName sanitizes a metric name to the Prometheus charset
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are already conforming; this
+// guards names built from user input (labels folded into names, app
+// identifiers).
+func promName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			if b == nil {
+				b = []byte(name)
+			}
+			b[i] = '_'
+		}
+	}
+	if b != nil {
+		return string(b)
+	}
+	return name
+}

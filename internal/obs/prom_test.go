@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func promSnapshot(t *testing.T) Snapshot {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("simmpi_sends_total").Add(42)
+	reg.Gauge("simmpi_mailbox_depth_hwm").Set(7)
+	h := reg.Histogram("runner_attempt_ms", []float64{1, 4, 16})
+	for _, v := range []float64{0.5, 2, 2, 8, 100} {
+		h.Observe(v)
+	}
+	return reg.Snapshot()
+}
+
+func TestWritePrometheusGolden(t *testing.T) {
+	var b strings.Builder
+	if err := promSnapshot(t).WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE simmpi_sends_total counter
+simmpi_sends_total 42
+# TYPE simmpi_mailbox_depth_hwm gauge
+simmpi_mailbox_depth_hwm 7
+# TYPE runner_attempt_ms histogram
+runner_attempt_ms_bucket{le="1"} 1
+runner_attempt_ms_bucket{le="4"} 3
+runner_attempt_ms_bucket{le="16"} 4
+runner_attempt_ms_bucket{le="+Inf"} 5
+runner_attempt_ms_sum 112.5
+runner_attempt_ms_count 5
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	snap := promSnapshot(t)
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two expositions of one snapshot differ")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"simmpi_sends_total", "simmpi_sends_total"},
+		{"metric:sub", "metric:sub"},
+		{"bad-name.with spaces", "bad_name_with_spaces"},
+		{"9leading", "_leading"},
+		{"", "_"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSnapshotHistogramAccessor(t *testing.T) {
+	snap := promSnapshot(t)
+	hv, ok := snap.Histogram("runner_attempt_ms")
+	if !ok {
+		t.Fatal("Histogram() did not find runner_attempt_ms")
+	}
+	if hv.Count() != 5 {
+		t.Fatalf("Count() = %d, want 5", hv.Count())
+	}
+	if _, ok := snap.Histogram("nope"); ok {
+		t.Fatal("Histogram() found a histogram that does not exist")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	hv := HistogramValue{Bounds: []float64{1, 4, 16}, Counts: []uint64{1, 2, 1, 1}}
+	// p50: target 2.5 of 5 lands in the (1,4] bucket (cum 1→3):
+	// 1 + 3*(2.5-1)/2 = 3.25.
+	if got := hv.Quantile(0.5); math.Abs(got-3.25) > 1e-9 {
+		t.Fatalf("p50 = %g, want 3.25", got)
+	}
+	// p99 lands in +Inf: clamp to the highest finite bound.
+	if got := hv.Quantile(0.99); got != 16 {
+		t.Fatalf("p99 = %g, want 16 (clamped)", got)
+	}
+	if got := (HistogramValue{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %g, want NaN", got)
+	}
+}
+
+func TestSnapshotFilterPreservesAllFamilies(t *testing.T) {
+	snap := promSnapshot(t)
+	all := snap.Filter(func(string) bool { return true })
+	if len(all.Counters) != 1 || len(all.Gauges) != 1 || len(all.Histograms) != 1 {
+		t.Fatalf("Filter(keep-all) dropped instruments: %d/%d/%d",
+			len(all.Counters), len(all.Gauges), len(all.Histograms))
+	}
+	none := snap.Filter(func(name string) bool { return strings.HasPrefix(name, "runner_") })
+	if len(none.Counters) != 0 || len(none.Gauges) != 0 || len(none.Histograms) != 1 {
+		t.Fatalf("Filter(runner_) kept the wrong set: %d/%d/%d",
+			len(none.Counters), len(none.Gauges), len(none.Histograms))
+	}
+}
+
+func TestFilterCountersStillStrips(t *testing.T) {
+	// The redmpirun golden-metrics test depends on FilterCounters
+	// producing a counters-only snapshot; the generalization must not
+	// have changed that.
+	out := promSnapshot(t).FilterCounters(func(string) bool { return true })
+	if len(out.Counters) != 1 || out.Gauges != nil || out.Histograms != nil {
+		t.Fatalf("FilterCounters no longer counters-only: %d/%v/%v",
+			len(out.Counters), out.Gauges, out.Histograms)
+	}
+}
+
+func TestFormatRendersQuantiles(t *testing.T) {
+	text := promSnapshot(t).Format()
+	for _, want := range []string{"p50=", "p90=", "p99="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// BenchmarkPromExposition is the /metrics render cost: a scrape-sized
+// registry (a few dozen families of each kind) written to the 0.0.4
+// text format. Gated by benchgate on allocs/op.
+func BenchmarkPromExposition(b *testing.B) {
+	reg := NewRegistry()
+	for i := 0; i < 24; i++ {
+		reg.Counter(fmt.Sprintf("bench_counter_%02d_total", i)).Add(uint64(i) * 17)
+		reg.Gauge(fmt.Sprintf("bench_gauge_%02d", i)).Set(int64(i))
+		h := reg.Histogram(fmt.Sprintf("bench_hist_%02d_ms", i), MillisBuckets)
+		for v := 0.25; v < 5000; v *= 3 {
+			h.Observe(v)
+		}
+	}
+	snap := reg.Snapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := snap.WritePrometheus(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestRecorderNilIsNoOp(t *testing.T) {
+	var r *Recorder
+	r.Emit("send", 1, -1, 0, 2)
+	sp := r.StartSpan("restore", 1, -1, 0)
+	sp.End()
+	if got := r.Records(); got != nil {
+		t.Fatalf("nil recorder Records() = %v, want nil", got)
+	}
+	if got := r.Tail(10); got != nil {
+		t.Fatalf("nil recorder Tail() = %v, want nil", got)
+	}
+	if r.Dropped() != 0 || r.Cap() != 0 || r.Mono() {
+		t.Fatalf("nil recorder accessors: dropped=%d cap=%d mono=%v", r.Dropped(), r.Cap(), r.Mono())
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil recorder WriteJSONL: err=%v len=%d", err, buf.Len())
+	}
+}
+
+func TestRecorderBoundedMemory(t *testing.T) {
+	const cap, emits = 64, 64 * 10
+	r := NewRecorder(cap, false)
+	for i := 0; i < emits; i++ {
+		r.Emit("send", 3, -1, i, 0)
+	}
+	recs := r.Records()
+	if len(recs) != cap {
+		t.Fatalf("retained %d records, want ring cap %d", len(recs), cap)
+	}
+	if got, want := r.Dropped(), uint64(emits-cap); got != want {
+		t.Fatalf("Dropped() = %d, want %d", got, want)
+	}
+	// The retained window is the most recent cap emissions, in seq order.
+	for i, rec := range recs {
+		if want := uint64(emits - cap + i); rec.Seq != want {
+			t.Fatalf("record %d: seq %d, want %d", i, rec.Seq, want)
+		}
+	}
+}
+
+func TestRecorderDefaultCap(t *testing.T) {
+	if got := NewRecorder(0, false).Cap(); got != DefaultFlightCap {
+		t.Fatalf("default cap = %d, want %d", got, DefaultFlightCap)
+	}
+}
+
+func TestRecorderRecordsCanonicalOrder(t *testing.T) {
+	r := NewRecorder(16, false)
+	// Ranks -1 and 63 share stripe 63; interleave them with others.
+	for _, rank := range []int{63, -1, 0, 5, -1, 63, 0} {
+		r.Emit("send", rank, -1, 0, 0)
+	}
+	recs := r.Records()
+	if len(recs) != 7 {
+		t.Fatalf("retained %d records, want 7", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
+		if a.Rank > b.Rank || (a.Rank == b.Rank && a.Seq >= b.Seq) {
+			t.Fatalf("records out of (rank, seq) order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	// Per-rank logical clocks are independent even on a shared stripe.
+	if recs[0].Rank != -1 || recs[0].Seq != 0 || recs[1].Rank != -1 || recs[1].Seq != 1 {
+		t.Fatalf("rank -1 stream mis-clocked: %+v %+v", recs[0], recs[1])
+	}
+}
+
+func TestRecorderSpans(t *testing.T) {
+	r := NewRecorder(16, false)
+	sp := r.StartSpan("recovery", -1, 2, 0)
+	r.Emit("kill", -1, 2, 0, 1)
+	sp.End()
+	recs := r.Records()
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[0].Ev != EvBegin || recs[2].Ev != EvEnd || recs[1].Ev != "" {
+		t.Fatalf("span markers wrong: %q %q %q", recs[0].Ev, recs[1].Ev, recs[2].Ev)
+	}
+	if recs[0].Nanos != 0 || recs[2].Arg != 0 {
+		t.Fatalf("deterministic mode leaked wall time: ns=%d arg=%d", recs[0].Nanos, recs[2].Arg)
+	}
+}
+
+func TestRecorderMonoClock(t *testing.T) {
+	r := NewRecorder(16, true)
+	if !r.Mono() {
+		t.Fatal("Mono() = false")
+	}
+	sp := r.StartSpan("restore", 1, -1, 0)
+	sp.End()
+	recs := r.Records()
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	if recs[1].Nanos < recs[0].Nanos {
+		t.Fatalf("mono clock went backwards: %d then %d", recs[0].Nanos, recs[1].Nanos)
+	}
+	if dur := recs[1].Arg; dur < 0 || dur > recs[1].Nanos {
+		t.Fatalf("span end Arg (duration) = %d, end ns = %d", dur, recs[1].Nanos)
+	}
+}
+
+func TestRecorderDeterministicDump(t *testing.T) {
+	dump := func() []byte {
+		r := NewRecorder(32, false)
+		for rank := 0; rank < 8; rank++ {
+			sp := r.StartSpan("restore", rank, -1, 0)
+			for i := 0; i < 40; i++ { // overflow the ring too
+				r.Emit("send", rank, -1, i, int64(rank+1))
+			}
+			sp.End()
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := dump(), dump()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("deterministic dumps differ:\n%s\n----\n%s", a, b)
+	}
+}
+
+// TestRecorderConcurrentEmit hammers Emit from many goroutines (colliding
+// on stripes) while readers snapshot — the race detector is the real
+// assertion; the count check proves no emission was lost.
+func TestRecorderConcurrentEmit(t *testing.T) {
+	const goroutines, emits = 32, 500
+	r := NewRecorder(128, true)
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			r.Records()
+			r.Tail(16)
+			r.Dropped()
+			r.WriteJSONL(&bytes.Buffer{}) //nolint:errcheck
+		}
+	}()
+	var writers sync.WaitGroup
+	writers.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(rank int) {
+			defer writers.Done()
+			for i := 0; i < emits; i++ {
+				r.Emit("send", rank, -1, i, 0)
+				if i%100 == 0 {
+					sp := r.StartSpan("restore", rank, -1, i)
+					sp.End()
+				}
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	total := uint64(len(r.Records())) + r.Dropped()
+	want := uint64(goroutines * (emits + 2*(emits/100)))
+	if total != want {
+		t.Fatalf("retained+dropped = %d, want %d emissions", total, want)
+	}
+}
+
+func TestRecorderEmitZeroAllocs(t *testing.T) {
+	r := NewRecorder(64, false)
+	r.Emit("send", 7, -1, 0, 0) // materialize the ring
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Emit("send", 7, -1, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+func TestRecorderTail(t *testing.T) {
+	r := NewRecorder(16, false)
+	for i := 0; i < 5; i++ {
+		r.Emit("send", 1, -1, i, 0)
+	}
+	if got := len(r.Tail(3)); got != 3 {
+		t.Fatalf("Tail(3) returned %d records", got)
+	}
+	if got := len(r.Tail(100)); got != 5 {
+		t.Fatalf("Tail(100) returned %d records, want all 5", got)
+	}
+}
+
+func BenchmarkRecorderEmit(b *testing.B) {
+	r := NewRecorder(DefaultFlightCap, false)
+	r.Emit("send", 1, -1, 0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("send", 1, -1, i, 2)
+	}
+}
+
+func BenchmarkRecorderEmitParallel(b *testing.B) {
+	r := NewRecorder(DefaultFlightCap, false)
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		rank := 0
+		for pb.Next() {
+			r.Emit("send", rank, -1, 0, 2)
+			rank++
+		}
+	})
+}

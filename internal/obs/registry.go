@@ -326,16 +326,95 @@ func (s Snapshot) Gauge(name string) int64 {
 	return 0
 }
 
-// FilterCounters returns a copy of the snapshot keeping only counters
-// accepted by keep, with gauges and histograms stripped — used by golden
-// tests to pin the deterministic subset of a run's metrics.
-func (s Snapshot) FilterCounters(keep func(name string) bool) Snapshot {
+// Histogram returns the named histogram reading from the snapshot; ok
+// is false when absent (the zero HistogramValue is returned).
+func (s Snapshot) Histogram(name string) (hv HistogramValue, ok bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Count returns the total number of observations in the reading.
+func (hv HistogramValue) Count() uint64 {
+	var n uint64
+	for _, c := range hv.Counts {
+		n += c
+	}
+	return n
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket counts
+// by linear interpolation inside the winning bucket, the same estimator
+// Prometheus' histogram_quantile uses: the first bucket interpolates
+// from zero, and a quantile landing in the +Inf bucket reports the
+// highest finite bound (the estimate cannot exceed observed resolution).
+// NaN when the histogram is empty.
+func (hv HistogramValue) Quantile(q float64) float64 {
+	total := hv.Count()
+	if total == 0 || len(hv.Counts) == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	var cum uint64
+	for i, c := range hv.Counts {
+		cum += c
+		if float64(cum) < target {
+			continue
+		}
+		if i >= len(hv.Bounds) {
+			// +Inf bucket: no upper edge to interpolate toward.
+			if len(hv.Bounds) == 0 {
+				return math.NaN()
+			}
+			return hv.Bounds[len(hv.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = hv.Bounds[i-1]
+		}
+		hi := hv.Bounds[i]
+		inBucket := float64(c)
+		if inBucket == 0 {
+			return hi
+		}
+		before := float64(cum) - inBucket
+		return lo + (hi-lo)*(target-before)/inBucket
+	}
+	return hv.Bounds[len(hv.Bounds)-1]
+}
+
+// Filter returns a copy of the snapshot keeping only the instruments —
+// counters, gauges, and histograms alike — whose name keep accepts.
+func (s Snapshot) Filter(keep func(name string) bool) Snapshot {
 	var out Snapshot
 	for _, c := range s.Counters {
 		if keep(c.Name) {
 			out.Counters = append(out.Counters, c)
 		}
 	}
+	for _, g := range s.Gauges {
+		if keep(g.Name) {
+			out.Gauges = append(out.Gauges, g)
+		}
+	}
+	for _, h := range s.Histograms {
+		if keep(h.Name) {
+			out.Histograms = append(out.Histograms, h)
+		}
+	}
+	return out
+}
+
+// FilterCounters is the counters-only projection of Filter: gauges and
+// histograms are stripped (they carry wall-time readings, which golden
+// tests that pin the deterministic counter subset must exclude). Use
+// Filter to keep all three instrument families.
+func (s Snapshot) FilterCounters(keep func(name string) bool) Snapshot {
+	out := s.Filter(keep)
+	out.Gauges, out.Histograms = nil, nil
 	return out
 }
 
@@ -373,11 +452,13 @@ func (s Snapshot) Format() string {
 	if len(s.Histograms) > 0 {
 		b.WriteString("histograms:\n")
 		for _, h := range s.Histograms {
-			var n uint64
-			for _, c := range h.Counts {
-				n += c
+			n := h.Count()
+			fmt.Fprintf(&b, "  %-*s count=%d sum=%.3f", width, h.Name, n, h.Sum)
+			if n > 0 {
+				fmt.Fprintf(&b, " p50=%g p90=%g p99=%g",
+					h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99))
 			}
-			fmt.Fprintf(&b, "  %-*s count=%d sum=%.3f\n", width, h.Name, n, h.Sum)
+			b.WriteByte('\n')
 			for i, c := range h.Counts {
 				if c == 0 {
 					continue

@@ -236,6 +236,11 @@ func (c *Comm) Size() int { return c.m.VirtualSize() }
 // ReplicaIndex returns this endpoint's index within its sphere.
 func (c *Comm) ReplicaIndex() int { return c.me.Index }
 
+// Physical returns the underlying physical rank. Layers that key
+// telemetry streams by physical rank (the flight recorder) use this to
+// keep a virtual rank's replicas on distinct streams.
+func (c *Comm) Physical() int { return c.phys.Rank() }
+
 // Map returns the rank map in use.
 func (c *Comm) Map() *RankMap { return c.m }
 

@@ -106,7 +106,7 @@ func (c *Comm) checkPeer(rank int) error {
 // ok reports whether the message should actually be deposited (false
 // with a nil error means the destination is dead and the send is
 // silently dropped, like a lost packet).
-func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
+func (c *Comm) sendPrologue(dst, tag int, n int) (ok bool, err error) {
 	if err := c.checkPeer(dst); err != nil {
 		return false, err
 	}
@@ -123,6 +123,7 @@ func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
 	c.sent.add(dst)
 	w.met.sends.Inc()
 	w.met.sendBytes.Add(uint64(n))
+	w.flight.Emit("send", c.rank, -1, tag, int64(dst))
 	if d := w.sendDelay; d > 0 {
 		// Emulated wire latency is charged to the sender whether or not
 		// the destination is alive, like a NIC pushing into the fabric.
@@ -130,6 +131,7 @@ func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
 	}
 	if w.dead.get(dst) {
 		w.met.drops.Inc()
+		w.flight.Emit("drop", c.rank, -1, tag, int64(dst))
 		return false, nil
 	}
 	return true, nil
@@ -142,7 +144,7 @@ func (c *Comm) sendPrologue(dst int, n int) (ok bool, err error) {
 // killed rank fail with mpi.ErrKilled; sends to a dead rank are silently
 // dropped (fail-stop peers just stop reading the network).
 func (c *Comm) Send(dst, tag int, data []byte) error {
-	ok, err := c.sendPrologue(dst, len(data))
+	ok, err := c.sendPrologue(dst, tag, len(data))
 	if !ok {
 		return err
 	}
@@ -184,7 +186,7 @@ func (c *Comm) SendPooled(dst, tag int, data []byte, pb *mpi.PooledBuf) error {
 	if pb == nil {
 		return c.Send(dst, tag, data)
 	}
-	ok, err := c.sendPrologue(dst, len(data))
+	ok, err := c.sendPrologue(dst, tag, len(data))
 	if !ok {
 		return err
 	}

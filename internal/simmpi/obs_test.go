@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/mpi"
 	"repro/internal/obs"
 )
 
@@ -142,6 +143,9 @@ func benchWorld(b *testing.B, opts ...Option) {
 func BenchmarkObsOverhead(b *testing.B) {
 	b.Run("enabled", func(b *testing.B) { benchWorld(b, WithObs(obs.NewRegistry())) })
 	b.Run("disabled", func(b *testing.B) { benchWorld(b, WithObs(nil)) })
+	b.Run("flight", func(b *testing.B) {
+		benchWorld(b, WithObs(obs.NewRegistry()), mpi.WithFlight(obs.NewRecorder(0, false)))
+	})
 }
 
 // TestObsOverheadBudget asserts that leaving the registry enabled costs
@@ -170,7 +174,8 @@ func TestObsOverheadBudget(t *testing.T) {
 		}
 		return time.Since(start)
 	}
-	minEnabled, minDisabled := time.Duration(1<<62), time.Duration(1<<62)
+	big := time.Duration(1 << 62)
+	minEnabled, minDisabled, minFlight := big, big, big
 	// Warm-up pass to fault in code paths before timing.
 	measure(WithObs(nil))
 	for i := 0; i < trials; i++ {
@@ -180,13 +185,22 @@ func TestObsOverheadBudget(t *testing.T) {
 		if d := measure(WithObs(nil)); d < minDisabled {
 			minDisabled = d
 		}
+		if d := measure(WithObs(obs.NewRegistry()),
+			mpi.WithFlight(obs.NewRecorder(0, false))); d < minFlight {
+			minFlight = d
+		}
 	}
 	budget := minDisabled + minDisabled/20 + 2*time.Millisecond
 	if minEnabled > budget {
 		t.Fatalf("enabled registry too expensive: enabled=%v disabled=%v budget=%v",
 			minEnabled, minDisabled, budget)
 	}
-	t.Logf("obs overhead: enabled=%v disabled=%v (%.2f%%)",
-		minEnabled, minDisabled,
-		100*(float64(minEnabled)-float64(minDisabled))/float64(minDisabled))
+	if minFlight > budget {
+		t.Fatalf("flight recorder too expensive: flight=%v disabled=%v budget=%v",
+			minFlight, minDisabled, budget)
+	}
+	t.Logf("obs overhead: enabled=%v flight=%v disabled=%v (%.2f%% / %.2f%%)",
+		minEnabled, minFlight, minDisabled,
+		100*(float64(minEnabled)-float64(minDisabled))/float64(minDisabled),
+		100*(float64(minFlight)-float64(minDisabled))/float64(minDisabled))
 }

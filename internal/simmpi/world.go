@@ -54,9 +54,11 @@ type World struct {
 	livenessWakeups atomic.Uint64
 
 	// Telemetry. reg defaults to a fresh private registry; mpi.WithObs
-	// injects a shared one (or nil to disable entirely).
-	reg *obs.Registry
-	met worldMetrics
+	// injects a shared one (or nil to disable entirely). flight is the
+	// bounded forensic recorder (mpi.WithFlight), nil when disabled.
+	reg    *obs.Registry
+	met    worldMetrics
+	flight *obs.Recorder
 }
 
 // worldMetrics holds the runtime's instruments, resolved once at world
@@ -152,6 +154,7 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 		w.reg = obs.NewRegistry()
 	}
 	w.met = newWorldMetrics(w.reg)
+	w.flight = o.Flight
 	dense := n <= denseCountThreshold
 	for i := range w.comms {
 		c := &Comm{world: w, rank: i}
@@ -212,6 +215,7 @@ func (w *World) Kill(rank int) {
 	}
 	w.alive.Add(-1)
 	w.met.kills.Inc()
+	w.flight.Emit("dead", rank, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
@@ -265,6 +269,7 @@ func (w *World) Abort() {
 		return
 	}
 	w.met.aborts.Inc()
+	w.flight.Emit("abort", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
@@ -282,6 +287,7 @@ func (w *World) Interrupt() {
 		return
 	}
 	w.met.interrupts.Inc()
+	w.flight.Emit("interrupt", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
@@ -302,6 +308,7 @@ func (w *World) Revive(rank int) {
 	}
 	w.alive.Add(1)
 	w.met.revives.Inc()
+	w.flight.Emit("revive", rank, -1, 0, 0)
 	w.table.purgeRank(rank)
 }
 
@@ -322,6 +329,7 @@ func (w *World) Resume() {
 		c.resetCounts()
 	}
 	w.interrupted.Store(false)
+	w.flight.Emit("resume", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
 }
 
