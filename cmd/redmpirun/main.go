@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/obs"
+	"repro/internal/procmpi"
 	"repro/internal/redundancy"
 )
 
@@ -39,14 +40,14 @@ func main() {
 // steps can tell a job that exhausted its restart budget (3) apart from
 // usage or I/O errors (1).
 func exitCode(err error) int {
-	if errors.Is(err, core.ErrRestartsExhausted) {
+	if errors.Is(err, core.ErrRestartsExhausted) || errors.Is(err, procmpi.ErrRestartsExhausted) {
 		return 3
 	}
 	return 1
 }
 
 func errorMessage(err error) string {
-	if errors.Is(err, core.ErrRestartsExhausted) {
+	if errors.Is(err, core.ErrRestartsExhausted) || errors.Is(err, procmpi.ErrRestartsExhausted) {
 		return "job unrecoverable: " + err.Error()
 	}
 	return err.Error()
@@ -55,6 +56,13 @@ func errorMessage(err error) string {
 func run(args []string) error {
 	fs := flag.NewFlagSet("redmpirun", flag.ContinueOnError)
 	var (
+		transport = fs.String("transport", "sim", "message-passing backend: sim (in-process goroutine ranks) | proc (one OS process per physical rank)")
+		listenAt  = fs.String("listen", "", "proc transport: rendezvous over TCP on this listen address instead of a Unix socket")
+
+		procRank    = fs.Int("proc-worker-rank", -1, "internal: run as the proc-transport worker for this physical rank")
+		procConnect = fs.String("proc-connect", "", "internal: coordinator address for -proc-worker-rank")
+		procNetwork = fs.String("proc-network", "unix", "internal: coordinator network for -proc-worker-rank")
+
 		appName  = fs.String("app", "cg", "application: cg, stencil, taskfarm")
 		np       = fs.Int("np", 8, "virtual process count N")
 		degree   = fs.Float64("r", 2, "redundancy degree (1, 1.5, 2, 2.5, 3, ...)")
@@ -101,6 +109,43 @@ func run(args []string) error {
 	factory, describe, err := buildApp(*appName, *grid, *iters)
 	if err != nil {
 		return err
+	}
+	if *transport != "sim" && *transport != "proc" {
+		return fmt.Errorf("unknown -transport %q (sim | proc)", *transport)
+	}
+	pf := procFlags{
+		appName:  *appName,
+		np:       *np,
+		degree:   *degree,
+		mode:     *mode,
+		interval: *interval,
+		restarts: *restarts,
+		seed:     *seed,
+		ckptDir:  *ckptDir,
+		grid:     *grid,
+		iters:    *iters,
+		compute:  *compute,
+		timeout:  *timeout,
+		compress: *compress,
+		shards:   *shards,
+		corrupt:  *corrupt,
+		listen:   *listenAt,
+
+		scheduleOnce: *killOnce,
+		mtbf:         *mtbf,
+
+		peerReplicas:   *peerRep,
+		partialRestart: *partialR,
+		asyncCkpt:      *asyncCkpt,
+		stepKills:      *killStep,
+		sendLatency:    *sendLat,
+	}
+	if *procRank >= 0 {
+		// Worker re-exec path: this process IS one physical rank.
+		if *procConnect == "" {
+			return fmt.Errorf("-proc-worker-rank requires -proc-connect")
+		}
+		return runProcWorker(pf, *procRank, *procNetwork, *procConnect, factory)
 	}
 	cfg := core.Config{
 		Ranks:          *np,
@@ -212,6 +257,31 @@ func run(args []string) error {
 
 	fmt.Printf("launching %s: N=%d r=%g (%d physical ranks under Eq. 8)\n",
 		*appName, *np, *degree, mustPhysical(*np, *degree))
+	if *transport == "proc" {
+		pf.schedule = cfg.FailureSchedule
+		runErr := runProcJob(pf, reg, rec, tracer, cfg.RankView)
+		if tracer != nil {
+			if err := tracer.Close(); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+		}
+		if *metricsF != "" {
+			snap := reg.Snapshot()
+			if err := writeMetrics(*metricsF, snap); err != nil {
+				return err
+			}
+			fmt.Print(snap.Format())
+		}
+		if *flightF != "" {
+			if err := writeFlight(*flightF, rec); err != nil {
+				return err
+			}
+		}
+		return runErr
+	}
 	start := time.Now()
 	res, runErr := core.Run(cfg, factory)
 	fmt.Printf("completed=%v wallclock=%v attempts=%d failures=%d checkpoints=%d\n",

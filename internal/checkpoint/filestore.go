@@ -97,12 +97,29 @@ func (s *FileStorage) Commit(gen uint64, n int) error {
 	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	tmp := commitPath + ".tmp"
-	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+	// The mutex only serialises committers in this process; under the
+	// proc transport every worker process holds its own FileStorage over
+	// the same directory, so the tmp name must be unique per committer
+	// and losing a commit race to a peer is success, not failure.
+	tmp, err := os.CreateTemp(s.genDir(gen), "COMMIT-*.tmp")
+	if err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
 	}
-	if err := os.Rename(tmp, commitPath); err != nil {
-		os.Remove(tmp)
+	name := tmp.Name()
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(name, commitPath); err != nil {
+		os.Remove(name)
+		if _, statErr := os.Stat(commitPath); statErr == nil {
+			return nil // a concurrent process committed first
+		}
 		return fmt.Errorf("checkpoint: %w", err)
 	}
 	return nil

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
+	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -306,5 +309,59 @@ func TestFileStorageCorruptManifest(t *testing.T) {
 	}
 	if _, _, _, err := s.Latest(); err == nil {
 		t.Fatal("corrupt manifest not detected")
+	}
+}
+
+func TestFileStorageConcurrentCommitAcrossHandles(t *testing.T) {
+	// Under the proc transport every worker process opens its own
+	// FileStorage over the shared directory, so the in-process mutex
+	// offers no protection between committers. Hammer one generation
+	// from many independent handles: every Commit must succeed (losing
+	// the publication race to a peer is success).
+	dir := t.TempDir()
+	writer, err := NewFileStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ranks = 4
+	for r := 0; r < ranks; r++ {
+		if err := writer.Write(3, r, []byte{byte(r)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const committers = 8
+	errs := make([]error, committers)
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s, err := NewFileStorage(dir)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = s.Commit(3, ranks)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", i, err)
+		}
+	}
+	gen, n, ok, err := writer.Latest()
+	if err != nil || !ok || gen != 3 || n != ranks {
+		t.Fatalf("Latest = (%d, %d, %v, %v), want (3, %d, true, nil)", gen, n, ok, err, ranks)
+	}
+	// No orphaned tmp files survive the race.
+	entries, err := os.ReadDir(fmt.Sprintf("%s/gen-3", dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("orphaned tmp file %s", e.Name())
+		}
 	}
 }

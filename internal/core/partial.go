@@ -94,14 +94,17 @@ type epochResult struct {
 
 // partialGate coordinates one attempt's per-rank driver goroutines with
 // its supervisor. Each driver runs the application in *epochs*; between
-// epochs the supervisor may pause the world (simmpi interrupt), revive
-// the dead ranks, and release everyone into a fresh epoch that restarts
-// from the peer-replicated checkpoint — the sphere-local partial restart.
-// When recovery is impossible the supervisor aborts the world exactly as
-// the pre-existing full-restart path did.
+// epochs the supervisor may pause the world (transport interrupt),
+// revive the dead ranks, and release everyone into a fresh epoch that
+// restarts from the peer-replicated checkpoint — the sphere-local
+// partial restart. When recovery is impossible the supervisor aborts the
+// world exactly as the pre-existing full-restart path did. The gate is
+// typed against mpi.Transport, so the same orchestration drives the
+// simulated backend and any other transport hosting every rank
+// in-process.
 type partialGate struct {
 	cfg     Config
-	world   *simmpi.World
+	world   mpi.Transport
 	rankMap *redundancy.RankMap
 	spheres [][]int
 	store   checkpoint.Storage
@@ -142,7 +145,7 @@ type partialGate struct {
 	restored       bool
 }
 
-func newPartialGate(cfg Config, world *simmpi.World, rankMap *redundancy.RankMap,
+func newPartialGate(cfg Config, world mpi.Transport, rankMap *redundancy.RankMap,
 	spheres [][]int, store checkpoint.Storage, peer *checkpoint.PeerStore,
 	pipe *checkpoint.Pipeline, inj *failure.Injector, jobReg *obs.Registry,
 	acct *stepAccounting, factory func() apps.App,
@@ -199,12 +202,12 @@ func (g *partialGate) startServers() {
 	// this is the same set the old Alive poll produced, without the
 	// per-rank liveness check.
 	g.world.ForEachLive(func(p int) {
-		comm, err := g.world.Comm(p)
+		comm, err := g.world.Endpoint(p)
 		if err != nil {
 			return
 		}
 		g.serverWG.Add(1)
-		go func(c *simmpi.Comm) {
+		go func(c mpi.Comm) {
 			defer g.serverWG.Done()
 			g.peer.Serve(c)
 		}(comm)
@@ -251,7 +254,7 @@ func (g *partialGate) driver(p int) {
 // layer, fresh checkpoint client (restore happens inside the app), then
 // the app itself.
 func (g *partialGate) runEpoch(p int) epochResult {
-	pc, err := g.world.Comm(p)
+	pc, err := g.world.Endpoint(p)
 	if err != nil {
 		return epochResult{err: err}
 	}

@@ -134,6 +134,14 @@ type Config struct {
 	// world's liveness view — the hook the introspection server's
 	// /ranks endpoint uses to track the current attempt.
 	RankView func(obs.RankView)
+
+	// Transport, when non-nil, builds each attempt's message-passing
+	// backend (every physical rank must be addressable in-process, so
+	// the per-rank driver goroutines can run against it). Nil means the
+	// simulated backend, simmpi.NewWorld. The multi-process backend has
+	// its own attempt loop (procmpi) because its ranks live in child
+	// processes rather than goroutines.
+	Transport func(physical int, opts ...mpi.Option) (mpi.Transport, error)
 }
 
 // Validate checks the configuration.
@@ -425,7 +433,13 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 	if cfg.Recorder != nil {
 		worldOpts = append(worldOpts, mpi.WithFlight(cfg.Recorder))
 	}
-	world, err := simmpi.NewWorld(rankMap.PhysicalSize(), worldOpts...)
+	newTransport := cfg.Transport
+	if newTransport == nil {
+		newTransport = func(n int, opts ...mpi.Option) (mpi.Transport, error) {
+			return simmpi.NewWorld(n, opts...)
+		}
+	}
+	world, err := newTransport(rankMap.PhysicalSize(), worldOpts...)
 	if err != nil {
 		return at, nil, redundancy.Stats{}, obs.Snapshot{}, err
 	}

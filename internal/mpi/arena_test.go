@@ -1,0 +1,62 @@
+package mpi
+
+import "testing"
+
+func TestArenaClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0},
+		{1, 0},
+		{arenaMinClass, 0},
+		{arenaMinClass + 1, 1},
+		{4096, 6},
+		{arenaMaxClass, arenaClasses - 1},
+		{arenaMaxClass + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestArenaOversizedFallback(t *testing.T) {
+	a := NewArena()
+	b, pb := a.Acquire(arenaMaxClass + 1)
+	if len(b) != arenaMaxClass+1 {
+		t.Fatalf("oversized Acquire len = %d", len(b))
+	}
+	if pb != nil {
+		t.Fatal("oversized Acquire must have no pooled handle")
+	}
+}
+
+func TestArenaRecycleRejectsForeignBuffer(t *testing.T) {
+	a := NewArena()
+	// cap 100 matches no power-of-two class; Recycle must drop it
+	// rather than poison a pool class with a short buffer.
+	pb := NewPooledBuf(make([]byte, 100), a)
+	a.Recycle(pb) // must not panic or Put
+	b, got := a.Acquire(100)
+	if got == pb {
+		t.Fatal("foreign buffer re-issued from the pool")
+	}
+	if len(b) != 100 || cap(b) != 128 {
+		t.Fatalf("Acquire(100) len/cap = %d/%d, want 100/128", len(b), cap(b))
+	}
+}
+
+func TestArenaAcquireReleaseSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	a := NewArena()
+	// Warm the size class.
+	_, pb := a.Acquire(512)
+	pb.Release()
+	if avg := testing.AllocsPerRun(200, func() {
+		_, pb := a.Acquire(512)
+		pb.Release()
+	}); avg > 0 {
+		t.Errorf("warm Acquire/Release allocates %.2f per round, want 0", avg)
+	}
+}

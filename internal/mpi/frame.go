@@ -1,0 +1,246 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire frame codec shared by socket transports (procmpi) and their
+// tests/fuzzers. A frame is one length-prefixed message:
+//
+//	u32  body length (big endian) — header + payload, bounded
+//	u8   type       (transport-defined, nonzero)
+//	i32  src        (big endian; -1 means none/any)
+//	i32  dst
+//	i32  tag
+//	...  payload    (body length - FrameHeaderLen bytes)
+//
+// The length prefix is validated before any allocation, so a hostile or
+// corrupt peer cannot make the reader reserve unbounded memory, and
+// decoding is strict: truncated bodies, oversized length prefixes, and
+// trailing bytes are all rejected.
+
+// Frame is one decoded wire frame. Payload aliases the decode buffer.
+type Frame struct {
+	Type byte
+	Src  int32
+	Dst  int32
+	Tag  int32
+	// Payload is the frame body after the fixed header. It aliases the
+	// buffer it was decoded from; ownership follows that buffer.
+	Payload []byte
+}
+
+const (
+	// FrameHeaderLen is the fixed body header: type + src + dst + tag.
+	FrameHeaderLen = 1 + 4 + 4 + 4
+	// MaxFramePayload bounds one frame's payload (16 MiB): far above any
+	// message the runtime sends, far below what a corrupt length prefix
+	// could otherwise demand.
+	MaxFramePayload = 1 << 24
+)
+
+// Frame decoding errors.
+var (
+	// ErrFrameTruncated reports a frame shorter than its declared length.
+	ErrFrameTruncated = errors.New("mpi: truncated frame")
+	// ErrFrameOversized reports a length prefix beyond MaxFramePayload.
+	ErrFrameOversized = errors.New("mpi: oversized frame length prefix")
+	// ErrFrameTrailing reports bytes after the declared frame end.
+	ErrFrameTrailing = errors.New("mpi: trailing bytes after frame")
+	// ErrFrameHeader reports an invalid header field (zero type, or a
+	// rank/tag below the wildcard floor).
+	ErrFrameHeader = errors.New("mpi: invalid frame header")
+)
+
+// EncodedFrameLen returns the on-wire size of a frame carrying a payload
+// of n bytes.
+func EncodedFrameLen(n int) int { return 4 + FrameHeaderLen + n }
+
+// validFrameFields checks the header invariants shared by encode and
+// decode: a nonzero type and coordinates no lower than the wildcard -1.
+func validFrameFields(typ byte, src, dst, tag int32) error {
+	if typ == 0 {
+		return fmt.Errorf("%w: zero type", ErrFrameHeader)
+	}
+	if src < -1 || dst < -1 || tag < -1 {
+		return fmt.Errorf("%w: src=%d dst=%d tag=%d", ErrFrameHeader, src, dst, tag)
+	}
+	return nil
+}
+
+// AppendFrame appends f's wire encoding to dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, f Frame) ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return dst, fmt.Errorf("%w: payload %d", ErrFrameOversized, len(f.Payload))
+	}
+	if err := validFrameFields(f.Type, f.Src, f.Dst, f.Tag); err != nil {
+		return dst, err
+	}
+	var hdr [4 + FrameHeaderLen]byte
+	putFrameHeader(hdr[:], f, len(f.Payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, f.Payload...), nil
+}
+
+// putFrameHeader writes the length prefix and fixed header into
+// b[:4+FrameHeaderLen].
+func putFrameHeader(b []byte, f Frame, payloadLen int) {
+	binary.BigEndian.PutUint32(b[0:], uint32(FrameHeaderLen+payloadLen))
+	b[4] = f.Type
+	binary.BigEndian.PutUint32(b[5:], uint32(f.Src))
+	binary.BigEndian.PutUint32(b[9:], uint32(f.Dst))
+	binary.BigEndian.PutUint32(b[13:], uint32(f.Tag))
+}
+
+// decodeFrameBody parses a frame body (everything after the length
+// prefix). The returned payload aliases body.
+func decodeFrameBody(body []byte) (Frame, error) {
+	if len(body) < FrameHeaderLen {
+		return Frame{}, fmt.Errorf("%w: body %d bytes", ErrFrameTruncated, len(body))
+	}
+	f := Frame{
+		Type: body[0],
+		Src:  int32(binary.BigEndian.Uint32(body[1:])),
+		Dst:  int32(binary.BigEndian.Uint32(body[5:])),
+		Tag:  int32(binary.BigEndian.Uint32(body[9:])),
+	}
+	if err := validFrameFields(f.Type, f.Src, f.Dst, f.Tag); err != nil {
+		return Frame{}, err
+	}
+	if len(body) > FrameHeaderLen {
+		f.Payload = body[FrameHeaderLen:]
+	}
+	return f, nil
+}
+
+// DecodeFrame strictly decodes one whole frame from buf: the buffer must
+// contain exactly one frame — truncated bodies, length prefixes beyond
+// MaxFramePayload, and trailing bytes are rejected. The returned payload
+// aliases buf.
+func DecodeFrame(buf []byte) (Frame, error) {
+	if len(buf) < 4 {
+		return Frame{}, fmt.Errorf("%w: %d bytes, no length prefix", ErrFrameTruncated, len(buf))
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > FrameHeaderLen+MaxFramePayload {
+		return Frame{}, fmt.Errorf("%w: declared body %d", ErrFrameOversized, n)
+	}
+	if uint32(len(buf)-4) < n {
+		return Frame{}, fmt.Errorf("%w: declared body %d, have %d", ErrFrameTruncated, n, len(buf)-4)
+	}
+	if uint32(len(buf)-4) > n {
+		return Frame{}, fmt.Errorf("%w: declared body %d, have %d", ErrFrameTrailing, n, len(buf)-4)
+	}
+	return decodeFrameBody(buf[4:])
+}
+
+// ReadFrame reads one frame from r. The body lands in a buffer borrowed
+// from arena (plain allocation when arena is nil or the frame is
+// oversized for its classes), and the returned PooledBuf — nil for
+// unpooled bodies — owns it: Release recycles the buffer, so a receiver
+// that consumes the payload and releases runs allocation-free in steady
+// state. The length prefix is validated before the body buffer is
+// sized. io.EOF is returned unwrapped when the stream ends cleanly
+// between frames.
+func ReadFrame(r io.Reader, arena *Arena) (Frame, *PooledBuf, error) {
+	// The prefix buffer is borrowed from the arena too: a stack array
+	// would escape through the io.ReadFull interface call and cost an
+	// allocation per frame.
+	var prefix []byte
+	var ppb *PooledBuf
+	if arena != nil {
+		prefix, ppb = arena.Acquire(4)
+	} else {
+		prefix = make([]byte, 4)
+	}
+	n, err := readFramePrefix(r, prefix)
+	if ppb != nil {
+		ppb.Release()
+	}
+	if err != nil {
+		return Frame{}, nil, err
+	}
+	var body []byte
+	var pb *PooledBuf
+	if arena != nil {
+		body, pb = arena.Acquire(int(n))
+	} else {
+		body = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r, body); err != nil {
+		if pb != nil {
+			pb.Release()
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Frame{}, nil, fmt.Errorf("%w: body short of %d bytes", ErrFrameTruncated, n)
+		}
+		return Frame{}, nil, err
+	}
+	f, err := decodeFrameBody(body)
+	if err != nil {
+		if pb != nil {
+			pb.Release()
+		}
+		return Frame{}, nil, err
+	}
+	return f, pb, nil
+}
+
+// readFramePrefix fills prefix (4 bytes) from r and validates the
+// declared body length before any body buffer is sized.
+func readFramePrefix(r io.Reader, prefix []byte) (uint32, error) {
+	if _, err := io.ReadFull(r, prefix); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return 0, fmt.Errorf("%w: partial length prefix", ErrFrameTruncated)
+		}
+		return 0, err
+	}
+	n := binary.BigEndian.Uint32(prefix)
+	if n > FrameHeaderLen+MaxFramePayload {
+		return 0, fmt.Errorf("%w: declared body %d", ErrFrameOversized, n)
+	}
+	if n < FrameHeaderLen {
+		return 0, fmt.Errorf("%w: declared body %d", ErrFrameTruncated, n)
+	}
+	return n, nil
+}
+
+// frameInlineMax is the payload size up to which WriteFrame copies the
+// payload into the scratch buffer and issues one Write; larger payloads
+// go out as header+payload writes to avoid the copy. Callers must hold
+// their connection's write lock across the call either way.
+const frameInlineMax = 4096
+
+// WriteFrame writes f to w using scratch for the prefix and header
+// (grown as needed) and returns the possibly-grown scratch for reuse.
+func WriteFrame(w io.Writer, f Frame, scratch []byte) ([]byte, error) {
+	if len(f.Payload) > MaxFramePayload {
+		return scratch, fmt.Errorf("%w: payload %d", ErrFrameOversized, len(f.Payload))
+	}
+	if err := validFrameFields(f.Type, f.Src, f.Dst, f.Tag); err != nil {
+		return scratch, err
+	}
+	need := 4 + FrameHeaderLen
+	if len(f.Payload) <= frameInlineMax {
+		need += len(f.Payload)
+	}
+	if cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	buf := scratch[:need]
+	putFrameHeader(buf, f, len(f.Payload))
+	if len(f.Payload) <= frameInlineMax {
+		copy(buf[4+FrameHeaderLen:], f.Payload)
+		_, err := w.Write(buf)
+		return scratch[:0], err
+	}
+	if _, err := w.Write(buf[:4+FrameHeaderLen]); err != nil {
+		return scratch[:0], err
+	}
+	_, err := w.Write(f.Payload)
+	return scratch[:0], err
+}

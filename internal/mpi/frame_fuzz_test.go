@@ -1,0 +1,71 @@
+package mpi_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// FuzzFrameDecode hammers the strict whole-buffer decoder with arbitrary
+// bytes: it must never panic, and whatever it accepts must re-encode to
+// the identical wire bytes (canonical form).
+func FuzzFrameDecode(f *testing.F) {
+	seed, _ := mpi.AppendFrame(nil, mpi.Frame{Type: 1, Src: 0, Dst: 3, Tag: 7, Payload: []byte("payload")})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 13})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})       // oversized length prefix
+	f.Add(append(append([]byte{}, seed...), 0xEE)) // trailing byte
+	f.Add(seed[:len(seed)-3])                      // truncated body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := mpi.DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		re, err := mpi.AppendFrame(nil, fr)
+		if err != nil {
+			t.Fatalf("decoded frame refused re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in %x\nout %x", data, re)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder with arbitrary header fields and
+// payloads: valid inputs must survive encode → strict decode → pooled
+// stream decode unchanged, and invalid inputs must be refused by the
+// encoder rather than producing undecodable bytes.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), int32(0), int32(1), int32(7), []byte("x"))
+	f.Add(byte(9), int32(-1), int32(-1), int32(-1), []byte{})
+	f.Add(byte(0), int32(2), int32(2), int32(2), []byte("zero type"))
+	f.Add(byte(4), int32(-2), int32(0), int32(0), []byte("bad src"))
+	arena := mpi.NewArena()
+	f.Fuzz(func(t *testing.T, typ byte, src, dst, tag int32, payload []byte) {
+		in := mpi.Frame{Type: typ, Src: src, Dst: dst, Tag: tag, Payload: payload}
+		enc, err := mpi.AppendFrame(nil, in)
+		if err != nil {
+			return // invalid fields are the encoder's to refuse
+		}
+		got, err := mpi.DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("encoder emitted undecodable bytes: %v", err)
+		}
+		if got.Type != typ || got.Src != src || got.Dst != dst || got.Tag != tag ||
+			!bytes.Equal(got.Payload, payload) {
+			t.Fatalf("round trip mismatch: got %+v want %+v", got, in)
+		}
+		sf, pb, err := mpi.ReadFrame(bytes.NewReader(enc), arena)
+		if err != nil {
+			t.Fatalf("stream decode of valid frame: %v", err)
+		}
+		if sf.Type != typ || !bytes.Equal(sf.Payload, payload) {
+			t.Fatalf("stream round trip mismatch: got %+v want %+v", sf, in)
+		}
+		if pb != nil {
+			pb.Release()
+		}
+	})
+}

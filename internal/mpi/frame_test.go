@@ -1,0 +1,153 @@
+package mpi_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []mpi.Frame{
+		{Type: 1, Src: 0, Dst: 3, Tag: 7, Payload: []byte("hello")},
+		{Type: 2, Src: -1, Dst: -1, Tag: -1},
+		{Type: 255, Src: 1 << 20, Dst: 0, Tag: 1 << 22, Payload: bytes.Repeat([]byte{0xAB}, 4097)},
+		{Type: 9, Src: 5, Dst: 5, Tag: 0, Payload: []byte{}},
+	}
+	for _, f := range cases {
+		enc, err := mpi.AppendFrame(nil, f)
+		if err != nil {
+			t.Fatalf("AppendFrame(%+v): %v", f, err)
+		}
+		if len(enc) != mpi.EncodedFrameLen(len(f.Payload)) {
+			t.Fatalf("encoded %d bytes, want %d", len(enc), mpi.EncodedFrameLen(len(f.Payload)))
+		}
+		got, err := mpi.DecodeFrame(enc)
+		if err != nil {
+			t.Fatalf("DecodeFrame: %v", err)
+		}
+		if got.Type != f.Type || got.Src != f.Src || got.Dst != f.Dst || got.Tag != f.Tag ||
+			!bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("round trip: got %+v want %+v", got, f)
+		}
+	}
+}
+
+func TestFrameWriteReadStream(t *testing.T) {
+	arena := mpi.NewArena()
+	var wire bytes.Buffer
+	var scratch []byte
+	var err error
+	frames := []mpi.Frame{
+		{Type: 1, Src: 0, Dst: 1, Tag: 4, Payload: []byte("small")},
+		{Type: 1, Src: 1, Dst: 0, Tag: 4, Payload: bytes.Repeat([]byte{7}, 3*4096)},
+		{Type: 4, Src: 2, Dst: -1, Tag: 0},
+	}
+	for _, f := range frames {
+		if scratch, err = mpi.WriteFrame(&wire, f, scratch); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for _, want := range frames {
+		got, pb, err := mpi.ReadFrame(&wire, arena)
+		if err != nil {
+			t.Fatalf("ReadFrame: %v", err)
+		}
+		if got.Type != want.Type || got.Src != want.Src || got.Dst != want.Dst ||
+			got.Tag != want.Tag || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("stream round trip: got %+v want %+v", got, want)
+		}
+		if pb != nil {
+			pb.Release()
+		}
+	}
+	if _, _, err := mpi.ReadFrame(&wire, arena); err != io.EOF {
+		t.Fatalf("exhausted stream: err = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	good, err := mpi.AppendFrame(nil, mpi.Frame{Type: 1, Src: 0, Dst: 1, Tag: 2, Payload: []byte("xyz")})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut <= len(good); cut++ {
+			if _, err := mpi.DecodeFrame(good[:len(good)-cut]); err == nil {
+				t.Fatalf("truncation by %d accepted", cut)
+			}
+		}
+	})
+	t.Run("trailing", func(t *testing.T) {
+		if _, err := mpi.DecodeFrame(append(append([]byte{}, good...), 0)); !errors.Is(err, mpi.ErrFrameTrailing) {
+			t.Fatalf("trailing byte: err = %v, want ErrFrameTrailing", err)
+		}
+	})
+	t.Run("oversized prefix", func(t *testing.T) {
+		bomb := append([]byte{}, good...)
+		binary.BigEndian.PutUint32(bomb, uint32(mpi.FrameHeaderLen+mpi.MaxFramePayload+1))
+		if _, err := mpi.DecodeFrame(bomb); !errors.Is(err, mpi.ErrFrameOversized) {
+			t.Fatalf("oversized prefix: err = %v, want ErrFrameOversized", err)
+		}
+		// The streaming reader must reject before allocating the body.
+		if _, _, err := mpi.ReadFrame(bytes.NewReader(bomb), nil); !errors.Is(err, mpi.ErrFrameOversized) {
+			t.Fatalf("streaming oversized prefix: err = %v, want ErrFrameOversized", err)
+		}
+	})
+	t.Run("zero type", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		bad[4] = 0
+		if _, err := mpi.DecodeFrame(bad); !errors.Is(err, mpi.ErrFrameHeader) {
+			t.Fatalf("zero type: err = %v, want ErrFrameHeader", err)
+		}
+	})
+	t.Run("sub-wildcard coordinates", func(t *testing.T) {
+		bad := append([]byte{}, good...)
+		var minusTwo int32 = -2
+		binary.BigEndian.PutUint32(bad[5:], uint32(minusTwo))
+		if _, err := mpi.DecodeFrame(bad); !errors.Is(err, mpi.ErrFrameHeader) {
+			t.Fatalf("src=-2: err = %v, want ErrFrameHeader", err)
+		}
+	})
+	t.Run("short body declaration", func(t *testing.T) {
+		short := append([]byte{}, good...)
+		binary.BigEndian.PutUint32(short, uint32(mpi.FrameHeaderLen-1))
+		if _, _, err := mpi.ReadFrame(bytes.NewReader(short), nil); !errors.Is(err, mpi.ErrFrameTruncated) {
+			t.Fatalf("short body: err = %v, want ErrFrameTruncated", err)
+		}
+	})
+}
+
+func TestFrameReadPooledSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation budgets are meaningless under the race detector")
+	}
+	arena := mpi.NewArena()
+	payload := bytes.Repeat([]byte{3}, 512)
+	enc, err := mpi.AppendFrame(nil, mpi.Frame{Type: 1, Src: 0, Dst: 1, Tag: 2, Payload: payload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bytes.NewReader(enc)
+	// Warm the size class.
+	_, pb, err := mpi.ReadFrame(r, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.Release()
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Reset(enc)
+		_, pb, err := mpi.ReadFrame(r, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb.Release()
+	})
+	if allocs > 0 {
+		t.Fatalf("pooled ReadFrame allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package mpi
+
+// raceEnabled reports whether the race detector instruments this build.
+// The arena uses it to poison recycled buffers, making use-after-release
+// bugs deterministic exactly when they are loudest.
+const raceEnabled = true

@@ -1,0 +1,60 @@
+package mpi
+
+// Transport is a message-passing runtime hosting the physical ranks of
+// one job attempt. It is the surface the restart orchestrator
+// (internal/core) and the failure machinery program against, so the same
+// recovery logic drives any backend:
+//
+//   - simmpi.World: ranks are goroutines in this process, mailboxes are
+//     in-memory (the simulated backend, default).
+//   - procmpi: ranks are real OS processes connected over Unix or TCP
+//     sockets; a kill is a SIGKILL delivered to a child PID and liveness
+//     is observed through socket EOF and heartbeat timeouts.
+//
+// The liveness/epoch protocol is shared: Kill fail-stops a rank (its
+// operations return ErrKilled, receives posted against it by peers
+// return ErrPeerDead, messages to it are dropped), Abort tears the whole
+// attempt down with ErrAborted, and the Interrupt → Revive → Resume
+// sequence pauses an epoch, brings dead ranks back, and releases
+// everyone into a fresh epoch for an in-place recovery.
+type Transport interface {
+	Liveness
+
+	// Size returns the number of physical ranks.
+	Size() int
+	// Endpoint returns the communicator endpoint bound to a rank. For
+	// in-process backends every rank is addressable; a distributed
+	// backend exposes only the ranks hosted in this process.
+	Endpoint(rank int) (Comm, error)
+
+	// Kill fail-stops a rank (idempotent; out-of-range is a no-op).
+	Kill(rank int)
+	// AliveCount returns the number of live ranks.
+	AliveCount() int
+	// ForEachDead calls fn for every dead rank in ascending order. The
+	// view is racy under concurrent liveness transitions; call it from a
+	// quiesced world when an exact set is needed.
+	ForEachDead(fn func(rank int))
+	// ForEachLive calls fn for every live rank in ascending order, with
+	// the same snapshot caveat as ForEachDead.
+	ForEachLive(fn func(rank int))
+
+	// Abort tears the attempt down: every blocked or future operation on
+	// any rank returns ErrAborted.
+	Abort()
+	// Aborted reports whether the transport has been aborted.
+	Aborted() bool
+
+	// Interrupt pauses the current epoch: blocked and future operations
+	// return ErrInterrupted, but unlike Abort the world stays usable.
+	Interrupt()
+	// Interrupted reports whether the transport is paused for recovery.
+	Interrupted() bool
+	// Revive brings a dead rank back while the world is interrupted; its
+	// previous incarnation's unread traffic is discarded.
+	Revive(rank int)
+	// Resume ends an interrupt and starts a fresh epoch: pending traffic
+	// of the interrupted epoch is purged and per-peer bookmark counts
+	// reset. Callers must ensure all rank drivers are parked first.
+	Resume()
+}

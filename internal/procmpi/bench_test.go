@@ -1,0 +1,101 @@
+package procmpi_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/procmpi"
+)
+
+// benchWorld builds an n-rank in-process proc world or skips the
+// benchmark (socket setup can fail in constrained sandboxes).
+func benchWorld(b *testing.B, n int) *procmpi.Local {
+	b.Helper()
+	l, err := procmpi.NewLocal(n, procmpi.LocalConfig{})
+	if err != nil {
+		b.Skipf("proc world unavailable: %v", err)
+	}
+	b.Cleanup(l.Close)
+	return l
+}
+
+// BenchmarkProcPingPong measures the two-hop (src → hub → dst) round
+// trip over a real unix socket, batched so one op amortises scheduler
+// noise. The alloc gate holds the pooled receive path honest: steady
+// state must borrow every rx buffer from the arena, not the heap.
+func BenchmarkProcPingPong(b *testing.B) {
+	const rounds = 512
+	l := benchWorld(b, 2)
+	c0, err := l.Endpoint(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c1, err := l.Endpoint(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { // echo server: rank 1 bounces every ball back
+		for {
+			m, err := c1.Recv(0, 1)
+			if err != nil {
+				return
+			}
+			if err := c1.Send(0, 2, m.Data); err != nil {
+				m.Release()
+				return
+			}
+			m.Release()
+		}
+	}()
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < rounds; j++ {
+			if err := c0.Send(1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			m, err := c0.Recv(1, 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Release()
+		}
+	}
+}
+
+// BenchmarkProcAllreduce8 measures a full 8-rank allreduce storm over
+// the socket transport — every rank both fans out and drains through
+// the hub concurrently, the collective pattern CG spends its time in.
+func BenchmarkProcAllreduce8(b *testing.B) {
+	const n, rounds = 8, 64
+	l := benchWorld(b, n)
+	comms := make([]mpi.Comm, n)
+	for r := 0; r < n; r++ {
+		c, err := l.Endpoint(r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		comms[r] = c
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				in := []float64{float64(r + 1)}
+				for j := 0; j < rounds; j++ {
+					if _, err := mpi.AllreduceFloat64s(comms[r], in, mpi.OpSum); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,102 @@
+package procmpi_test
+
+import (
+	"net"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/procmpi"
+)
+
+// TestHeartbeatTimeoutKillsSilentWorker proves the liveness monitor
+// catches a worker that is connected but silent — the SIGSTOP failure
+// mode, where the kernel keeps the socket open so EOF never fires. One
+// worker dials with heartbeats disabled; only that rank must be declared
+// dead, via a "heartbeat_timeout" flight record.
+func TestHeartbeatTimeoutKillsSilentWorker(t *testing.T) {
+	dir := t.TempDir()
+	ln, err := net.Listen("unix", filepath.Join(dir, "hub.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flight := obs.NewRecorder(256, true)
+	deaths := make(chan int, 4)
+	coord, err := procmpi.NewCoordinator(ln, procmpi.CoordinatorConfig{
+		Size:             3,
+		HeartbeatTimeout: 300 * time.Millisecond,
+		Flight:           flight,
+		OnDeath:          func(rank int) { deaths <- rank },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+
+	// Dial concurrently: rendezvous is a barrier, so no Dial returns
+	// until every rank has connected.
+	addr := ln.Addr().String()
+	workers := make([]*procmpi.Worker, 3)
+	errs := make([]error, 3)
+	var wg sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			hb := 50 * time.Millisecond
+			if r == 1 {
+				hb = -1 // silent: no liveness proof, ever
+			}
+			workers[r], errs[r] = procmpi.Dial(procmpi.WorkerConfig{
+				Network:           "unix",
+				Addr:              addr,
+				Rank:              r,
+				Size:              3,
+				HeartbeatInterval: hb, // PID stays zero: in-process, no real SIGKILL
+			})
+		}(r)
+	}
+	wg.Wait()
+	for r, derr := range errs {
+		if derr != nil {
+			t.Fatalf("dial rank %d: %v", r, derr)
+		}
+		defer workers[r].Close()
+	}
+	if err := coord.WaitConnected(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case r := <-deaths:
+		if r != 1 {
+			t.Fatalf("death reported for rank %d, want 1", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("silent worker never declared dead")
+	}
+	if coord.Alive(1) {
+		t.Fatal("rank 1 still alive after heartbeat timeout")
+	}
+	// Give the chatty workers a few more monitor ticks: they must not be
+	// false-positived.
+	time.Sleep(400 * time.Millisecond)
+	if !coord.Alive(0) || !coord.Alive(2) {
+		t.Fatalf("heartbeating workers declared dead: alive0=%v alive2=%v",
+			coord.Alive(0), coord.Alive(2))
+	}
+	found := false
+	for _, rec := range flight.Records() {
+		if rec.Kind == "heartbeat_timeout" && rec.Rank == 1 {
+			found = true
+		}
+		if rec.Kind == "heartbeat_timeout" && rec.Rank != 1 {
+			t.Fatalf("heartbeat_timeout recorded for rank %d", rec.Rank)
+		}
+	}
+	if !found {
+		t.Fatal("no heartbeat_timeout flight record for rank 1")
+	}
+}

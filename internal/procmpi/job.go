@@ -1,0 +1,383 @@
+package procmpi
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// ErrRestartsExhausted reports that a multi-process job kept failing
+// past its restart budget (the proc analogue of core.ErrRestartsExhausted;
+// redmpirun maps both to exit code 3).
+var ErrRestartsExhausted = errors.New("procmpi: restart budget exhausted")
+
+// JobConfig describes one multi-process job: the attempt loop that forks
+// one worker process per physical rank and watches them through the
+// coordinator.
+type JobConfig struct {
+	// Physical is the physical rank count (N · r under Eq. 8).
+	Physical int
+	// Spheres maps each virtual rank to its physical replica sphere
+	// (redundancy.RankMap.Sphere order).
+	Spheres [][]int
+
+	// Network is "unix" (default, socket in a fresh temp dir) or "tcp".
+	Network string
+	// Listen is the tcp listen address (Network "tcp" only); empty means
+	// 127.0.0.1:0.
+	Listen string
+
+	// Spawn launches the worker process for one physical rank, given the
+	// hub's network and address; it must return the started process.
+	// Required — this is where redmpirun re-execs itself.
+	Spawn func(rank int, network, addr string) (*os.Process, error)
+	// OnSpawn, when non-nil, observes every launched worker (attempt,
+	// rank, pid) — redmpirun prints the "proc: rank N pid=P" lines CI
+	// greps for its external-SIGKILL step.
+	OnSpawn func(attempt, rank, pid int)
+
+	// MaxRestarts bounds restart attempts; zero means none allowed.
+	MaxRestarts int
+	// AttemptTimeout aborts a wedged attempt; zero means 2 minutes.
+	AttemptTimeout time.Duration
+	// HeartbeatTimeout threads through to the coordinator (zero =
+	// default).
+	HeartbeatTimeout time.Duration
+
+	// Schedule injects these kills per attempt as real SIGKILLs to the
+	// worker PIDs. ScheduleOnce restricts it to the first attempt.
+	Schedule     []failure.Kill
+	ScheduleOnce bool
+	// NodeMTBF draws Poisson kills instead (with Seed); zero disables.
+	NodeMTBF time.Duration
+	Seed     int64
+
+	// Obs, Flight, Tracer thread through to the coordinator and the
+	// injector.
+	Obs    *obs.Registry
+	Flight *obs.Recorder
+	Tracer *obs.Tracer
+
+	// OnCoordinator, when non-nil, observes each attempt's hub right
+	// after it starts accepting (introspection wiring: the coordinator
+	// satisfies obs.RankView).
+	OnCoordinator func(*Coordinator)
+}
+
+// JobAttempt records one attempt of a multi-process job.
+type JobAttempt struct {
+	Index     int
+	Failures  int
+	JobFailed bool
+	TimedOut  bool
+	Elapsed   time.Duration
+	Kills     []failure.Kill
+}
+
+// JobResult summarises a multi-process job run.
+type JobResult struct {
+	Completed     bool
+	Restarts      int
+	TotalFailures int
+	Elapsed       time.Duration
+	Attempts      []JobAttempt
+	PhysicalRanks int
+}
+
+// sphereTracker is the job runner's authoritative completion and failure
+// accounting, driven by coordinator callbacks. Because it hangs off
+// OnDeath it counts every death the same way regardless of origin —
+// injected SIGKILL, a CI script killing a PID from outside, or a worker
+// crash — which is the property the proc-smoke job exists to prove.
+type sphereTracker struct {
+	mu        sync.Mutex
+	sphereOf  []int
+	remaining []int
+	byed      []bool
+	byedN     int
+	failed    chan int
+	done      chan struct{}
+	closed    bool
+}
+
+func newSphereTracker(spheres [][]int, physical int) *sphereTracker {
+	t := &sphereTracker{
+		sphereOf:  make([]int, physical),
+		remaining: make([]int, len(spheres)),
+		byed:      make([]bool, len(spheres)),
+		failed:    make(chan int, 1),
+		done:      make(chan struct{}),
+	}
+	for i := range t.sphereOf {
+		t.sphereOf[i] = -1
+	}
+	for v, sphere := range spheres {
+		t.remaining[v] = len(sphere)
+		for _, p := range sphere {
+			t.sphereOf[p] = v
+		}
+	}
+	return t
+}
+
+// death records one physical rank's death; exhausting a sphere that has
+// not yet completed is job failure (Fig. 7).
+func (t *sphereTracker) death(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= len(t.sphereOf) {
+		return
+	}
+	v := t.sphereOf[rank]
+	if v < 0 || t.byed[v] {
+		return
+	}
+	t.remaining[v]--
+	if t.remaining[v] == 0 {
+		select {
+		case t.failed <- v:
+		default:
+		}
+	}
+}
+
+// bye records one physical rank's clean completion; the job is done when
+// every sphere has at least one finisher.
+func (t *sphereTracker) bye(rank int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rank < 0 || rank >= len(t.sphereOf) {
+		return
+	}
+	v := t.sphereOf[rank]
+	if v < 0 || t.byed[v] {
+		return
+	}
+	t.byed[v] = true
+	t.byedN++
+	if t.byedN == len(t.remaining) && !t.closed {
+		t.closed = true
+		close(t.done)
+	}
+}
+
+// appError carries a worker-reported application error.
+type appError struct {
+	rank int
+	msg  string
+}
+
+// RunJob runs the multi-process attempt loop: fork every worker, watch
+// deaths and byes through the coordinator, and restart from shared
+// storage until the application completes or the budget is spent. The
+// workers own checkpoint restore — a fresh attempt's processes find the
+// last committed generation in the shared checkpoint directory exactly
+// as a BLCR restart would.
+func RunJob(cfg JobConfig) (JobResult, error) {
+	if cfg.Physical <= 0 {
+		return JobResult{}, fmt.Errorf("procmpi: Physical = %d", cfg.Physical)
+	}
+	if cfg.Spawn == nil {
+		return JobResult{}, fmt.Errorf("procmpi: nil Spawn")
+	}
+	if len(cfg.Spheres) == 0 {
+		return JobResult{}, fmt.Errorf("procmpi: empty sphere map")
+	}
+	timeout := cfg.AttemptTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Minute
+	}
+	stream := stats.NewStream(cfg.Seed)
+
+	res := JobResult{PhysicalRanks: cfg.Physical}
+	start := time.Now()
+	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
+		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
+		span := cfg.Flight.StartSpan("attempt", -1, -1, attempt)
+		at, appErr := runJobAttempt(cfg, attempt, timeout, stream.Split())
+		span.End()
+		at.Index = attempt
+		res.Attempts = append(res.Attempts, at)
+		res.TotalFailures += at.Failures
+		res.Restarts = attempt
+		cfg.Tracer.Emit("attempt_end", -1, -1, attempt, map[string]any{
+			"job_failed": at.JobFailed,
+			"timed_out":  at.TimedOut,
+			"failures":   at.Failures,
+		})
+		switch {
+		case appErr == nil && !at.JobFailed && !at.TimedOut:
+			res.Completed = true
+			res.Elapsed = time.Since(start)
+			return res, nil
+		case at.TimedOut:
+			res.Elapsed = time.Since(start)
+			return res, fmt.Errorf("procmpi: attempt %d timed out after %v", attempt, timeout)
+		case appErr != nil && !at.JobFailed:
+			// A genuine application error, not failure-induced: retrying
+			// would fail identically.
+			res.Elapsed = time.Since(start)
+			return res, appErr
+		}
+		// Job failure: loop for a restart.
+	}
+	res.Elapsed = time.Since(start)
+	return res, fmt.Errorf("%w after %d attempts", ErrRestartsExhausted, cfg.MaxRestarts+1)
+}
+
+// runJobAttempt runs one attempt: fresh hub, fresh worker processes,
+// fresh injector. Teardown is unconditional — every child is reaped
+// before the next attempt starts.
+func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *stats.Stream) (at JobAttempt, appErr error) {
+	begin := time.Now()
+
+	network := cfg.Network
+	if network == "" {
+		network = "unix"
+	}
+	var (
+		ln  net.Listener
+		dir string
+		err error
+	)
+	switch network {
+	case "unix":
+		dir, err = os.MkdirTemp("", "procmpi-job")
+		if err != nil {
+			return at, err
+		}
+		defer os.RemoveAll(dir)
+		ln, err = net.Listen("unix", filepath.Join(dir, "hub.sock"))
+	case "tcp":
+		addr := cfg.Listen
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err = net.Listen("tcp", addr)
+	default:
+		err = fmt.Errorf("procmpi: unsupported network %q", network)
+	}
+	if err != nil {
+		return at, err
+	}
+
+	tracker := newSphereTracker(cfg.Spheres, cfg.Physical)
+	appErrs := make(chan appError, cfg.Physical)
+	coord, err := NewCoordinator(ln, CoordinatorConfig{
+		Size:             cfg.Physical,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Obs:              cfg.Obs,
+		Flight:           cfg.Flight,
+		OnDeath:          tracker.death,
+		OnBye:            tracker.bye,
+		OnAppErr: func(rank int, msg string) {
+			select {
+			case appErrs <- appError{rank: rank, msg: msg}:
+			default:
+			}
+		},
+	})
+	if err != nil {
+		ln.Close()
+		return at, err
+	}
+	defer coord.Close()
+	if cfg.OnCoordinator != nil {
+		cfg.OnCoordinator(coord)
+	}
+
+	addr := ln.Addr().String()
+	procs := make([]*os.Process, cfg.Physical)
+	defer func() {
+		for _, p := range procs {
+			if p == nil {
+				continue
+			}
+			_ = p.Kill()
+			_, _ = p.Wait()
+		}
+	}()
+	for r := 0; r < cfg.Physical; r++ {
+		p, serr := cfg.Spawn(r, network, addr)
+		if serr != nil {
+			coord.Abort()
+			return at, fmt.Errorf("procmpi: spawning rank %d: %w", r, serr)
+		}
+		procs[r] = p
+		if cfg.OnSpawn != nil {
+			cfg.OnSpawn(attempt, r, p.Pid)
+		}
+	}
+	if err := coord.WaitConnected(30 * time.Second); err != nil {
+		// A worker died (or wedged) before rendezvous; treat it like any
+		// other failure and let the restart budget decide.
+		coord.Abort()
+		at.JobFailed = true
+		at.Elapsed = time.Since(begin)
+		return at, nil
+	}
+
+	// The injector is a schedule timer here: its kills land as real
+	// SIGKILLs (the coordinator knows every worker's PID), and the
+	// resulting deaths flow back through OnDeath like any external kill.
+	schedule := cfg.Schedule
+	if cfg.ScheduleOnce && attempt > 0 {
+		schedule = nil
+	}
+	var inj *failure.Injector
+	if schedule != nil || cfg.NodeMTBF > 0 {
+		inj, err = failure.New(coord, cfg.Spheres, failure.Config{
+			Stream:   stream,
+			NodeMTBF: cfg.NodeMTBF,
+			Schedule: schedule,
+			Obs:      cfg.Obs,
+			Trace:    cfg.Tracer,
+			Flight:   cfg.Flight,
+		})
+		if err != nil {
+			coord.Abort()
+			return at, err
+		}
+		inj.Start()
+		defer func() {
+			inj.Stop()
+			at.Failures = inj.Failures()
+			at.Kills = inj.Log()
+		}()
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-tracker.done:
+		// Every sphere has a finisher. Completion wins over a pending
+		// sphere exhaustion: the dead sphere must have byed first, or the
+		// tracker would not have closed done.
+	case v := <-tracker.failed:
+		cfg.Flight.Emit("job_failed", -1, v, 0, int64(attempt))
+		at.JobFailed = true
+		coord.Abort()
+	case e := <-appErrs:
+		appErr = fmt.Errorf("procmpi: rank %d: %s", e.rank, e.msg)
+		coord.Abort()
+	case <-timer.C:
+		at.TimedOut = true
+		coord.Abort()
+	}
+	// Externally-delivered deaths are counted even without an injector.
+	if inj == nil {
+		deaths := 0
+		coord.ForEachDead(func(int) { deaths++ })
+		at.Failures = deaths
+	}
+	at.Elapsed = time.Since(begin)
+	return at, appErr
+}

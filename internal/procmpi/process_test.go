@@ -1,0 +1,191 @@
+//go:build !windows
+
+package procmpi_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/obs"
+	"repro/internal/procmpi"
+)
+
+// TestHelperProcWorker is not a test: it is the body of the worker child
+// processes the real-process tests below fork (the test binary re-execs
+// itself with -test.run pinned here). The child dials the coordinator,
+// reports its real PID, and parks in a receive until the hub tears the
+// world down — or until it is killed for real.
+func TestHelperProcWorker(t *testing.T) {
+	if os.Getenv("PROCMPI_HELPER") != "1" {
+		t.Skip("helper process entry point")
+	}
+	rank, _ := strconv.Atoi(os.Getenv("PROCMPI_RANK"))
+	size, _ := strconv.Atoi(os.Getenv("PROCMPI_SIZE"))
+	hbms, _ := strconv.Atoi(os.Getenv("PROCMPI_HB_MS"))
+	hb := time.Duration(hbms) * time.Millisecond
+	w, err := procmpi.Dial(procmpi.WorkerConfig{
+		Network:           "unix",
+		Addr:              os.Getenv("PROCMPI_ADDR"),
+		Rank:              rank,
+		Size:              size,
+		PID:               os.Getpid(),
+		HeartbeatInterval: hb,
+	})
+	if err != nil {
+		os.Exit(2)
+	}
+	_, _ = w.Recv(mpi.AnySource, 1)
+	w.Close()
+	os.Exit(0)
+}
+
+func spawnWorker(t *testing.T, addr string, rank, size, hbms int) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestHelperProcWorker$")
+	cmd.Env = append(os.Environ(),
+		"PROCMPI_HELPER=1",
+		"PROCMPI_ADDR="+addr,
+		"PROCMPI_RANK="+strconv.Itoa(rank),
+		"PROCMPI_SIZE="+strconv.Itoa(size),
+		"PROCMPI_HB_MS="+strconv.Itoa(hbms),
+	)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("spawn rank %d: %v", rank, err)
+	}
+	return cmd
+}
+
+func newHub(t *testing.T, timeout time.Duration, flight *obs.Recorder, deaths chan int) (*procmpi.Coordinator, string) {
+	t.Helper()
+	ln, err := net.Listen("unix", filepath.Join(t.TempDir(), "hub.sock"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := procmpi.NewCoordinator(ln, procmpi.CoordinatorConfig{
+		Size:             2,
+		HeartbeatTimeout: timeout,
+		Flight:           flight,
+		OnDeath:          func(rank int) { deaths <- rank },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return coord, ln.Addr().String()
+}
+
+func awaitDeath(t *testing.T, deaths chan int, want int) {
+	t.Helper()
+	select {
+	case r := <-deaths:
+		if r != want {
+			t.Fatalf("death reported for rank %d, want %d", r, want)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("rank %d never declared dead", want)
+	}
+}
+
+// TestRealProcessSIGKILL kills a real worker process with an external
+// SIGKILL — not through any transport API — and proves the coordinator
+// observes the death through socket EOF: the liveness view flips, the
+// OnDeath hook fires, and the flight recorder logs the real death.
+func TestRealProcessSIGKILL(t *testing.T) {
+	flight := obs.NewRecorder(256, true)
+	deaths := make(chan int, 4)
+	coord, addr := newHub(t, 0, flight, deaths)
+
+	w0 := spawnWorker(t, addr, 0, 2, 0)
+	w1 := spawnWorker(t, addr, 1, 2, 0)
+	defer func() {
+		_ = w0.Process.Kill()
+		_, _ = w0.Process.Wait()
+		_ = w1.Process.Kill()
+		_, _ = w1.Process.Wait()
+	}()
+	if err := coord.WaitConnected(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	pid, ok := coord.PID(1)
+	if !ok || pid != w1.Process.Pid {
+		t.Fatalf("coordinator PID(1) = %d,%v; child pid %d", pid, ok, w1.Process.Pid)
+	}
+
+	if err := syscall.Kill(w1.Process.Pid, syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	awaitDeath(t, deaths, 1)
+	if coord.Alive(1) {
+		t.Fatal("rank 1 alive after real SIGKILL")
+	}
+	if !coord.Alive(0) {
+		t.Fatal("rank 0 died collaterally")
+	}
+	found := false
+	for _, rec := range flight.Records() {
+		if rec.Kind == "dead" && rec.Rank == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no dead flight record for the SIGKILLed rank")
+	}
+}
+
+// TestRealProcessSIGSTOP wedges a real worker with SIGSTOP. Its socket
+// stays open — EOF can never fire — so only the heartbeat monitor can
+// declare it dead, after which the coordinator's enforcement SIGKILL
+// actually reaps it (SIGKILL terminates a stopped process).
+func TestRealProcessSIGSTOP(t *testing.T) {
+	flight := obs.NewRecorder(256, true)
+	deaths := make(chan int, 4)
+	coord, addr := newHub(t, 500*time.Millisecond, flight, deaths)
+
+	w0 := spawnWorker(t, addr, 0, 2, 50)
+	w1 := spawnWorker(t, addr, 1, 2, 50)
+	defer func() {
+		_ = syscall.Kill(w1.Process.Pid, syscall.SIGCONT)
+		_ = w0.Process.Kill()
+		_, _ = w0.Process.Wait()
+		_ = w1.Process.Kill()
+		_, _ = w1.Process.Wait()
+	}()
+	if err := coord.WaitConnected(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := syscall.Kill(w1.Process.Pid, syscall.SIGSTOP); err != nil {
+		t.Fatal(err)
+	}
+	awaitDeath(t, deaths, 1)
+	if coord.Alive(1) {
+		t.Fatal("rank 1 alive after heartbeat timeout")
+	}
+	if !coord.Alive(0) {
+		t.Fatal("rank 0 died collaterally")
+	}
+	found := false
+	for _, rec := range flight.Records() {
+		if rec.Kind == "heartbeat_timeout" && rec.Rank == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no heartbeat_timeout flight record for the wedged rank")
+	}
+	// The enforcement SIGKILL must actually reap the stopped process.
+	st, err := w1.Process.Wait()
+	if err != nil {
+		t.Fatalf("wait on wedged child: %v", err)
+	}
+	if ws, ok := st.Sys().(syscall.WaitStatus); ok && (!ws.Signaled() || ws.Signal() != syscall.SIGKILL) {
+		t.Fatalf("wedged child exited %v, want SIGKILL", st)
+	}
+}

@@ -1,0 +1,116 @@
+// Package procmpi is the multi-process transport backend: each physical
+// rank is a real OS process connected to a rank-zero coordinator over a
+// Unix or TCP socket, exchanging length-prefixed frames (mpi.Frame).
+// The coordinator is a routing hub — workers have exactly one connection
+// each, and every data frame takes two hops (src → hub → dst) — which
+// keeps rendezvous, liveness, and the epoch protocol in one place at the
+// cost of one forwarding copy per message.
+//
+// Liveness is observed, not simulated: a worker is dead when its socket
+// reaches EOF (the kernel reports a SIGKILLed process immediately) or
+// when its heartbeats stop (a wedged-but-alive process, e.g. SIGSTOP).
+// Both paths feed the same flight-recorder events ("dead", "revive",
+// "interrupt", "resume", "abort") and the same Interrupt → Revive →
+// Resume epoch protocol as the simulated backend, so the recovery
+// orchestration and its forensics are transport-independent.
+package procmpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Frame types on the worker⇄coordinator wire. Data frames carry
+// application payloads end to end; everything else is the transport's
+// control plane.
+const (
+	// frameData carries one application message; Src/Dst/Tag are the MPI
+	// envelope and the payload is the message body. Worker → hub → worker.
+	frameData byte = iota + 1
+	// frameHello opens a worker connection: Src is the claimed rank, the
+	// payload is the worker's PID (zero for in-process workers).
+	frameHello
+	// frameWelcome acknowledges a hello: the payload carries the world
+	// size, the interrupted flag, and the current dead-rank set, so a
+	// late or revived worker joins with a correct liveness view.
+	frameWelcome
+	// frameHeartbeat is the worker's periodic liveness proof.
+	frameHeartbeat
+	// frameDead announces a rank's death to every worker (Src = victim).
+	frameDead
+	// frameRevive announces a revived rank to every worker (Src = rank).
+	frameRevive
+	// frameInterrupt pauses the epoch; workers answer frameInterruptAck
+	// once their blocked operations have been released.
+	frameInterrupt
+	frameInterruptAck
+	// frameResume starts a fresh epoch; workers purge their mailboxes and
+	// reset bookmark counts before answering frameResumeAck.
+	frameResume
+	frameResumeAck
+	// frameAbort tears the attempt down.
+	frameAbort
+	// frameKilled tells a worker its own rank was fail-stopped (the
+	// in-process analogue of SIGKILL).
+	frameKilled
+	// frameBye reports clean application completion (worker → hub).
+	frameBye
+	// frameStep relays an application step notification (Tag = step) so
+	// the job runner can drive step-triggered kills.
+	frameStep
+	// frameAppErr reports an application error; the payload is the error
+	// text.
+	frameAppErr
+)
+
+// encodeHello builds the hello payload: the worker's PID as 8 bytes big
+// endian (zero when the worker is not its own process).
+func encodeHello(pid int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(pid))
+	return b[:]
+}
+
+func decodeHello(p []byte) (pid int, err error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("procmpi: hello payload %d bytes", len(p))
+	}
+	return int(binary.BigEndian.Uint64(p)), nil
+}
+
+// encodeWelcome builds the welcome payload: world size, interrupted
+// flag, and the dead-rank set at join time.
+func encodeWelcome(size int, interrupted bool, dead []int) []byte {
+	b := make([]byte, 0, 9+4*len(dead))
+	var u [4]byte
+	binary.BigEndian.PutUint32(u[:], uint32(size))
+	b = append(b, u[:]...)
+	if interrupted {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	binary.BigEndian.PutUint32(u[:], uint32(len(dead)))
+	b = append(b, u[:]...)
+	for _, r := range dead {
+		binary.BigEndian.PutUint32(u[:], uint32(r))
+		b = append(b, u[:]...)
+	}
+	return b
+}
+
+func decodeWelcome(p []byte) (size int, interrupted bool, dead []int, err error) {
+	if len(p) < 9 {
+		return 0, false, nil, fmt.Errorf("procmpi: welcome payload %d bytes", len(p))
+	}
+	size = int(binary.BigEndian.Uint32(p))
+	interrupted = p[4] != 0
+	n := int(binary.BigEndian.Uint32(p[5:]))
+	if len(p) != 9+4*n {
+		return 0, false, nil, fmt.Errorf("procmpi: welcome payload %d bytes for %d dead", len(p), n)
+	}
+	for i := 0; i < n; i++ {
+		dead = append(dead, int(binary.BigEndian.Uint32(p[9+4*i:])))
+	}
+	return size, interrupted, dead, nil
+}

@@ -6,48 +6,12 @@ import (
 	"repro/internal/mpi"
 )
 
-func TestClassFor(t *testing.T) {
-	cases := []struct{ n, want int }{
-		{0, 0},
-		{1, 0},
-		{arenaMinClass, 0},
-		{arenaMinClass + 1, 1},
-		{4096, 6},
-		{arenaMaxClass, arenaClasses - 1},
-		{arenaMaxClass + 1, -1},
-	}
-	for _, c := range cases {
-		if got := classFor(c.n); got != c.want {
-			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
-		}
-	}
-}
+// Arena unit tests live beside the pool in internal/mpi; these tests
+// cover the World's end-to-end use of it.
 
-func TestArenaOversizedFallback(t *testing.T) {
-	a := newArena()
-	b, pb := a.acquire(arenaMaxClass + 1)
-	if len(b) != arenaMaxClass+1 {
-		t.Fatalf("oversized acquire len = %d", len(b))
-	}
-	if pb != nil {
-		t.Fatal("oversized acquire must have no pooled handle")
-	}
-}
-
-func TestArenaRecycleRejectsForeignBuffer(t *testing.T) {
-	a := newArena()
-	// cap 100 matches no power-of-two class; Recycle must drop it
-	// rather than poison a pool class with a short buffer.
-	pb := mpi.NewPooledBuf(make([]byte, 100), a)
-	a.Recycle(pb) // must not panic or Put
-	b, got := a.acquire(100)
-	if got == pb {
-		t.Fatal("foreign buffer re-issued from the pool")
-	}
-	if len(b) != 100 || cap(b) != 128 {
-		t.Fatalf("acquire(100) len/cap = %d/%d, want 100/128", len(b), cap(b))
-	}
-}
+// poisonByte mirrors the arena's recycled-buffer sentinel (the constant
+// is part of the mpi.Arena debugging contract).
+const poisonByte = 0xDB
 
 // TestSendRecvSteadyStateAllocs pins the tentpole win: once the pool is
 // warm, a blocking send/receive/release round trip allocates nothing on

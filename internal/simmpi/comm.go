@@ -153,7 +153,7 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 	var pb *mpi.PooledBuf
 	if data != nil {
 		if c.world.pool != nil {
-			buf, pb = c.world.pool.acquire(len(data))
+			buf, pb = c.world.pool.Acquire(len(data))
 			c.world.met.bytesPooled.Add(uint64(len(data)))
 		} else {
 			buf = make([]byte, len(data))
@@ -174,7 +174,7 @@ func (c *Comm) AcquireBuffer(n int) ([]byte, *mpi.PooledBuf) {
 		return make([]byte, n), nil
 	}
 	c.world.met.bytesPooled.Add(uint64(n))
-	return c.world.pool.acquire(n)
+	return c.world.pool.Acquire(n)
 }
 
 // SendPooled implements mpi.SharedSender: like Send, but data (a view of

@@ -1,99 +1,12 @@
 package simmpi
 
-import (
-	"sync"
+import "repro/internal/mpi"
 
-	"repro/internal/mpi"
-)
+// The payload buffer arena started here and moved to the shared mpi
+// package (mpi.Arena) when the transport grew a second backend: the
+// multi-process runtime's socket receive path borrows the same pooled
+// buffers for zero-copy frame delivery. These aliases keep the World's
+// internals reading as before; the arena's unit tests moved with it.
+type arena = mpi.Arena
 
-// The arena is the World's sync.Pool-backed buffer pool for message
-// payloads. Sends borrow a buffer, copy the payload once at the
-// transport boundary, and enqueue it; the receiver owns the buffer until
-// it calls Message.Release, which returns it here for the next send.
-// Buffers are size-classed in powers of two so a recycled buffer is
-// never undersized for its class, and each buffer keeps its
-// mpi.PooledBuf handle for life — recycling re-uses the handle, so the
-// steady-state send/receive/release cycle allocates nothing.
-//
-// Oversized payloads (beyond the largest class) fall back to plain
-// allocations with no handle; they are rare (checkpoint images take the
-// storage path, not the message path) and simply bypass reuse.
-
-const (
-	// arenaMinClass is the smallest pooled buffer (wire headers, hashes,
-	// barrier tokens all fit).
-	arenaMinClass = 64
-	// arenaMaxClass bounds pooled buffers; beyond it the arena falls
-	// back to plain allocation.
-	arenaMaxClass = 64 * 1024
-	arenaClasses  = 11 // 64 << 10 == 64 KiB
-)
-
-type arena struct {
-	classes [arenaClasses]sync.Pool
-	// poison overwrites returned buffers with a sentinel so a
-	// use-after-release reads garbage deterministically; enabled under
-	// the race detector where such bugs should be loudest.
-	poison bool
-}
-
-var _ mpi.Recycler = (*arena)(nil)
-
-func newArena() *arena {
-	a := &arena{poison: raceEnabled}
-	for c := range a.classes {
-		size := arenaMinClass << c
-		a.classes[c].New = func() any {
-			return mpi.NewPooledBuf(make([]byte, size), a)
-		}
-	}
-	return a
-}
-
-// classFor returns the index of the smallest class holding n bytes, or
-// -1 when n exceeds the largest class.
-func classFor(n int) int {
-	size := arenaMinClass
-	for c := 0; c < arenaClasses; c++ {
-		if n <= size {
-			return c
-		}
-		size <<= 1
-	}
-	return -1
-}
-
-// acquire returns a buffer of length n and its refcounted handle (nil
-// for oversized fallback allocations). The handle carries one creator
-// reference.
-func (a *arena) acquire(n int) ([]byte, *mpi.PooledBuf) {
-	c := classFor(n)
-	if c < 0 {
-		return make([]byte, n), nil
-	}
-	pb := a.classes[c].Get().(*mpi.PooledBuf)
-	pb.Reset()
-	return pb.Bytes()[:n], pb
-}
-
-// Recycle implements mpi.Recycler: the buffer's last reference was
-// released, so it goes back to its size class for the next acquire.
-func (a *arena) Recycle(pb *mpi.PooledBuf) {
-	b := pb.Bytes()
-	c := classFor(cap(b))
-	if c < 0 || arenaMinClass<<c != cap(b) {
-		return // not one of ours; drop it for the GC
-	}
-	if a.poison {
-		full := b[:cap(b)]
-		for i := range full {
-			full[i] = poisonByte
-		}
-	}
-	a.classes[c].Put(pb)
-}
-
-// poisonByte fills recycled buffers under the race detector: any reader
-// holding a released payload sees this pattern instead of stale (or
-// worse, newly overwritten) data.
-const poisonByte = 0xDB
+func newArena() *arena { return mpi.NewArena() }

@@ -178,6 +178,12 @@ func (w *World) Comm(rank int) (*Comm, error) {
 	return w.comms[rank], nil
 }
 
+// Endpoint implements mpi.Transport; it is Comm behind the
+// backend-neutral interface.
+func (w *World) Endpoint(rank int) (mpi.Comm, error) { return w.Comm(rank) }
+
+var _ mpi.Transport = (*World)(nil)
+
 // errIfDown returns the error that should abort an operation by owner
 // waiting on src, or nil if the owner may keep waiting.
 func (w *World) errIfDown(owner, src int) error {

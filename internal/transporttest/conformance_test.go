@@ -1,0 +1,44 @@
+package transporttest
+
+import (
+	"testing"
+
+	"repro/internal/mpi"
+	"repro/internal/procmpi"
+	"repro/internal/simmpi"
+)
+
+func TestSimTransportConformance(t *testing.T) {
+	RunSuite(t, func(t *testing.T, n int) mpi.Transport {
+		w, err := simmpi.NewWorld(n)
+		if err != nil {
+			t.Fatalf("simmpi.NewWorld(%d): %v", n, err)
+		}
+		return w
+	})
+}
+
+func TestProcTransportConformance(t *testing.T) {
+	RunSuite(t, func(t *testing.T, n int) mpi.Transport {
+		l, err := procmpi.NewLocal(n, procmpi.LocalConfig{})
+		if err != nil {
+			t.Fatalf("procmpi.NewLocal(%d): %v", n, err)
+		}
+		t.Cleanup(l.Close)
+		return l
+	})
+}
+
+func TestProcTransportConformanceTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	RunSuite(t, func(t *testing.T, n int) mpi.Transport {
+		l, err := procmpi.NewLocal(n, procmpi.LocalConfig{Network: "tcp"})
+		if err != nil {
+			t.Fatalf("procmpi.NewLocal(%d, tcp): %v", n, err)
+		}
+		t.Cleanup(l.Close)
+		return l
+	})
+}
