@@ -257,6 +257,20 @@ func generators() map[string]generator {
 			}
 			return renderTable(t, o.csv), nil
 		}},
+		"shrinkcmp": {"checkpoint/restart vs shrink-and-continue across MTBF (model)", func(o options) (string, error) {
+			t, err := expt.ShrinkVsRestart()
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
+		}},
+		"shrinklive": {"restart vs shrink-and-continue on one sphere kill (live)", func(o options) (string, error) {
+			t, err := expt.ShrinkLive(expt.DefaultShrinkLiveParams())
+			if err != nil {
+				return "", err
+			}
+			return renderTable(t, o.csv), nil
+		}},
 		"overlap": {"sync vs pipelined checkpoint write path: effective δ (live)", func(o options) (string, error) {
 			t, err := expt.Overlap(expt.DefaultOverlapParams())
 			if err != nil {

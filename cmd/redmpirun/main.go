@@ -70,6 +70,7 @@ func run(args []string) error {
 		mtbf     = fs.Duration("mtbf", 0, "per-node MTBF for Poisson failure injection (0 = none)")
 		interval = fs.Int("interval", 0, "checkpoint every N steps (0 = no checkpointing)")
 		restarts = fs.Int("max-restarts", 10, "restart budget")
+		recovery = fs.String("recovery", "restart", "recovery policy: restart (attempt loop from checkpoints) | shrink (ULFM-style survivor recovery: the job shrinks onto the survivors, no restarts, no checkpoints)")
 		seed     = fs.Int64("seed", 1, "failure-injection seed")
 		ckptDir  = fs.String("ckpt-dir", "", "persist checkpoints to this directory (default: in-memory)")
 		grid     = fs.Int("grid", 10, "cg: Laplacian grid (grid^2 unknowns); stencil: width")
@@ -113,6 +114,23 @@ func run(args []string) error {
 	if *transport != "sim" && *transport != "proc" {
 		return fmt.Errorf("unknown -transport %q (sim | proc)", *transport)
 	}
+	switch *recovery {
+	case "restart":
+	case "shrink":
+		// Shrink-and-continue excludes the whole rollback machinery; an
+		// explicitly requested piece of it is a contradiction, while the
+		// defaults are simply neutralised.
+		set := map[string]bool{}
+		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"interval", "max-restarts", "peer-replicas", "partial-restart", "async-checkpoint", "kill-once"} {
+			if set[name] {
+				return fmt.Errorf("-%s is meaningless with -recovery shrink (the job never restarts or restores)", name)
+			}
+		}
+		*interval, *restarts, *peerRep, *partialR = 0, 0, 0, false
+	default:
+		return fmt.Errorf("unknown -recovery %q (restart | shrink)", *recovery)
+	}
 	pf := procFlags{
 		appName:  *appName,
 		np:       *np,
@@ -120,6 +138,7 @@ func run(args []string) error {
 		mode:     *mode,
 		interval: *interval,
 		restarts: *restarts,
+		recovery: *recovery,
 		seed:     *seed,
 		ckptDir:  *ckptDir,
 		grid:     *grid,
@@ -132,12 +151,12 @@ func run(args []string) error {
 		listen:   *listenAt,
 
 		scheduleOnce: *killOnce,
+		stepKills:    *killStep,
 		mtbf:         *mtbf,
 
 		peerReplicas:   *peerRep,
 		partialRestart: *partialR,
 		asyncCkpt:      *asyncCkpt,
-		stepKills:      *killStep,
 		sendLatency:    *sendLat,
 	}
 	if *procRank >= 0 {
@@ -150,6 +169,7 @@ func run(args []string) error {
 	cfg := core.Config{
 		Ranks:          *np,
 		Degree:         *degree,
+		RecoveryPolicy: core.RecoveryPolicy(*recovery),
 		StepInterval:   *interval,
 		NodeMTBF:       *mtbf,
 		Seed:           *seed,
@@ -294,6 +314,9 @@ func run(args []string) error {
 	if cfg.PeerReplicas > 0 {
 		fmt.Printf("recovery: partial-restarts=%d full-restarts=%d recomputed-steps=%d\n",
 			res.PartialRestarts, res.Restarts, res.RecomputedSteps)
+	}
+	if cfg.RecoveryPolicy == core.RecoverShrink {
+		fmt.Printf("recovery: shrink episodes=%d restarts=0\n", res.ShrinkEpisodes)
 	}
 	fmt.Printf("redundancy layer: %d physical sends, %d deliveries, %d mismatches, %d corrections\n",
 		res.Redundancy.PhysicalSends, res.Redundancy.Deliveries,

@@ -179,6 +179,73 @@ func TestPartialRestartFlagsSmoke(t *testing.T) {
 	}
 }
 
+// TestShrinkRecoveryFlagSmoke exercises -recovery shrink end to end on
+// the sim transport: a worker sphere killed mid-taskfarm must be
+// survived in place — completion with zero restarts and zero restores —
+// and the flight dump must carry the shrink span.
+func TestShrinkRecoveryFlagSmoke(t *testing.T) {
+	dir := t.TempDir()
+	metricsPath := filepath.Join(dir, "metrics.json")
+	flightPath := filepath.Join(dir, "flight.jsonl")
+	args := []string{
+		"-app", "taskfarm", "-np", "4", "-r", "1",
+		"-iters", "25", "-compute", "0s",
+		"-recovery", "shrink",
+		"-kill-at-step", "2@5",
+		"-metrics", metricsPath,
+		"-flight", flightPath,
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	data, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if got := snap.Counter("shrink_episodes_total"); got == 0 {
+		t.Error("shrink_episodes_total = 0")
+	}
+	for _, name := range []string{"checkpoint_restores_total", "runner_restarts_total"} {
+		if got := snap.Counter(name); got != 0 {
+			t.Errorf("%s = %d, want 0", name, got)
+		}
+	}
+	flight, err := os.ReadFile(flightPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(flight), `"kind":"shrink"`) {
+		t.Error("flight dump has no shrink span")
+	}
+}
+
+// TestShrinkRejectsRollbackFlags pins the CLI contract: explicitly
+// combining -recovery shrink with any rollback flag is an error, not a
+// silent override.
+func TestShrinkRejectsRollbackFlags(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-interval", "5"},
+		{"-max-restarts", "2"},
+		{"-peer-replicas", "1"},
+		{"-partial-restart"},
+		{"-kill-once"},
+	} {
+		args := append([]string{"-app", "taskfarm", "-np", "3", "-r", "1",
+			"-iters", "4", "-compute", "0s", "-recovery", "shrink"}, extra...)
+		if err := run(args); err == nil {
+			t.Errorf("run with %v accepted under -recovery shrink", extra)
+		}
+	}
+	if err := run([]string{"-app", "cg", "-np", "2", "-r", "1", "-iters", "4",
+		"-grid", "4", "-compute", "0s", "-recovery", "rewind"}); err == nil {
+		t.Error("unknown -recovery value accepted")
+	}
+}
+
 // TestExhaustionExitCode pins the CI-smoke contract: a job that burns
 // through its restart budget exits with the distinct code 3, anything
 // else with 1.

@@ -26,6 +26,7 @@ type procFlags struct {
 	mode     string
 	interval int
 	restarts int
+	recovery string
 	seed     int64
 	ckptDir  string
 	grid     int
@@ -39,20 +40,21 @@ type procFlags struct {
 
 	schedule     []failure.Kill
 	scheduleOnce bool
+	stepKills    string
 	mtbf         time.Duration
 
 	// Flags the proc transport rejects (checked in validate).
 	peerReplicas   int
 	partialRestart bool
 	asyncCkpt      bool
-	stepKills      string
 	sendLatency    time.Duration
 }
 
 // validate rejects the feature combinations the multi-process backend
 // does not carry: the peer checkpoint tier and async pipeline live in
-// one address space, and step-triggered kills / send-latency emulation
-// are simulation instruments.
+// one address space, and send-latency emulation is a simulation
+// instrument. Step-triggered kills ride the coordinator's frameStep
+// relay and land as real SIGKILLs.
 func (pf procFlags) validate() error {
 	switch {
 	case pf.peerReplicas > 0:
@@ -61,8 +63,6 @@ func (pf procFlags) validate() error {
 		return fmt.Errorf("-partial-restart is not supported with -transport proc")
 	case pf.asyncCkpt:
 		return fmt.Errorf("-async-checkpoint is not supported with -transport proc")
-	case pf.stepKills != "":
-		return fmt.Errorf("-kill-at-step is not supported with -transport proc (use -kill with wall-clock offsets)")
 	case pf.sendLatency > 0:
 		return fmt.Errorf("-send-latency is not supported with -transport proc (real sockets have real latency)")
 	case pf.interval > 0 && pf.ckptDir == "":
@@ -82,10 +82,17 @@ func (pf procFlags) workerArgs(rank int, network, addr string) []string {
 		"-np", strconv.Itoa(pf.np),
 		"-r", strconv.FormatFloat(pf.degree, 'g', -1, 64),
 		"-mode", pf.mode,
-		"-interval", strconv.Itoa(pf.interval),
 		"-grid", strconv.Itoa(pf.grid),
 		"-iters", strconv.Itoa(pf.iters),
 		"-compute", pf.compute.String(),
+	}
+	if pf.recovery != "" {
+		args = append(args, "-recovery", pf.recovery)
+	}
+	// Forwarded only when set: a shrink worker's flag validation rejects
+	// rollback flags even at their zero values.
+	if pf.interval > 0 {
+		args = append(args, "-interval", strconv.Itoa(pf.interval))
 	}
 	if pf.ckptDir != "" {
 		args = append(args, "-ckpt-dir", pf.ckptDir)
@@ -129,6 +136,16 @@ func runProcJob(pf procFlags, reg *obs.Registry, rec *obs.Recorder, tracer *obs.
 	if pf.listen != "" {
 		network, listen = "tcp", pf.listen
 	}
+	var stepKills []procmpi.StepKill
+	if pf.stepKills != "" {
+		kills, kerr := parseStepKills(pf.stepKills)
+		if kerr != nil {
+			return kerr
+		}
+		for _, k := range kills {
+			stepKills = append(stepKills, procmpi.StepKill{Step: k.Step, Rank: k.Rank})
+		}
+	}
 	cfg := procmpi.JobConfig{
 		Physical:       rankMap.PhysicalSize(),
 		Spheres:        spheres,
@@ -136,8 +153,10 @@ func runProcJob(pf procFlags, reg *obs.Registry, rec *obs.Recorder, tracer *obs.
 		Listen:         listen,
 		MaxRestarts:    pf.restarts,
 		AttemptTimeout: pf.timeout,
+		Shrink:         pf.recovery == "shrink",
 		Schedule:       pf.schedule,
 		ScheduleOnce:   pf.scheduleOnce,
+		StepKills:      stepKills,
 		NodeMTBF:       pf.mtbf,
 		Seed:           pf.seed,
 		Obs:            reg,
@@ -170,6 +189,9 @@ func runProcJob(pf procFlags, reg *obs.Registry, rec *obs.Recorder, tracer *obs.
 	for _, at := range res.Attempts {
 		fmt.Printf("  attempt %d: elapsed=%v failures=%d jobFailed=%v timedOut=%v\n",
 			at.Index, at.Elapsed.Round(time.Millisecond), at.Failures, at.JobFailed, at.TimedOut)
+	}
+	if cfg.Shrink {
+		fmt.Printf("recovery: shrink episodes=%d restarts=0\n", res.ShrinkEpisodes)
 	}
 	return runErr
 }
@@ -212,25 +234,35 @@ func runProcWorker(pf procFlags, rank int, network, addr string, factory func() 
 	if err != nil {
 		return err
 	}
+	// Peer deaths are observed through the fault-notification API, not by
+	// sniffing error identities: the handler fires once per failed
+	// virtual rank, from inside the observing call. Under -recovery
+	// shrink the application installs its own handler over this one and
+	// does its own classification (it repairs instead of exiting).
+	peerFailures := 0
+	rc.SetErrhandler(func(mpi.FailureInfo) { peerFailures++ })
 
-	var store checkpoint.Storage
-	if pf.ckptDir != "" {
-		if store, err = checkpoint.NewFileStorage(pf.ckptDir); err != nil {
+	shrink := pf.recovery == "shrink"
+	var client *checkpoint.Client
+	if !shrink {
+		var store checkpoint.Storage
+		if pf.ckptDir != "" {
+			if store, err = checkpoint.NewFileStorage(pf.ckptDir); err != nil {
+				return err
+			}
+		} else {
+			store = checkpoint.NewMemStorage()
+		}
+		if pf.compress {
+			store = &checkpoint.CompressedStorage{Inner: store, Obs: obs.NewRegistry(), Shards: pf.shards}
+		}
+		ccfg := checkpoint.Config{Storage: store}
+		if pf.interval > 0 {
+			ccfg.StepInterval = pf.interval
+		}
+		if client, err = checkpoint.NewClient(rc, ccfg); err != nil {
 			return err
 		}
-	} else {
-		store = checkpoint.NewMemStorage()
-	}
-	if pf.compress {
-		store = &checkpoint.CompressedStorage{Inner: store, Obs: obs.NewRegistry(), Shards: pf.shards}
-	}
-	ccfg := checkpoint.Config{Storage: store}
-	if pf.interval > 0 {
-		ccfg.StepInterval = pf.interval
-	}
-	client, err := checkpoint.NewClient(rc, ccfg)
-	if err != nil {
-		return err
 	}
 
 	v := rc.Rank()
@@ -249,12 +281,17 @@ func runProcWorker(pf procFlags, rank int, network, addr string, factory func() 
 			}
 			return false
 		},
-		ComputeDelay: pf.compute,
-		NoteStep:     func(step int) { _ = w.NoteStep(step) },
+		ComputeDelay:   pf.compute,
+		NoteStep:       func(step int) { _ = w.NoteStep(step) },
+		ShrinkRecovery: shrink,
 	}
 	app := factory()
 	if runErr := app.Run(ctx); runErr != nil {
-		if isProcCasualty(runErr) {
+		if peerFailures > 0 || isProcTeardown(runErr) {
+			// A peer failure this worker observed (through the handler) or
+			// a local fail-stop/teardown: an expected casualty, not an
+			// application bug. The coordinator's liveness and sphere
+			// accounting already tell that story.
 			return nil
 		}
 		_ = w.ReportError(runErr.Error())
@@ -263,15 +300,14 @@ func runProcWorker(pf procFlags, rank int, network, addr string, factory func() 
 	return w.Bye()
 }
 
-// isProcCasualty reports errors that are expected consequences of a
-// fail-stop or teardown rather than application bugs (the proc analogue
-// of core's failure class).
-func isProcCasualty(err error) bool {
+// isProcTeardown reports errors that are local consequences of this
+// worker's own fail-stop or the job's teardown. Peer failures are NOT
+// classified here by error identity — the errhandler installed in
+// runProcWorker is the single observation path for those.
+func isProcTeardown(err error) bool {
 	return errors.Is(err, mpi.ErrKilled) ||
-		errors.Is(err, mpi.ErrPeerDead) ||
 		errors.Is(err, mpi.ErrAborted) ||
 		errors.Is(err, mpi.ErrInterrupted) ||
-		errors.Is(err, redundancy.ErrSphereDead) ||
 		errors.Is(err, checkpoint.ErrIncomplete) ||
 		errors.Is(err, checkpoint.ErrNotQuiescent)
 }

@@ -41,6 +41,14 @@ type Context struct {
 	// for recomputed-work accounting and step-triggered failure
 	// injection.
 	NoteStep func(step int)
+	// ShrinkRecovery tells the application that the runtime never
+	// restarts: process failures must be survived in place through the
+	// communicator's fault-notification API (SetErrhandler, FailureAck,
+	// Agree, Shrink). Checkpointing is disabled under this policy (Ckpt
+	// is nil). Applications that do not implement shrink-and-continue
+	// simply fail when a peer dies, exactly as they would without the
+	// flag.
+	ShrinkRecovery bool
 }
 
 func (ctx *Context) writer() bool {
@@ -76,6 +84,37 @@ func (ctx *Context) compute() {
 	if ctx.ComputeDelay > 0 {
 		time.Sleep(ctx.ComputeDelay)
 	}
+}
+
+// shrinkComm runs Comm.Shrink and narrows the result to *mpi.Shrunk,
+// the concrete type every backend's Shrink builds (the apps need its
+// rank-translation accessors to carry bookkeeping across a repair).
+func shrinkComm(c mpi.Comm) (*mpi.Shrunk, error) {
+	sc, err := c.Shrink()
+	if err != nil {
+		return nil, err
+	}
+	sh, ok := sc.(*mpi.Shrunk)
+	if !ok {
+		return nil, fmt.Errorf("apps: Shrink returned %T, want *mpi.Shrunk", sc)
+	}
+	return sh, nil
+}
+
+// shrinkRemap translates a rank of the pre-shrink communicator old into
+// the post-shrink communicator sh; ok is false when the rank did not
+// survive. Shrunk communicators stack one level deep over a common
+// base, so the translation goes through base-rank space.
+func shrinkRemap(old mpi.Comm, sh *mpi.Shrunk, rank int) (int, bool) {
+	base := rank
+	if os, isShrunk := old.(*mpi.Shrunk); isShrunk {
+		br, err := os.BaseRank(rank)
+		if err != nil {
+			return 0, false
+		}
+		base = br
+	}
+	return sh.NewRank(base)
 }
 
 // App is a deterministic distributed application.

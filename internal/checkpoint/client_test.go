@@ -330,8 +330,12 @@ func (n noTracker) Recv(src, tag int) (mpi.Message, error) { return n.c.Recv(src
 func (n noTracker) Isend(dst, tag int, data []byte) (mpi.Request, error) {
 	return n.c.Isend(dst, tag, data)
 }
-func (n noTracker) Irecv(src, tag int) (mpi.Request, error) { return n.c.Irecv(src, tag) }
-func (n noTracker) Probe(src, tag int) (mpi.Status, error)  { return n.c.Probe(src, tag) }
+func (n noTracker) Irecv(src, tag int) (mpi.Request, error)  { return n.c.Irecv(src, tag) }
+func (n noTracker) Probe(src, tag int) (mpi.Status, error)   { return n.c.Probe(src, tag) }
+func (n noTracker) SetErrhandler(fn func(mpi.FailureInfo))   { n.c.SetErrhandler(fn) }
+func (n noTracker) FailureAck() []int                        { return n.c.FailureAck() }
+func (n noTracker) Shrink() (mpi.Comm, error)                { return n.c.Shrink() }
+func (n noTracker) Agree(flag bool) (bool, error)            { return n.c.Agree(flag) }
 
 func TestNoTrackerReallyHidesCounts(t *testing.T) {
 	if _, ok := interface{}(noTracker{}).(mpi.CountTracker); ok {

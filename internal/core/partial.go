@@ -583,6 +583,7 @@ type RankError = simmpi.RankError
 func isFailureClass(err error) bool {
 	return errors.Is(err, mpi.ErrKilled) ||
 		errors.Is(err, mpi.ErrPeerDead) ||
+		errors.Is(err, mpi.ErrFailurePending) ||
 		errors.Is(err, mpi.ErrAborted) ||
 		errors.Is(err, mpi.ErrInterrupted) ||
 		errors.Is(err, redundancy.ErrSphereDead)

@@ -22,6 +22,24 @@ import (
 	"repro/internal/stats"
 )
 
+// RecoveryPolicy selects what the runner does when a whole replica
+// sphere dies (job failure, Fig. 7).
+type RecoveryPolicy string
+
+const (
+	// RecoverRestart is the paper's baseline: tear the world down and
+	// restart from the last committed checkpoint. The zero value.
+	RecoverRestart RecoveryPolicy = "restart"
+	// RecoverShrink is ULFM-style shrink-and-continue: the application
+	// observes the failure through the communicator's errhandler,
+	// acknowledges it, agrees with the survivors, and continues on a
+	// shrunk communicator — no restart, no checkpoint restore. The
+	// application must be written against the fault-notification API
+	// (taskfarm and stencil are); checkpointing is disabled because
+	// nothing ever rolls back.
+	RecoverShrink RecoveryPolicy = "shrink"
+)
+
 // Config describes one job: the application scale, redundancy degree,
 // checkpoint schedule, failure environment, and emulation knobs.
 type Config struct {
@@ -74,6 +92,13 @@ type Config struct {
 	// PartialRestartLimit bounds in-place recoveries per attempt before
 	// falling back to full restarts; zero means 3.
 	PartialRestartLimit int
+
+	// RecoveryPolicy selects the response to a sphere death: restart
+	// from checkpoint (the default) or ULFM-style shrink-and-continue.
+	// The shrink policy is incompatible with checkpointing, the peer
+	// tier, partial restart, and a restart budget — survivors never roll
+	// back, so none of that machinery may be configured.
+	RecoveryPolicy RecoveryPolicy
 
 	// NodeMTBF enables Poisson failure injection with the given per-node
 	// MTBF (scaled down to test scale); zero disables injection.
@@ -171,6 +196,18 @@ func (cfg Config) Validate() error {
 			"which would corrupt the bookmark quiescence counts)")
 	case cfg.AsyncWorkers < 0:
 		return fmt.Errorf("core: AsyncWorkers = %d", cfg.AsyncWorkers)
+	case cfg.RecoveryPolicy != "" && cfg.RecoveryPolicy != RecoverRestart &&
+		cfg.RecoveryPolicy != RecoverShrink:
+		return fmt.Errorf("core: unknown RecoveryPolicy %q", cfg.RecoveryPolicy)
+	case cfg.RecoveryPolicy == RecoverShrink && cfg.PartialRestart:
+		return fmt.Errorf("core: shrink recovery is incompatible with PartialRestart")
+	case cfg.RecoveryPolicy == RecoverShrink && cfg.PeerReplicas > 0:
+		return fmt.Errorf("core: shrink recovery is incompatible with PeerReplicas")
+	case cfg.RecoveryPolicy == RecoverShrink && cfg.StepInterval > 0:
+		return fmt.Errorf("core: shrink recovery never restores, so StepInterval " +
+			"(checkpointing) must be 0")
+	case cfg.RecoveryPolicy == RecoverShrink && cfg.MaxRestarts > 0:
+		return fmt.Errorf("core: shrink recovery never restarts, so MaxRestarts must be 0")
 	}
 	for _, k := range cfg.StepKills {
 		if k.Step <= 0 || k.Rank < 0 {
@@ -207,6 +244,9 @@ type Attempt struct {
 	// PartialRestarts counts the sphere-local in-place recoveries this
 	// attempt performed instead of tearing the world down.
 	PartialRestarts int
+	// ShrinkEpisodes counts the sphere deaths the attempt survived by
+	// shrinking instead of restarting (RecoverShrink only).
+	ShrinkEpisodes int
 	// Kills lists the physical ranks the injector killed this attempt,
 	// in injection order (nil without failure injection).
 	Kills []failure.Kill
@@ -234,6 +274,9 @@ type Result struct {
 	// PartialRestarts is the total number of sphere-local in-place
 	// recoveries across all attempts.
 	PartialRestarts int
+	// ShrinkEpisodes is the number of sphere deaths survived by
+	// shrink-and-continue (RecoverShrink only).
+	ShrinkEpisodes int
 	// RecomputedSteps counts application steps executed at or below a
 	// virtual rank's previous high-water mark — the paper's rework term,
 	// observed directly. Covers both full and partial restarts.
@@ -293,6 +336,9 @@ func Run(cfg Config, factory func() apps.App) (Result, error) {
 	}
 	if factory == nil {
 		return Result{}, fmt.Errorf("core: nil application factory")
+	}
+	if cfg.RecoveryPolicy == RecoverShrink {
+		return runShrink(cfg, factory)
 	}
 	rankMap, err := redundancy.NewRankMap(cfg.Ranks, cfg.Degree)
 	if err != nil {

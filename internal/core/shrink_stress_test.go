@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/failure"
+)
+
+// TestShrinkStressBackToBackEpisodes sweeps the step at which two
+// consecutive sphere exhaustions land, so the second failure arrives
+// while the farm is still absorbing the first repair — the window the
+// wildcard failure-notification protocol (leader envelopes, follower
+// pinning) must serialize identically on every replica. Run with -race:
+// the value of this test is the scheduler interleavings it explores,
+// not any single pass.
+func TestShrinkStressBackToBackEpisodes(t *testing.T) {
+	const tasks = 30
+	want := expectedFarmTotal(tasks)
+	for s := 2; s <= 7; s++ {
+		s := s
+		t.Run(fmt.Sprintf("deg1_step%d", s), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Ranks:          6,
+				Degree:         1,
+				RecoveryPolicy: RecoverShrink,
+				StepKills:      []StepKill{{Step: s, Rank: 3}, {Step: s + 1, Rank: 4}},
+				AttemptTimeout: 2 * time.Minute,
+			}, func() apps.App { return &apps.TaskFarm{Tasks: tasks} })
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("job did not complete")
+			}
+			if res.ShrinkEpisodes != 2 {
+				t.Fatalf("ShrinkEpisodes = %d, want 2", res.ShrinkEpisodes)
+			}
+			for _, app := range res.CompletedApps {
+				if tf := app.(*apps.TaskFarm); tf.Total != want {
+					t.Fatalf("Total = %d, want %d", tf.Total, want)
+				}
+			}
+		})
+		t.Run(fmt.Sprintf("deg2_step%d", s), func(t *testing.T) {
+			t.Parallel()
+			// Two worker spheres exhausted on overlapping schedules: the
+			// second sphere's first replica dies at the same step that
+			// exhausts the first sphere.
+			res, err := Run(Config{
+				Ranks:          4,
+				Degree:         2,
+				RecoveryPolicy: RecoverShrink,
+				StepKills: []StepKill{
+					{Step: s, Rank: 2}, {Step: s + 1, Rank: 3},
+					{Step: s + 1, Rank: 4}, {Step: s + 2, Rank: 5},
+				},
+				AttemptTimeout: 2 * time.Minute,
+			}, func() apps.App { return &apps.TaskFarm{Tasks: tasks} })
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("job did not complete")
+			}
+			if res.ShrinkEpisodes != 2 {
+				t.Fatalf("ShrinkEpisodes = %d, want 2", res.ShrinkEpisodes)
+			}
+			for _, app := range res.CompletedApps {
+				if tf := app.(*apps.TaskFarm); tf.Total != want {
+					t.Fatalf("Total = %d, want %d", tf.Total, want)
+				}
+			}
+		})
+	}
+}
+
+// TestShrinkStressTimedKills fires wall-clock-scheduled kills instead of
+// step-triggered ones, so the deaths land at arbitrary points of the
+// protocol — including inside a Shrink collective or between a failure
+// envelope and its acknowledgement. The job must complete with the
+// exact aggregate no matter where the kills strike (a kill landing
+// after the farm drained simply produces no episode).
+func TestShrinkStressTimedKills(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing sweep")
+	}
+	const tasks = 30
+	want := expectedFarmTotal(tasks)
+	for i := 0; i <= 5; i++ {
+		d := time.Duration(i) * 2 * time.Millisecond
+		t.Run(fmt.Sprintf("after%v", d), func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(Config{
+				Ranks:          6,
+				Degree:         1,
+				RecoveryPolicy: RecoverShrink,
+				FailureSchedule: []failure.Kill{
+					{Rank: 2, After: d},
+					{Rank: 4, After: d + time.Millisecond},
+				},
+				ComputeDelay:   500 * time.Microsecond,
+				AttemptTimeout: 2 * time.Minute,
+			}, func() apps.App { return &apps.TaskFarm{Tasks: tasks} })
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if !res.Completed {
+				t.Fatal("job did not complete")
+			}
+			for _, app := range res.CompletedApps {
+				if tf := app.(*apps.TaskFarm); tf.Total != want {
+					t.Fatalf("Total = %d, want %d", tf.Total, want)
+				}
+			}
+		})
+	}
+}

@@ -90,15 +90,24 @@ func goldenArtefacts(t *testing.T) map[string]string {
 		}
 		out[sc.id] = res.Figure.Format()
 	}
+
+	cmp, err := ShrinkVsRestart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["shrinkcmp"] = cmp.Format()
 	return out
 }
 
 // goldenIDs is the fixed artefact list — every numbered table and figure
-// of the paper (fig3 and fig7 are schematic diagrams with no data).
+// of the paper (fig3 and fig7 are schematic diagrams with no data), plus
+// the shrink-vs-restart model comparison (shrinkcmp) this reproduction
+// adds on top of the paper's restart-only evaluation.
 var goldenIDs = []string{
 	"table1", "table2", "table3", "table4", "table5",
 	"fig2", "fig4", "fig5", "fig6", "fig8", "fig9",
 	"fig10", "fig11", "fig12", "fig13", "fig14",
+	"shrinkcmp",
 }
 
 func TestGoldenArtefacts(t *testing.T) {

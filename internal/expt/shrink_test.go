@@ -1,0 +1,69 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestShrinkVsRestartShape pins the analytic table's structure and its
+// headline facts: shrink wins every cell where it is feasible, both
+// policies die together at the 0.02y boundary, and the r=2 episode
+// column is far below the r=1 one at the same MTBF.
+func TestShrinkVsRestartShape(t *testing.T) {
+	tab, err := ShrinkVsRestart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 (6 MTBFs × 2 degrees)", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		winner := row[len(row)-1]
+		shrinkT := row[3]
+		switch {
+		case shrinkT == "never" && winner == "shrink":
+			t.Errorf("row %v: infeasible shrink declared winner", row)
+		case shrinkT != "never" && winner != "shrink":
+			t.Errorf("row %v: feasible shrink lost — the malleable-work model should dominate", row)
+		}
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[0] != "0.02y" || last[len(last)-1] != "neither" {
+		t.Errorf("boundary row %v: want both policies infeasible at 0.02y", last)
+	}
+}
+
+// TestShrinkLiveDeterministicColumns runs the live comparison and pins
+// every deterministic cell: one restart and a restore on the rollback
+// arm, one shrink episode and structurally zero restores on the other.
+func TestShrinkLiveDeterministicColumns(t *testing.T) {
+	tab, err := ShrinkLive(DefaultShrinkLiveParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	restart, shrink := tab.Rows[0], tab.Rows[1]
+	if restart[0] != "checkpoint/restart" || shrink[0] != "shrink-and-continue" {
+		t.Fatalf("row order: %q, %q", restart[0], shrink[0])
+	}
+	if restart[1] != "1" {
+		t.Errorf("restart arm restarts = %s, want 1", restart[1])
+	}
+	if restart[2] == "0" {
+		t.Errorf("restart arm restored nothing: %v", restart)
+	}
+	if restart[3] != "0" {
+		t.Errorf("restart arm shrink episodes = %s, want 0", restart[3])
+	}
+	if shrink[1] != "0" || shrink[2] != "0" {
+		t.Errorf("shrink arm rolled back: %v", shrink)
+	}
+	if shrink[3] != "1" {
+		t.Errorf("shrink arm episodes = %s, want 1", shrink[3])
+	}
+	if !strings.Contains(tab.Format(), "shrinklive") {
+		t.Error("table did not render its id")
+	}
+}

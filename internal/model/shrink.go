@@ -1,0 +1,118 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// ShrinkEvaluation is the output of the shrink-and-continue model at one
+// redundancy degree: the ULFM-style alternative the paper's Section 4
+// restart model is compared against. Under shrink recovery the job never
+// checkpoints and never restarts — when a replica sphere is exhausted
+// the survivors repair the communicator and absorb the dead rank's
+// share of the remaining work.
+type ShrinkEvaluation struct {
+	// Degree is the requested redundancy degree r.
+	Degree float64
+	// Partition is the Eq. 5-8 split of virtual processes.
+	Partition Partition
+	// NodesUsed is N_total (Eq. 8), the physical processes consumed at
+	// the start of the run (capacity only shrinks from there).
+	NodesUsed int
+	// RedundantTime is t_Red (Eq. 1): the failure-free completion time,
+	// which is also the aggregate work the survivors must finish.
+	RedundantTime float64
+	// Lambda and MTBF are λ_sys and Θ_sys (Eq. 10) of the initial
+	// partition — the sphere-exhaustion rate while the job is whole.
+	Lambda, MTBF float64
+	// Total is the expected completion time T_shrink, seconds; +Inf when
+	// the job cannot complete (see Feasible).
+	Total float64
+	// Episodes is the expected number of shrink episodes (sphere
+	// exhaustions) over the run: λ_sys · t_Red.
+	Episodes float64
+	// RepairTime is the aggregate time spent in collective repair
+	// (Shrink + work redistribution): Episodes · RestartCost.
+	RepairTime float64
+	// SurvivingFraction is the expected fraction of virtual ranks still
+	// alive at completion, e^{-λ_sys·Total/n}.
+	SurvivingFraction float64
+	// Feasible is false when expected capacity decays to zero before the
+	// work is done (λ_sys·t_Red ≥ n); Total is +Inf in that case.
+	Feasible bool
+}
+
+// EvaluateShrink models shrink-and-continue recovery for parameters p at
+// redundancy degree r. CheckpointCost is ignored (the policy takes no
+// checkpoints); RestartCost is reinterpreted as the per-episode repair
+// cost — the collective Shrink plus work redistribution that stalls the
+// survivors after each sphere exhaustion, analogous in magnitude to the
+// restart cost R it replaces.
+//
+// The model assumes malleable work, the semantics of the runtime's
+// shrink-mode taskfarm: a dead rank's unfinished share is requeued onto
+// the survivors, and no accumulated state is lost as long as the job
+// retains at least one live rank per remaining task. n virtual ranks
+// hold t_Red·n rank-seconds of work and the aggregate progress rate
+// equals the surviving fraction s(t). Sphere exhaustions arrive at the
+// initial rate λ_sys scaled by the surviving fraction (a shrunken job
+// exposes proportionally fewer nodes):
+//
+//	ds/dt = -(λ_sys/n)·s  ⇒  s(t) = e^{-λ_sys·t/n}
+//
+// Completion requires ∫₀ᵀ s(t)dt = t_Red, which solves to the fluid
+// completion time
+//
+//	T_fluid = -(n/λ_sys)·ln(1 - λ_sys·t_Red/n)
+//
+// finite only while λ_sys·t_Red < n — the expected-capacity feasibility
+// boundary. Past it the job shrinks to nothing before the work is done
+// and ErrNeverCompletes is returned with Total = +Inf. Repair stalls
+// are added first-order on top: T_shrink = T_fluid + Episodes·R.
+//
+// The comparison this model exists for: against Eq. 14, shrink trades
+// the checkpoint overhead t·c/δ and the global per-failure rollback
+// stall λ·t_RR for a one-rank capacity loss plus a repair stall per
+// episode. For malleable work that trade dominates wherever it is
+// feasible; checkpoint/restart remains the policy for stateful
+// non-malleable applications (a stencil rank's halo state dies with its
+// sphere) and that is what Table 4 and Figures 4-6 cost out.
+func EvaluateShrink(p Params, r float64) (ShrinkEvaluation, error) {
+	if err := p.Validate(); err != nil {
+		return ShrinkEvaluation{}, err
+	}
+	part, err := PartitionRanks(p.N, r)
+	if err != nil {
+		return ShrinkEvaluation{}, err
+	}
+	ev := ShrinkEvaluation{
+		Degree:        r,
+		Partition:     part,
+		NodesUsed:     part.TotalProcesses(),
+		RedundantTime: RedundantTime(p.Work, p.Alpha, r),
+	}
+	ev.Lambda, ev.MTBF = SystemRates(part, ev.RedundantTime, p.NodeMTBF, ReliabilityLinearized)
+	ev.Episodes = ev.Lambda * ev.RedundantTime
+	ev.RepairTime = ev.Episodes * p.RestartCost
+
+	n := float64(p.N)
+	drain := ev.Lambda * ev.RedundantTime / n
+	if drain >= 1 {
+		ev.Total = math.Inf(1)
+		ev.SurvivingFraction = 0
+		return ev, fmt.Errorf("evaluating shrink r=%v: %w", r, ErrNeverCompletes)
+	}
+	if ev.Lambda == 0 {
+		ev.Total = ev.RedundantTime
+		ev.SurvivingFraction = 1
+		ev.Feasible = true
+		return ev, nil
+	}
+	tFluid := -(n / ev.Lambda) * math.Log1p(-drain)
+	ev.Total = tFluid + ev.RepairTime
+	// Decay runs on compute time: repair stalls freeze progress and (to
+	// first order) the failure clock alike.
+	ev.SurvivingFraction = math.Exp(-ev.Lambda * tFluid / n)
+	ev.Feasible = true
+	return ev, nil
+}

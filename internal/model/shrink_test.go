@@ -1,0 +1,111 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestEvaluateShrinkLimits pins the closed form at its boundaries: a
+// reliable system completes in exactly t_Red, and a failure rate that
+// drains the expected capacity before the work is done is infeasible.
+func TestEvaluateShrinkLimits(t *testing.T) {
+	p := Params{
+		N: 1000, Work: 10 * Hour, Alpha: 0.2,
+		NodeMTBF: 1000 * Year, CheckpointCost: 600, RestartCost: 600,
+	}
+	ev, err := EvaluateShrink(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Feasible {
+		t.Fatal("near-reliable system infeasible")
+	}
+	if rel := (ev.Total - ev.RedundantTime) / ev.RedundantTime; rel > 1e-3 {
+		t.Errorf("Total %.1f drifts %.2e from t_Red %.1f at vanishing λ", ev.Total, rel, ev.RedundantTime)
+	}
+
+	p.NodeMTBF = 2 * Hour // drains the whole machine mid-run
+	ev, err = EvaluateShrink(p, 1)
+	if !errors.Is(err, ErrNeverCompletes) {
+		t.Fatalf("err = %v, want ErrNeverCompletes", err)
+	}
+	if !math.IsInf(ev.Total, 1) || ev.Feasible {
+		t.Errorf("infeasible point: Total=%v Feasible=%v", ev.Total, ev.Feasible)
+	}
+}
+
+// TestEvaluateShrinkMonotone: completion time grows as node MTBF falls,
+// and always exceeds the failure-free t_Red (capacity loss only hurts).
+func TestEvaluateShrinkMonotone(t *testing.T) {
+	p := Params{
+		N: 100000, Work: 128 * Hour, Alpha: 0.2,
+		NodeMTBF: 5 * Year, CheckpointCost: 600, RestartCost: 600,
+	}
+	prev := 0.0
+	for _, mtbf := range []float64{25 * Year, 5 * Year, 1 * Year, 0.5 * Year} {
+		p.NodeMTBF = mtbf
+		ev, err := EvaluateShrink(p, 2)
+		if err != nil {
+			t.Fatalf("θ=%v: %v", mtbf, err)
+		}
+		if ev.Total <= ev.RedundantTime {
+			t.Errorf("θ=%v: Total %.1f not above t_Red %.1f", mtbf, ev.Total, ev.RedundantTime)
+		}
+		if ev.Total <= prev {
+			t.Errorf("θ=%v: Total %.1f not monotone in failure rate (prev %.1f)", mtbf, ev.Total, prev)
+		}
+		if ev.Episodes != ev.Lambda*ev.RedundantTime {
+			t.Errorf("θ=%v: Episodes %.3f != λ·t_Red", mtbf, ev.Episodes)
+		}
+		if ev.SurvivingFraction <= 0 || ev.SurvivingFraction >= 1 {
+			t.Errorf("θ=%v: SurvivingFraction %.4f outside (0,1)", mtbf, ev.SurvivingFraction)
+		}
+		prev = ev.Total
+	}
+}
+
+// TestShrinkVsRestart pins the comparison's headline for malleable
+// work: shrink beats the checkpoint/restart total wherever it is
+// feasible (it pays a one-rank capacity loss and a repair stall per
+// failure instead of a global rollback), and redundancy is what keeps
+// the episode count — and hence the repair bill — down.
+func TestShrinkVsRestart(t *testing.T) {
+	p := Params{
+		N: 100000, Work: 128 * Hour, Alpha: 0.2,
+		CheckpointCost: 600, RestartCost: 600,
+	}
+	for _, mtbf := range []float64{25 * Year, 5 * Year, 1 * Year, 0.1 * Year} {
+		p.NodeMTBF = mtbf
+		sh, err := EvaluateShrink(p, 2)
+		if err != nil {
+			t.Fatalf("θ=%v: %v", mtbf, err)
+		}
+		re, err := Evaluate(p, 2, Options{})
+		if err != nil {
+			t.Fatalf("θ=%v: %v", mtbf, err)
+		}
+		if sh.Total >= re.Total {
+			t.Errorf("θ=%.2fy: shrink %.1fh not below restart %.1fh",
+				mtbf/Year, sh.Total/Hour, re.Total/Hour)
+		}
+		if want := sh.RedundantTime + sh.RepairTime; sh.Total < want {
+			t.Errorf("θ=%.2fy: Total %.1fh below t_Red + repair %.1fh", mtbf/Year, sh.Total/Hour, want/Hour)
+		}
+	}
+
+	// Dual redundancy masks node deaths: episodes at r=2 must be a tiny
+	// fraction of the r=1 count on the same machine.
+	p.NodeMTBF = 5 * Year
+	sh1, err := EvaluateShrink(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, err := EvaluateShrink(p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh2.Episodes >= sh1.Episodes/10 {
+		t.Errorf("episodes r=2 %.1f not ≪ r=1 %.1f", sh2.Episodes, sh1.Episodes)
+	}
+}

@@ -106,12 +106,6 @@ type Request interface {
 	// the operation finished; the message, status, and error are
 	// meaningful only when done is true.
 	Test() (done bool, msg Message, st Status, err error)
-	// Message returns the received message after a successful Wait or
-	// Test on a receive request; it returns a zero Message for sends.
-	//
-	// Deprecated: use the Message returned by Wait or Test directly.
-	// Retained for one release so request-set code migrates gradually.
-	Message() Message
 }
 
 // Comm is a communicator endpoint bound to one rank, supporting matched
@@ -141,6 +135,34 @@ type Comm interface {
 	// Probe blocks until a matching message is available and returns its
 	// envelope without consuming it.
 	Probe(src, tag int) (Status, error)
+
+	// SetErrhandler installs fn as this communicator's fault-notification
+	// handler, replacing any previous one (nil uninstalls). Once a
+	// handler is installed the communicator switches from the legacy
+	// sniff-the-error model to ULFM-style notification: fn is invoked at
+	// most once per failed rank per communicator, from inside the
+	// communication call that first observes the failure (never
+	// concurrently with itself), and wildcard receives/probes refuse to
+	// block past an unacknowledged failure — they fail fast with
+	// ErrFailurePending until FailureAck is called. Communicators with no
+	// handler keep the pre-existing behavior exactly.
+	SetErrhandler(fn func(FailureInfo))
+	// FailureAck acknowledges every failure observed so far (the
+	// MPI_Comm_failure_ack analogue) and returns the acknowledged ranks
+	// in ascending order. After the ack, wildcard operations proceed
+	// past those failures; newly failed ranks re-arm ErrFailurePending.
+	FailureAck() []int
+	// Shrink builds a new communicator containing the surviving ranks,
+	// densely renumbered in base-rank order (the MPI_Comm_shrink
+	// analogue). It is a fault-tolerant collective: every surviving rank
+	// must call it, and all survivors observe the identical membership.
+	// A caller that is itself dead gets ErrKilled.
+	Shrink() (Comm, error)
+	// Agree runs a fault-tolerant agreement on a boolean flag (the
+	// MPI_Comm_agree analogue): the result is the logical AND of the
+	// flags contributed by participating survivors, identical on every
+	// survivor, even when ranks fail during the call.
+	Agree(flag bool) (bool, error)
 }
 
 // CountTracker is implemented by communicators that track per-peer
@@ -170,6 +192,13 @@ var (
 	// ErrAborted the world survives: after the orchestrator revives dead
 	// ranks and resumes, ranks re-enter from the last checkpoint.
 	ErrInterrupted = errors.New("mpi: epoch interrupted")
+	// ErrFailurePending reports that a wildcard receive or probe cannot
+	// proceed because a process failure has been observed but not yet
+	// acknowledged (the MPI_ERR_PROC_FAILED_PENDING analogue): the dead
+	// rank might have been the sender the wildcard was waiting for. Only
+	// communicators with an errhandler installed raise it; calling
+	// FailureAck clears the condition for the failures observed so far.
+	ErrFailurePending = errors.New("mpi: unacknowledged process failure pending")
 	// ErrInvalidRank reports a rank outside [0, Size).
 	ErrInvalidRank = errors.New("mpi: invalid rank")
 	// ErrInvalidTag reports a tag outside the permitted range.

@@ -119,6 +119,27 @@ func (r *Recorder) Probe(src, tag int) (mpi.Status, error) {
 	return r.inner.Probe(src, tag)
 }
 
+// SetErrhandler implements mpi.Comm by delegating to the wrapped
+// communicator (failure notification is not part of the logged
+// history).
+func (r *Recorder) SetErrhandler(fn func(mpi.FailureInfo)) { r.inner.SetErrhandler(fn) }
+
+// FailureAck implements mpi.Comm.
+func (r *Recorder) FailureAck() []int { return r.inner.FailureAck() }
+
+// Shrink implements mpi.Comm: the shrunk communicator keeps recording
+// into the same log.
+func (r *Recorder) Shrink() (mpi.Comm, error) {
+	inner, err := r.inner.Shrink()
+	if err != nil {
+		return nil, err
+	}
+	return NewRecorder(inner, r.log), nil
+}
+
+// Agree implements mpi.Comm.
+func (r *Recorder) Agree(flag bool) (bool, error) { return r.inner.Agree(flag) }
+
 // loggingRequest appends the delivery when the receive completes.
 type loggingRequest struct {
 	inner  mpi.Request
@@ -151,11 +172,6 @@ func (lr *loggingRequest) Test() (bool, mpi.Message, mpi.Status, error) {
 	}
 	return done, msg, st, err
 }
-
-// Message implements mpi.Request.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (lr *loggingRequest) Message() mpi.Message { return lr.inner.Message() }
 
 // Errors of the replayer.
 var (
@@ -253,6 +269,22 @@ func (rp *Replayer) Probe(src, tag int) (mpi.Status, error) {
 	return mpi.Status{Source: e.Source, Tag: e.Tag, Len: len(e.Data)}, nil
 }
 
+// SetErrhandler implements mpi.Comm as a no-op: a replayed history
+// contains no failures — the log was recorded up to the crash point.
+func (rp *Replayer) SetErrhandler(fn func(mpi.FailureInfo)) {}
+
+// FailureAck implements mpi.Comm (no failures to acknowledge).
+func (rp *Replayer) FailureAck() []int { return nil }
+
+// Shrink implements mpi.Comm: replay has no live peers to agree with,
+// so the "shrunk" communicator is the replayer itself (every logged
+// rank is a survivor of its own history).
+func (rp *Replayer) Shrink() (mpi.Comm, error) { return rp, nil }
+
+// Agree implements mpi.Comm: with no failures in the history, agreement
+// degenerates to the local flag.
+func (rp *Replayer) Agree(flag bool) (bool, error) { return flag, nil }
+
 type replayRequest struct {
 	rp       *Replayer
 	src, tag int
@@ -284,8 +316,3 @@ func (r *replayRequest) Test() (bool, mpi.Message, mpi.Status, error) {
 	msg, st, err := r.Wait() // the log is always "ready"
 	return true, msg, st, err
 }
-
-// Message implements mpi.Request.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (r *replayRequest) Message() mpi.Message { return r.msg }

@@ -125,6 +125,15 @@ type Coordinator struct {
 	acked        []bool
 	rendezvoused bool     // initial all-ranks rendezvous completed
 	pending      []*wconn // conns awaiting the rendezvous welcome
+
+	// Fault-tolerant collective round (Agree/Shrink), under mu. A round
+	// completes when every rank is arrived or excused (dead, byed, or
+	// disconnected) with at least one live arrival; each reply echoes
+	// that rank's own request sequence so stale results are ignored.
+	ftArrived []bool
+	ftSeqs    []int32
+	ftShrink  []bool
+	ftFlag    bool
 }
 
 // NewCoordinator starts a hub on ln (the caller picks unix vs tcp by
@@ -146,6 +155,11 @@ func NewCoordinator(ln net.Listener, cfg CoordinatorConfig) (*Coordinator, error
 		byes:   make([]bool, cfg.Size),
 		acked:  make([]bool, cfg.Size),
 		aliveN: cfg.Size,
+
+		ftArrived: make([]bool, cfg.Size),
+		ftSeqs:    make([]int32, cfg.Size),
+		ftShrink:  make([]bool, cfg.Size),
+		ftFlag:    true,
 	}
 	c.cond = sync.NewCond(&c.mu)
 	go c.acceptLoop()
@@ -319,6 +333,8 @@ func (c *Coordinator) Kill(rank int) {
 	if c.cfg.OnDeath != nil {
 		c.cfg.OnDeath(rank)
 	}
+	// The death may have been the last thing an FT round was waiting on.
+	c.ftMaybeComplete()
 }
 
 // markDeadLocked flips the dead bit and emits the forensic record; the
@@ -365,6 +381,7 @@ func (c *Coordinator) Interrupt() {
 	for i := range c.acked {
 		c.acked[i] = false
 	}
+	c.ftResetLocked() // workers abandon FT rounds on interrupt
 	c.flight.Emit("interrupt", -1, -1, 0, 0)
 	peers := c.liveConnsLocked()
 	c.mu.Unlock()
@@ -427,8 +444,114 @@ func (c *Coordinator) Resume() {
 	c.waitAcks()
 	c.mu.Lock()
 	c.phase = phaseRun
+	c.ftResetLocked()
 	c.flight.Emit("resume", -1, -1, 0, 0)
 	c.mu.Unlock()
+}
+
+// ftResetLocked abandons the in-progress FT round; workers re-request
+// with fresh sequence numbers, so a late reply cannot be mistaken for a
+// new round's.
+func (c *Coordinator) ftResetLocked() {
+	for i := range c.ftArrived {
+		c.ftArrived[i] = false
+		c.ftShrink[i] = false
+	}
+	c.ftFlag = true
+}
+
+// ftArrive records one rank's contribution to the FT round.
+func (c *Coordinator) ftArrive(wc *wconn, seq int32, flag, shrink bool) {
+	c.mu.Lock()
+	if c.conns[wc.rank] != wc || c.dead[wc.rank] || c.aborted || c.closed || c.phase != phaseRun {
+		c.mu.Unlock()
+		return
+	}
+	r := wc.rank
+	c.ftArrived[r] = true
+	c.ftSeqs[r] = seq
+	c.ftShrink[r] = shrink
+	if !flag {
+		c.ftFlag = false
+	}
+	c.mu.Unlock()
+	c.ftMaybeComplete()
+}
+
+// ftMaybeComplete completes the FT round if every rank is arrived or
+// excused (dead, byed, disconnected) and at least one live rank
+// arrived. Replies are snapshotted under the lock and written after, in
+// the broadcast convention.
+func (c *Coordinator) ftMaybeComplete() {
+	c.mu.Lock()
+	if c.aborted || c.closed || c.phase != phaseRun {
+		c.mu.Unlock()
+		return
+	}
+	arrivals := 0
+	for r := 0; r < c.cfg.Size; r++ {
+		if c.ftArrived[r] {
+			if !c.dead[r] && c.conns[r] != nil {
+				arrivals++
+			}
+			continue
+		}
+		if c.dead[r] || c.byes[r] || c.conns[r] == nil {
+			continue // excused: cannot and need not contribute
+		}
+		c.mu.Unlock()
+		return // a live rank has yet to arrive
+	}
+	if arrivals == 0 {
+		c.mu.Unlock()
+		return
+	}
+	flag := c.ftFlag
+	var survivors []int
+	for r := 0; r < c.cfg.Size; r++ {
+		if c.ftArrived[r] && !c.dead[r] && c.conns[r] != nil {
+			survivors = append(survivors, r)
+		}
+	}
+	type reply struct {
+		wc *wconn
+		f  mpi.Frame
+	}
+	var replies []reply
+	var surv []byte
+	anyShrink := false
+	for r := 0; r < c.cfg.Size; r++ {
+		if !c.ftArrived[r] || c.dead[r] || c.conns[r] == nil {
+			continue
+		}
+		if c.ftShrink[r] {
+			anyShrink = true
+			if surv == nil {
+				surv = encodeSurvivors(survivors)
+			}
+			replies = append(replies, reply{c.conns[r], mpi.Frame{
+				Type: frameShrinkResult, Src: -1, Dst: int32(r), Tag: c.ftSeqs[r], Payload: surv,
+			}})
+		} else {
+			var p byte
+			if flag {
+				p = 1
+			}
+			replies = append(replies, reply{c.conns[r], mpi.Frame{
+				Type: frameAgreeResult, Src: -1, Dst: int32(r), Tag: c.ftSeqs[r], Payload: []byte{p},
+			}})
+		}
+	}
+	c.ftResetLocked()
+	c.mu.Unlock()
+	if anyShrink {
+		c.flight.Emit("shrink", -1, -1, len(survivors), 0)
+	}
+	for _, rp := range replies {
+		if err := c.writeTo(rp.wc, rp.f); err != nil {
+			c.connLost(rp.wc)
+		}
+	}
 }
 
 // waitAcks blocks until every rank is dead, disconnected, or acked; a
@@ -643,6 +766,15 @@ func (c *Coordinator) handleFrame(wc *wconn, f mpi.Frame, pb *mpi.PooledBuf) {
 		if c.cfg.OnBye != nil {
 			c.cfg.OnBye(wc.rank)
 		}
+		// A completed rank is excused from FT rounds.
+		c.ftMaybeComplete()
+	case frameAgree:
+		flag := len(f.Payload) > 0 && f.Payload[0] != 0
+		release()
+		c.ftArrive(wc, f.Tag, flag, false)
+	case frameShrink:
+		release()
+		c.ftArrive(wc, f.Tag, true, true)
 	case frameStep:
 		release()
 		if c.cfg.OnStep != nil {
@@ -717,6 +849,8 @@ func (c *Coordinator) connLost(wc *wconn) {
 			c.cfg.OnDeath(wc.rank)
 		}
 	}
+	// Losing the connection excuses the rank from any FT round.
+	c.ftMaybeComplete()
 }
 
 // monitorLoop watches heartbeats: a worker silent past the timeout is

@@ -52,10 +52,22 @@ type JobConfig struct {
 	// default).
 	HeartbeatTimeout time.Duration
 
+	// Shrink selects survivor recovery: the job runs exactly one attempt
+	// and a sphere exhaustion is not job failure — the workers repair the
+	// communicator in place through the fault-notification API and the
+	// job completes when every surviving sphere reports a bye. Mutually
+	// exclusive with MaxRestarts > 0.
+	Shrink bool
+
 	// Schedule injects these kills per attempt as real SIGKILLs to the
 	// worker PIDs. ScheduleOnce restricts it to the first attempt.
 	Schedule     []failure.Kill
 	ScheduleOnce bool
+	// StepKills fires real SIGKILLs pinned to application steps: each
+	// entry kills its physical rank the first time any worker relays a
+	// step notification at or past Step (the proc analogue of
+	// core.Config.StepKills, riding the frameStep relay).
+	StepKills []StepKill
 	// NodeMTBF draws Poisson kills instead (with Seed); zero disables.
 	NodeMTBF time.Duration
 	Seed     int64
@@ -72,24 +84,34 @@ type JobConfig struct {
 	OnCoordinator func(*Coordinator)
 }
 
+// StepKill pins a SIGKILL to an application step (see JobConfig.StepKills).
+type StepKill struct {
+	// Step is the 1-based application step that triggers the kill.
+	Step int
+	// Rank is the physical rank to kill.
+	Rank int
+}
+
 // JobAttempt records one attempt of a multi-process job.
 type JobAttempt struct {
-	Index     int
-	Failures  int
-	JobFailed bool
-	TimedOut  bool
-	Elapsed   time.Duration
-	Kills     []failure.Kill
+	Index          int
+	Failures       int
+	JobFailed      bool
+	TimedOut       bool
+	ShrinkEpisodes int
+	Elapsed        time.Duration
+	Kills          []failure.Kill
 }
 
 // JobResult summarises a multi-process job run.
 type JobResult struct {
-	Completed     bool
-	Restarts      int
-	TotalFailures int
-	Elapsed       time.Duration
-	Attempts      []JobAttempt
-	PhysicalRanks int
+	Completed      bool
+	Restarts       int
+	TotalFailures  int
+	ShrinkEpisodes int
+	Elapsed        time.Duration
+	Attempts       []JobAttempt
+	PhysicalRanks  int
 }
 
 // sphereTracker is the job runner's authoritative completion and failure
@@ -103,16 +125,23 @@ type sphereTracker struct {
 	remaining []int
 	byed      []bool
 	byedN     int
+	shrink    bool
+	excused   []bool
+	excusedN  int
+	episodes  chan int
 	failed    chan int
 	done      chan struct{}
 	closed    bool
 }
 
-func newSphereTracker(spheres [][]int, physical int) *sphereTracker {
+func newSphereTracker(spheres [][]int, physical int, shrink bool) *sphereTracker {
 	t := &sphereTracker{
 		sphereOf:  make([]int, physical),
 		remaining: make([]int, len(spheres)),
 		byed:      make([]bool, len(spheres)),
+		shrink:    shrink,
+		excused:   make([]bool, len(spheres)),
+		episodes:  make(chan int, len(spheres)),
 		failed:    make(chan int, 1),
 		done:      make(chan struct{}),
 	}
@@ -128,8 +157,10 @@ func newSphereTracker(spheres [][]int, physical int) *sphereTracker {
 	return t
 }
 
-// death records one physical rank's death; exhausting a sphere that has
-// not yet completed is job failure (Fig. 7).
+// death records one physical rank's death. Under the restart policy,
+// exhausting a sphere that has not yet completed is job failure
+// (Fig. 7); under shrink it is an episode — the survivors repair the
+// job in place, and the exhausted sphere is excused from completion.
 func (t *sphereTracker) death(rank int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -137,20 +168,36 @@ func (t *sphereTracker) death(rank int) {
 		return
 	}
 	v := t.sphereOf[rank]
-	if v < 0 || t.byed[v] {
+	if v < 0 || t.byed[v] || t.excused[v] {
 		return
 	}
 	t.remaining[v]--
-	if t.remaining[v] == 0 {
+	if t.remaining[v] > 0 {
+		return
+	}
+	if !t.shrink {
 		select {
 		case t.failed <- v:
 		default:
 		}
+		return
 	}
+	t.excused[v] = true
+	t.excusedN++
+	if t.excusedN == len(t.remaining) {
+		// Nobody left to shrink onto.
+		select {
+		case t.failed <- v:
+		default:
+		}
+		return
+	}
+	t.episodes <- v // buffered to len(spheres): never blocks
+	t.maybeDoneLocked()
 }
 
 // bye records one physical rank's clean completion; the job is done when
-// every sphere has at least one finisher.
+// every non-excused sphere has at least one finisher.
 func (t *sphereTracker) bye(rank int) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -158,12 +205,16 @@ func (t *sphereTracker) bye(rank int) {
 		return
 	}
 	v := t.sphereOf[rank]
-	if v < 0 || t.byed[v] {
+	if v < 0 || t.byed[v] || t.excused[v] {
 		return
 	}
 	t.byed[v] = true
 	t.byedN++
-	if t.byedN == len(t.remaining) && !t.closed {
+	t.maybeDoneLocked()
+}
+
+func (t *sphereTracker) maybeDoneLocked() {
+	if t.byedN+t.excusedN == len(t.remaining) && t.byedN > 0 && !t.closed {
 		t.closed = true
 		close(t.done)
 	}
@@ -191,22 +242,27 @@ func RunJob(cfg JobConfig) (JobResult, error) {
 	if len(cfg.Spheres) == 0 {
 		return JobResult{}, fmt.Errorf("procmpi: empty sphere map")
 	}
+	if cfg.Shrink && cfg.MaxRestarts > 0 {
+		return JobResult{}, fmt.Errorf("procmpi: Shrink never restarts, so MaxRestarts must be 0")
+	}
 	timeout := cfg.AttemptTimeout
 	if timeout <= 0 {
 		timeout = 2 * time.Minute
 	}
 	stream := stats.NewStream(cfg.Seed)
+	sk := newStepKiller(cfg.StepKills)
 
 	res := JobResult{PhysicalRanks: cfg.Physical}
 	start := time.Now()
 	for attempt := 0; attempt <= cfg.MaxRestarts; attempt++ {
 		cfg.Tracer.Emit("attempt_start", -1, -1, attempt, nil)
 		span := cfg.Flight.StartSpan("attempt", -1, -1, attempt)
-		at, appErr := runJobAttempt(cfg, attempt, timeout, stream.Split())
+		at, appErr := runJobAttempt(cfg, attempt, timeout, stream.Split(), sk)
 		span.End()
 		at.Index = attempt
 		res.Attempts = append(res.Attempts, at)
 		res.TotalFailures += at.Failures
+		res.ShrinkEpisodes += at.ShrinkEpisodes
 		res.Restarts = attempt
 		cfg.Tracer.Emit("attempt_end", -1, -1, attempt, map[string]any{
 			"job_failed": at.JobFailed,
@@ -233,10 +289,50 @@ func RunJob(cfg JobConfig) (JobResult, error) {
 	return res, fmt.Errorf("%w after %d attempts", ErrRestartsExhausted, cfg.MaxRestarts+1)
 }
 
+// stepKiller matches relayed application steps against the step-kill
+// schedule and fires each entry at most once per job (mirroring core's
+// once-per-Run semantics). The injector target is attached late — the
+// coordinator starts relaying steps before the attempt's injector
+// exists — and swapped per attempt.
+type stepKiller struct {
+	mu    sync.Mutex
+	kills []StepKill
+	fired []bool
+	inj   *failure.Injector
+}
+
+func newStepKiller(kills []StepKill) *stepKiller {
+	return &stepKiller{kills: kills, fired: make([]bool, len(kills))}
+}
+
+func (s *stepKiller) arm(inj *failure.Injector) {
+	s.mu.Lock()
+	s.inj = inj
+	s.mu.Unlock()
+}
+
+// onStep is the CoordinatorConfig.OnStep hook: a step report at or past
+// a schedule entry's step SIGKILLs that entry's rank.
+func (s *stepKiller) onStep(_, step int) {
+	s.mu.Lock()
+	inj := s.inj
+	var victims []int
+	for i, k := range s.kills {
+		if inj != nil && !s.fired[i] && step >= k.Step {
+			s.fired[i] = true
+			victims = append(victims, k.Rank)
+		}
+	}
+	s.mu.Unlock()
+	for _, r := range victims {
+		inj.InjectNow(r)
+	}
+}
+
 // runJobAttempt runs one attempt: fresh hub, fresh worker processes,
 // fresh injector. Teardown is unconditional — every child is reaped
 // before the next attempt starts.
-func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *stats.Stream) (at JobAttempt, appErr error) {
+func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *stats.Stream, sk *stepKiller) (at JobAttempt, appErr error) {
 	begin := time.Now()
 
 	network := cfg.Network
@@ -269,9 +365,9 @@ func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *st
 		return at, err
 	}
 
-	tracker := newSphereTracker(cfg.Spheres, cfg.Physical)
+	tracker := newSphereTracker(cfg.Spheres, cfg.Physical, cfg.Shrink)
 	appErrs := make(chan appError, cfg.Physical)
-	coord, err := NewCoordinator(ln, CoordinatorConfig{
+	ccfg := CoordinatorConfig{
 		Size:             cfg.Physical,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
 		Obs:              cfg.Obs,
@@ -284,7 +380,11 @@ func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *st
 			default:
 			}
 		},
-	})
+	}
+	if len(sk.kills) > 0 {
+		ccfg.OnStep = sk.onStep
+	}
+	coord, err := NewCoordinator(ln, ccfg)
 	if err != nil {
 		ln.Close()
 		return at, err
@@ -333,7 +433,11 @@ func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *st
 		schedule = nil
 	}
 	var inj *failure.Injector
-	if schedule != nil || cfg.NodeMTBF > 0 {
+	if schedule != nil || cfg.NodeMTBF > 0 || len(cfg.StepKills) > 0 {
+		if schedule == nil && cfg.NodeMTBF <= 0 {
+			// Step kills only: the injector is a pure InjectNow conduit.
+			schedule = []failure.Kill{}
+		}
 		inj, err = failure.New(coord, cfg.Spheres, failure.Config{
 			Stream:   stream,
 			NodeMTBF: cfg.NodeMTBF,
@@ -347,7 +451,9 @@ func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *st
 			return at, err
 		}
 		inj.Start()
+		sk.arm(inj)
 		defer func() {
+			sk.arm(nil)
 			inj.Stop()
 			at.Failures = inj.Failures()
 			at.Kills = inj.Log()
@@ -356,21 +462,48 @@ func runJobAttempt(cfg JobConfig, attempt int, timeout time.Duration, stream *st
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
-	select {
-	case <-tracker.done:
-		// Every sphere has a finisher. Completion wins over a pending
-		// sphere exhaustion: the dead sphere must have byed first, or the
-		// tracker would not have closed done.
-	case v := <-tracker.failed:
-		cfg.Flight.Emit("job_failed", -1, v, 0, int64(attempt))
-		at.JobFailed = true
-		coord.Abort()
-	case e := <-appErrs:
-		appErr = fmt.Errorf("procmpi: rank %d: %s", e.rank, e.msg)
-		coord.Abort()
-	case <-timer.C:
-		at.TimedOut = true
-		coord.Abort()
+	for waiting := true; waiting; {
+		select {
+		case <-tracker.done:
+			// Every non-excused sphere has a finisher. Completion wins over
+			// a pending sphere exhaustion: the dead sphere must have byed
+			// first, or the tracker would not have closed done.
+			waiting = false
+		case v := <-tracker.episodes:
+			// Shrink policy: a sphere exhaustion the survivors repair in
+			// place. Record it and keep waiting for the byes.
+			at.ShrinkEpisodes++
+			cfg.Obs.Counter("shrink_episodes_total").Inc()
+			sp := cfg.Flight.StartSpan("shrink", -1, v, at.ShrinkEpisodes)
+			sp.End()
+			cfg.Tracer.Emit("shrink_episode", -1, v, at.ShrinkEpisodes, nil)
+		case v := <-tracker.failed:
+			cfg.Flight.Emit("job_failed", -1, v, 0, int64(attempt))
+			at.JobFailed = true
+			coord.Abort()
+			waiting = false
+		case e := <-appErrs:
+			appErr = fmt.Errorf("procmpi: rank %d: %s", e.rank, e.msg)
+			coord.Abort()
+			waiting = false
+		case <-timer.C:
+			at.TimedOut = true
+			coord.Abort()
+			waiting = false
+		}
+	}
+	// An episode landing exactly as the last bye drains must still count.
+	for done := false; !done; {
+		select {
+		case v := <-tracker.episodes:
+			at.ShrinkEpisodes++
+			cfg.Obs.Counter("shrink_episodes_total").Inc()
+			sp := cfg.Flight.StartSpan("shrink", -1, v, at.ShrinkEpisodes)
+			sp.End()
+			cfg.Tracer.Emit("shrink_episode", -1, v, at.ShrinkEpisodes, nil)
+		default:
+			done = true
+		}
 	}
 	// Externally-delivered deaths are counted even without an injector.
 	if inj == nil {

@@ -1,0 +1,135 @@
+package procmpi
+
+import (
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+// fakeKiller records InjectNow victims through the failure.Injector.
+type fakeKiller struct {
+	kills []int
+}
+
+func (f *fakeKiller) Kill(rank int) { f.kills = append(f.kills, rank) }
+
+// TestSphereTrackerRestart pins the restart-policy tracker semantics:
+// exhausting any sphere is job failure, completion needs every sphere.
+func TestSphereTrackerRestart(t *testing.T) {
+	spheres := [][]int{{0, 1}, {2, 3}}
+	tr := newSphereTracker(spheres, 4, false)
+	tr.death(2)
+	select {
+	case <-tr.failed:
+		t.Fatal("partial sphere death reported as job failure")
+	default:
+	}
+	tr.bye(0)
+	tr.death(3)
+	select {
+	case v := <-tr.failed:
+		if v != 1 {
+			t.Fatalf("failed sphere %d, want 1", v)
+		}
+	default:
+		t.Fatal("sphere exhaustion not reported")
+	}
+	select {
+	case <-tr.done:
+		t.Fatal("done closed with an unfinished sphere")
+	default:
+	}
+}
+
+// TestSphereTrackerShrink pins the survivor-recovery semantics: a sphere
+// exhaustion is an episode, not job failure, and completion requires
+// byes only from the surviving spheres.
+func TestSphereTrackerShrink(t *testing.T) {
+	spheres := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	tr := newSphereTracker(spheres, 6, true)
+	tr.death(2)
+	tr.death(3) // sphere 1 exhausted → episode
+	select {
+	case <-tr.failed:
+		t.Fatal("sphere exhaustion reported as job failure under shrink")
+	default:
+	}
+	select {
+	case v := <-tr.episodes:
+		if v != 1 {
+			t.Fatalf("episode for sphere %d, want 1", v)
+		}
+	default:
+		t.Fatal("no shrink episode recorded")
+	}
+	tr.bye(0)
+	select {
+	case <-tr.done:
+		t.Fatal("done closed before the last survivor byed")
+	default:
+	}
+	tr.bye(5)
+	select {
+	case <-tr.done:
+	default:
+		t.Fatal("done not closed with every surviving sphere byed")
+	}
+	// A stale bye from the excused sphere's straggler must not panic or
+	// double-count.
+	tr.bye(2)
+}
+
+// TestSphereTrackerShrinkAllDead pins the boundary: exhausting the last
+// sphere leaves nobody to shrink onto, which is job failure even under
+// the shrink policy.
+func TestSphereTrackerShrinkAllDead(t *testing.T) {
+	spheres := [][]int{{0}, {1}}
+	tr := newSphereTracker(spheres, 2, true)
+	tr.death(0)
+	tr.death(1)
+	select {
+	case <-tr.failed:
+	default:
+		t.Fatal("total extinction not reported as job failure")
+	}
+	select {
+	case <-tr.done:
+		t.Fatal("done closed with zero byes")
+	default:
+	}
+}
+
+// TestStepKillerFiresOnce proves the step matcher SIGKILL conduit: each
+// schedule entry fires exactly once, at the first step report at or past
+// its step, and only while armed.
+func TestStepKillerFiresOnce(t *testing.T) {
+	fk := &fakeKiller{}
+	inj, err := failure.New(fk, [][]int{{0, 1}, {2, 3}}, failure.Config{
+		Stream:   stats.NewStream(1),
+		Schedule: []failure.Kill{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := newStepKiller([]StepKill{{Step: 5, Rank: 2}, {Step: 9, Rank: 3}})
+
+	sk.onStep(0, 4) // unarmed and below threshold
+	sk.arm(inj)
+	sk.onStep(0, 4)
+	if len(fk.kills) != 0 {
+		t.Fatalf("kills %v before any entry's step", fk.kills)
+	}
+	sk.onStep(1, 6) // past entry 0
+	sk.onStep(2, 7) // entry 0 already fired
+	sk.onStep(0, 9) // entry 1
+	sk.onStep(0, 50)
+	if len(fk.kills) != 2 || fk.kills[0] != 2 || fk.kills[1] != 3 {
+		t.Fatalf("kills = %v, want [2 3]", fk.kills)
+	}
+	sk.arm(nil)
+	sk.onStep(0, 100) // disarmed: nothing left anyway
+	if len(fk.kills) != 2 {
+		t.Fatalf("disarmed step killer fired: %v", fk.kills)
+	}
+}

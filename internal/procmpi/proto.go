@@ -61,6 +61,19 @@ const (
 	// frameAppErr reports an application error; the payload is the error
 	// text.
 	frameAppErr
+	// frameAgree contributes to a fault-tolerant agreement round
+	// (mpi.Comm.Agree): Tag is the worker's request sequence number, the
+	// payload is one flag byte. Worker → hub.
+	frameAgree
+	// frameAgreeResult completes an agreement round: Tag echoes the
+	// worker's request sequence, the payload is the agreed flag byte.
+	frameAgreeResult
+	// frameShrink contributes to a shrink round (mpi.Comm.Shrink): Tag is
+	// the request sequence. Worker → hub.
+	frameShrink
+	// frameShrinkResult completes a shrink round: Tag echoes the request
+	// sequence, the payload is the agreed survivor set.
+	frameShrinkResult
 )
 
 // encodeHello builds the hello payload: the worker's PID as 8 bytes big
@@ -97,6 +110,33 @@ func encodeWelcome(size int, interrupted bool, dead []int) []byte {
 		b = append(b, u[:]...)
 	}
 	return b
+}
+
+// encodeSurvivors builds the shrink-result payload: uint32 count
+// followed by the survivor ranks as uint32s (the welcome's dead-set
+// layout).
+func encodeSurvivors(ranks []int) []byte {
+	b := make([]byte, 4+4*len(ranks))
+	binary.BigEndian.PutUint32(b, uint32(len(ranks)))
+	for i, r := range ranks {
+		binary.BigEndian.PutUint32(b[4+4*i:], uint32(r))
+	}
+	return b
+}
+
+func decodeSurvivors(p []byte) ([]int, error) {
+	if len(p) < 4 {
+		return nil, fmt.Errorf("procmpi: shrink payload %d bytes", len(p))
+	}
+	n := int(binary.BigEndian.Uint32(p))
+	if len(p) != 4+4*n {
+		return nil, fmt.Errorf("procmpi: shrink payload %d bytes for %d survivors", len(p), n)
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(binary.BigEndian.Uint32(p[4+4*i:]))
+	}
+	return out, nil
 }
 
 func decodeWelcome(p []byte) (size int, interrupted bool, dead []int, err error) {

@@ -1,6 +1,7 @@
 package procmpi
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -67,6 +68,25 @@ type Worker struct {
 	connDown    bool
 	sent        []uint64
 	recvd       []uint64
+
+	// ULFM-style fault-notification state (all under mu): the installed
+	// errhandler, which deaths it has been told about, and the
+	// deaths/ackedDeaths watermark pair gating wildcard operations with
+	// mpi.ErrFailurePending.
+	handler     func(mpi.FailureInfo)
+	notified    map[int]bool
+	deaths      uint64
+	ackedDeaths uint64
+
+	// Fault-tolerant collective state: ftMu serialises Agree/Shrink
+	// calls from this endpoint; the round's completion lands via
+	// frameAgreeResult/frameShrinkResult (matched on ftSeq) and is
+	// signalled through cond.
+	ftMu        sync.Mutex
+	ftSeq       int32
+	ftDone      bool
+	ftFlag      bool
+	ftSurvivors []int
 }
 
 var (
@@ -171,6 +191,7 @@ func Dial(cfg WorkerConfig) (*Worker, error) {
 	for _, r := range deadRanks {
 		if r >= 0 && r < cfg.Size {
 			w.dead[r] = true
+			w.deaths++
 		}
 	}
 	// Pre-welcome frames were written before our welcome but after its
@@ -289,6 +310,14 @@ func (w *Worker) SendPooled(dst, tag int, data []byte, pb *mpi.PooledBuf) error 
 // now-dead peer is still delivered (death invalidates only future
 // traffic) — then fail by liveness state, else park on the mailbox.
 func (w *Worker) Recv(src, tag int) (mpi.Message, error) {
+	msg, err := w.recv(src, tag)
+	if err != nil {
+		w.fireHandler(err)
+	}
+	return msg, err
+}
+
+func (w *Worker) recv(src, tag int) (mpi.Message, error) {
 	if src != mpi.AnySource {
 		if err := w.checkPeer(src); err != nil {
 			return mpi.Message{}, err
@@ -309,6 +338,14 @@ func (w *Worker) Recv(src, tag int) (mpi.Message, error) {
 
 // Probe implements mpi.Comm.
 func (w *Worker) Probe(src, tag int) (mpi.Status, error) {
+	st, err := w.probe(src, tag)
+	if err != nil {
+		w.fireHandler(err)
+	}
+	return st, err
+}
+
+func (w *Worker) probe(src, tag int) (mpi.Status, error) {
 	if src != mpi.AnySource {
 		if err := w.checkPeer(src); err != nil {
 			return mpi.Status{}, err
@@ -392,6 +429,178 @@ func (w *Worker) ReportError(msg string) error {
 	return w.writeFrame(mpi.Frame{Type: frameAppErr, Src: int32(w.rank), Dst: -1, Tag: 0, Payload: []byte(msg)})
 }
 
+// SetErrhandler implements mpi.Comm. Installing a handler arms the
+// wildcard failure gate, so parked wildcard receivers are woken to
+// re-evaluate pending deaths.
+func (w *Worker) SetErrhandler(fn func(mpi.FailureInfo)) {
+	w.mu.Lock()
+	w.handler = fn
+	if fn != nil && w.notified == nil {
+		w.notified = make(map[int]bool)
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+}
+
+// FailureAck implements mpi.Comm: it acknowledges every death observed
+// so far (clearing ErrFailurePending until the next one) and returns
+// the acknowledged failed ranks in ascending order.
+func (w *Worker) FailureAck() []int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ackedDeaths = w.deaths
+	var acked []int
+	for r, d := range w.dead {
+		if d {
+			acked = append(acked, r)
+		}
+	}
+	return acked
+}
+
+// fireHandler invokes the errhandler for deaths it has not yet been
+// told about. The fresh set is collected under the lock but the handler
+// runs outside it, so a handler may call FailureAck, Agree, or Shrink.
+func (w *Worker) fireHandler(err error) {
+	if !isNotifiableErr(err) {
+		return
+	}
+	w.mu.Lock()
+	if w.handler == nil {
+		w.mu.Unlock()
+		return
+	}
+	fn := w.handler
+	var fresh []int
+	for r, d := range w.dead {
+		if d && !w.notified[r] {
+			w.notified[r] = true
+			fresh = append(fresh, r)
+		}
+	}
+	w.mu.Unlock()
+	for _, r := range fresh {
+		fn(mpi.FailureInfo{Rank: r})
+	}
+}
+
+func isNotifiableErr(err error) bool {
+	return errors.Is(err, mpi.ErrPeerDead) || errors.Is(err, mpi.ErrFailurePending)
+}
+
+// ftStart opens a fault-tolerant collective round: it bumps the request
+// sequence (stale results from an interrupted round are ignored by the
+// seq echo) after verifying the endpoint may still participate. The
+// caller holds ftMu.
+func (w *Worker) ftStart() (int32, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	switch {
+	case w.aborted, w.connDown:
+		return 0, mpi.ErrAborted
+	case w.killed:
+		return 0, mpi.ErrKilled
+	case w.interrupted:
+		return 0, mpi.ErrInterrupted
+	}
+	w.ftSeq++
+	w.ftDone = false
+	return w.ftSeq, nil
+}
+
+// ftWait parks until the round identified by seq completes or the
+// endpoint leaves the world (abort, own death, epoch interrupt).
+func (w *Worker) ftWait(seq int32) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		switch {
+		case w.aborted, w.connDown:
+			return mpi.ErrAborted
+		case w.killed:
+			return mpi.ErrKilled
+		case w.interrupted:
+			return mpi.ErrInterrupted
+		}
+		if w.ftDone && w.ftSeq == seq {
+			return nil
+		}
+		w.cond.Wait()
+	}
+}
+
+// Agree implements mpi.Comm: a fault-tolerant all-reduce of one flag
+// (logical AND) across the live ranks, coordinated hub-side. Dead ranks
+// are excused; every live rank gets the same result.
+func (w *Worker) Agree(flag bool) (bool, error) {
+	w.ftMu.Lock()
+	defer w.ftMu.Unlock()
+	seq, err := w.ftStart()
+	if err != nil {
+		return false, err
+	}
+	var p byte
+	if flag {
+		p = 1
+	}
+	f := mpi.Frame{Type: frameAgree, Src: int32(w.rank), Dst: -1, Tag: seq, Payload: []byte{p}}
+	if err := w.writeFrame(f); err != nil {
+		return false, mpi.ErrAborted
+	}
+	if err := w.ftWait(seq); err != nil {
+		return false, err
+	}
+	w.mu.Lock()
+	out := w.ftFlag
+	w.mu.Unlock()
+	return out, nil
+}
+
+// Shrink implements mpi.Comm: the live ranks agree on the survivor set
+// (coordinated hub-side, same round machinery as Agree) and each wraps
+// itself in a dense-renumbered communicator over that set.
+func (w *Worker) Shrink() (mpi.Comm, error) {
+	w.ftMu.Lock()
+	survivors, err := w.shrinkRound()
+	w.ftMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	member := false
+	for _, r := range survivors {
+		if r == w.rank {
+			member = true
+			break
+		}
+	}
+	if !member {
+		// This rank died (or was announced dead) while the round ran; it
+		// cannot continue in a communicator it is not part of.
+		return nil, mpi.ErrKilled
+	}
+	w.FailureAck() // Shrink implies failure_ack at the transport level
+	return mpi.NewShrunk(w, survivors)
+}
+
+func (w *Worker) shrinkRound() ([]int, error) {
+	seq, err := w.ftStart()
+	if err != nil {
+		return nil, err
+	}
+	f := mpi.Frame{Type: frameShrink, Src: int32(w.rank), Dst: -1, Tag: seq}
+	if err := w.writeFrame(f); err != nil {
+		return nil, mpi.ErrAborted
+	}
+	if err := w.ftWait(seq); err != nil {
+		return nil, err
+	}
+	w.mu.Lock()
+	survivors := make([]int, len(w.ftSurvivors))
+	copy(survivors, w.ftSurvivors)
+	w.mu.Unlock()
+	return survivors, nil
+}
+
 // matchLocked returns the index of the first queued message matching
 // (src, tag); scanning in arrival order preserves FIFO per (src, tag).
 func (w *Worker) matchLocked(src, tag int) (int, bool) {
@@ -426,6 +635,10 @@ func (w *Worker) errIfDownLocked(src int) error {
 		return mpi.ErrInterrupted
 	case src != mpi.AnySource && w.dead[src]:
 		return mpi.ErrPeerDead
+	case src == mpi.AnySource && w.handler != nil && w.ackedDeaths < w.deaths:
+		// A handler-bearing endpoint must observe unacknowledged deaths
+		// before blocking on a wildcard: the awaited sender may be dead.
+		return mpi.ErrFailurePending
 	}
 	return nil
 }
@@ -511,8 +724,9 @@ func (w *Worker) handleFrame(f mpi.Frame, pb *mpi.PooledBuf) {
 		w.mu.Unlock()
 	case frameDead:
 		w.mu.Lock()
-		if r := int(f.Src); r >= 0 && r < w.size {
+		if r := int(f.Src); r >= 0 && r < w.size && !w.dead[r] {
 			w.dead[r] = true
+			w.deaths++
 		}
 		w.cond.Broadcast()
 		w.mu.Unlock()
@@ -553,6 +767,25 @@ func (w *Worker) handleFrame(f mpi.Frame, pb *mpi.PooledBuf) {
 		w.mu.Lock()
 		w.killed = true
 		w.cond.Broadcast()
+		w.mu.Unlock()
+		release()
+	case frameAgreeResult:
+		w.mu.Lock()
+		if f.Tag == w.ftSeq && !w.ftDone {
+			w.ftDone = true
+			w.ftFlag = len(f.Payload) > 0 && f.Payload[0] != 0
+			w.cond.Broadcast()
+		}
+		w.mu.Unlock()
+		release()
+	case frameShrinkResult:
+		survivors, err := decodeSurvivors(f.Payload)
+		w.mu.Lock()
+		if err == nil && f.Tag == w.ftSeq && !w.ftDone {
+			w.ftDone = true
+			w.ftSurvivors = survivors
+			w.cond.Broadcast()
+		}
 		w.mu.Unlock()
 		release()
 	default:
@@ -626,15 +859,8 @@ func (r *request) Test() (bool, mpi.Message, mpi.Status, error) {
 	if err == nil {
 		r.msg = msg
 		r.st = statusOf(msg)
+	} else {
+		r.w.fireHandler(err)
 	}
 	return true, r.msg, r.st, r.err
-}
-
-// Message returns the received payload after completion.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (r *request) Message() mpi.Message {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.msg
 }

@@ -136,6 +136,21 @@ type Comm struct {
 	// streams across leader failovers.
 	wildcardSeq map[int]uint64
 
+	// Virtual fault-observation state (single-goroutine, like the rest
+	// of the Comm): the installed errhandler, the virtual ranks it has
+	// been told about, and the not-yet-acknowledged subset that gates
+	// wildcard receives with mpi.ErrFailurePending.
+	vhandler  func(mpi.FailureInfo)
+	vnotified map[int]bool
+	unacked   map[int]bool
+	// excluded records virtual ranks dropped by a Shrink this endpoint
+	// participated in. Exclusion is decided by the shrink collective, so
+	// the set is identical on every replica — which makes it the only
+	// safe filter for failure notifications: observation *timing* (which
+	// replica's handler fired first) is not replica-consistent, but
+	// membership is.
+	excluded map[int]bool
+
 	stats struct {
 		virtualSends  atomic.Uint64
 		physicalSends atomic.Uint64
@@ -513,10 +528,33 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 	var first *wireMsg
 	for {
 		lead := c.leaderIndex(mySphere)
+		if c.vhandler != nil && len(c.unacked) > 0 && (lead == -1 || lead == c.me.Index) {
+			// ULFM semantics: a wildcard cannot block while a virtual
+			// failure stands unacknowledged — the awaited sender may be
+			// it. Only the sphere's leader may surface a locally observed
+			// failure here, and it must relay it first: followers are
+			// pinned to the leader's envelope stream, which fixes the
+			// wildcard position every replica observes the failure at. A
+			// follower that learned of the death out-of-band (its copy
+			// collection hit the dead sphere) keeps draining envelopes —
+			// real ones the leader sent before observing the failure —
+			// until the leader's failure envelope arrives.
+			c.notifyFailures(mySphere, ctrl, seq)
+			return mpi.Message{}, errFailurePendingWildcard
+		}
 		if lead == -1 || lead == c.me.Index {
 			// I lead (or everyone below me is dead): post the real
 			// wildcard receive.
 			virtSrc, actualTag, gotIdx, first, err = c.leadWildcard(tag)
+			if errors.Is(err, mpi.ErrFailurePending) {
+				if !c.leaderObservedPending() {
+					continue // pure replica loss: redundancy masks it
+				}
+				// A whole sphere died: tell the followers, who are parked
+				// on the envelope stream and cannot observe it themselves.
+				c.notifyFailures(mySphere, ctrl, seq)
+				return mpi.Message{}, errFailurePendingWildcard
+			}
 			if err != nil {
 				return mpi.Message{}, err
 			}
@@ -545,6 +583,21 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 		env.Release()
 		if derr != nil {
 			return mpi.Message{}, derr
+		}
+		if esrc == failureEnvelopeSrc {
+			// The leader observed a whole-sphere death. Relay onward (a
+			// sibling may fail over to this replica's stream) and surface
+			// it. The failure may already be known locally — the copy
+			// collection races the envelope stream — but it still
+			// surfaces here, at the leader's chosen position, as long as
+			// it stands unacknowledged; only an already-acknowledged
+			// duplicate (a relay from an older repair) is skipped.
+			fresh := c.failVirtual(etag)
+			if fresh || c.unacked[etag] {
+				c.notifyFailures(mySphere, ctrl, seq)
+				return mpi.Message{}, errFailurePendingWildcard
+			}
+			continue
 		}
 		if eseq < seq {
 			continue // stale envelope from a new leader's replayed stream
@@ -597,6 +650,7 @@ func (c *Comm) recvWildcard(tag int) (mpi.Message, error) {
 		copies = append(copies, wm)
 	}
 	if len(copies) == 0 {
+		c.failVirtual(virtSrc)
 		return mpi.Message{}, fmt.Errorf("wildcard recv from virtual %d: %w", virtSrc, ErrSphereDead)
 	}
 	data, win, err := c.verify(copies)
@@ -653,6 +707,7 @@ func (c *Comm) Probe(src, tag int) (mpi.Status, error) {
 		}
 		return mpi.Status{Source: src, Tag: st.Tag, Len: st.Len - wireHeaderLen}, nil
 	}
+	c.failVirtual(src)
 	return mpi.Status{}, fmt.Errorf("probe virtual %d: %w", src, ErrSphereDead)
 }
 

@@ -1,0 +1,226 @@
+// ULFM-style fault observation through the redundancy layer. The
+// virtual world fails at sphere granularity: a physical replica death
+// is masked (that is the point of redundancy), so the errhandler,
+// FailureAck, and Shrink surface a virtual rank only when its whole
+// replica sphere is dead. The failure-notification plumbing reuses the
+// §3 wildcard control channels: the sphere leader, who is the only
+// replica posting real physical wildcards, observes unacknowledged
+// deaths and relays them to its siblings as failure envelopes so every
+// replica of a virtual rank reaches the same failure view in the same
+// wildcard position.
+
+package redundancy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// failureEnvelopeSrc marks a control envelope as a failure notice (the
+// tag field then carries the dead virtual rank). Real envelopes carry a
+// non-negative virtual source, so the sentinel cannot collide.
+const failureEnvelopeSrc = -2
+
+// SetErrhandler implements mpi.Comm. The handler observes virtual-rank
+// failures: it fires at most once per failed virtual rank, from inside
+// the observing call, and only once every replica of that rank is dead.
+// Installing a handler also arms the physical comm's handler so the
+// transport's wildcard gate (mpi.ErrFailurePending) engages.
+func (c *Comm) SetErrhandler(fn func(mpi.FailureInfo)) {
+	c.vhandler = fn
+	if fn == nil {
+		c.phys.SetErrhandler(nil)
+		return
+	}
+	if c.vnotified == nil {
+		c.vnotified = make(map[int]bool)
+		c.unacked = make(map[int]bool)
+	}
+	c.phys.SetErrhandler(func(fi mpi.FailureInfo) {
+		c.notePhysFailure(fi.Rank)
+	})
+}
+
+// notePhysFailure translates one physical replica death into the
+// virtual failure view: the owning virtual rank has failed only if no
+// replica of its sphere remains alive.
+func (c *Comm) notePhysFailure(phys int) {
+	rep, err := c.m.Owner(phys)
+	if err != nil {
+		return
+	}
+	sphere, err := c.m.Sphere(rep.Virtual)
+	if err != nil {
+		return
+	}
+	for _, q := range sphere {
+		if c.live.Alive(q) {
+			return // a surviving replica masks the death
+		}
+	}
+	c.failVirtual(rep.Virtual)
+}
+
+// failVirtual fires the handler for a newly failed virtual rank and
+// marks it unacknowledged (gating wildcard receives). It reports
+// whether the failure was fresh. Ranks a Shrink already excluded are
+// repaired failures: they neither fire nor re-arm the gate.
+func (c *Comm) failVirtual(v int) bool {
+	if c.vhandler == nil || v < 0 || v >= c.m.VirtualSize() || c.vnotified[v] || c.excluded[v] {
+		return false
+	}
+	c.vnotified[v] = true
+	c.unacked[v] = true
+	c.vhandler(mpi.FailureInfo{Rank: v})
+	return true
+}
+
+// liftPhysDeaths acknowledges the physical comm's failures and lifts
+// every death the ack reports into the virtual view. The physical ack
+// marks deaths notified WITHOUT firing the translating handler, so an
+// ack that is not followed by a lift silently swallows any observation
+// the handler had not yet delivered — and a swallowed sphere exhaustion
+// deadlocks the job (no replica ever learns the rank is gone). Every
+// acknowledgement on this comm must therefore go through here.
+func (c *Comm) liftPhysDeaths() {
+	for _, q := range c.phys.FailureAck() {
+		c.notePhysFailure(q)
+	}
+}
+
+// FailureAck implements mpi.Comm: acknowledging clears the virtual
+// wildcard gate (and the physical one beneath it) and returns the
+// acknowledged failed virtual ranks in ascending order. Failures first
+// observed by the ack itself are delivered to the errhandler from
+// inside the call before being acknowledged.
+func (c *Comm) FailureAck() []int {
+	c.liftPhysDeaths()
+	for v := range c.unacked {
+		delete(c.unacked, v)
+	}
+	return c.ackedVirtualLocked()
+}
+
+// ackedVirtualLocked lists every virtual rank whose failure has been
+// observed so far, ascending.
+func (c *Comm) ackedVirtualLocked() []int {
+	if len(c.vnotified) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(c.vnotified))
+	for v := range c.vnotified {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Agree implements mpi.Comm by delegating to the physical transport's
+// fault-tolerant agreement: every live replica of every surviving
+// virtual rank participates, so the flag is AND-reduced across exactly
+// the endpoints that can still act on it.
+func (c *Comm) Agree(flag bool) (bool, error) {
+	return c.phys.Agree(flag)
+}
+
+// baseRanker exposes the survivor set a transport-level shrink agreed
+// on; *mpi.Shrunk implements it.
+type baseRanker interface {
+	BaseRanks() []int
+}
+
+// Shrink implements mpi.Comm. The physical transport's shrink supplies
+// the agreed physical survivor set — that collective is what makes
+// every replica's view consistent — and the virtual survivors are the
+// spheres retaining at least one surviving replica. The physical
+// communicator itself is NOT narrowed (replica fan-out must keep
+// addressing the full physical world, dead replicas skipped as usual);
+// the agreed survivor set is lifted onto the virtual world instead.
+func (c *Comm) Shrink() (mpi.Comm, error) {
+	ps, err := c.phys.Shrink()
+	if err != nil {
+		return nil, err
+	}
+	br, ok := ps.(baseRanker)
+	if !ok {
+		return nil, fmt.Errorf("redundancy: physical shrink returned %T without a survivor set", ps)
+	}
+	physAlive := make(map[int]bool, len(br.BaseRanks()))
+	for _, q := range br.BaseRanks() {
+		physAlive[q] = true
+	}
+	var virtSurvivors []int
+	survives := make(map[int]bool, c.m.VirtualSize())
+	for v := 0; v < c.m.VirtualSize(); v++ {
+		sphere, serr := c.m.Sphere(v)
+		if serr != nil {
+			return nil, serr
+		}
+		for _, q := range sphere {
+			if physAlive[q] {
+				virtSurvivors = append(virtSurvivors, v)
+				survives[v] = true
+				break
+			}
+		}
+	}
+	// Acknowledge selectively: the shrink repairs exactly the spheres it
+	// excludes, so only their failures are cleared. A sphere that died
+	// too late for this shrink's survivor agreement stays (or becomes)
+	// pending, so it surfaces through the wildcard gate on every replica
+	// and drives the next repair — clearing it here would strand the
+	// failure on whichever replicas had already observed it. The physical
+	// deaths the transport ack reports are lifted first so no observation
+	// is swallowed (see liftPhysDeaths).
+	if c.excluded == nil {
+		c.excluded = make(map[int]bool)
+	}
+	for v := 0; v < c.m.VirtualSize(); v++ {
+		if !survives[v] && !c.excluded[v] {
+			c.excluded[v] = true
+			delete(c.unacked, v)
+		}
+	}
+	c.liftPhysDeaths()
+	return mpi.NewShrunk(c, virtSurvivors)
+}
+
+// leaderObservedPending handles the leader's physical wildcard failing
+// fast with mpi.ErrFailurePending: the physical deaths are acknowledged
+// transport-side (the translating handler has already lifted them into
+// the virtual view), and the call reports whether a whole sphere died —
+// if not, the loss is masked and the wildcard should simply be
+// retried.
+func (c *Comm) leaderObservedPending() bool {
+	c.liftPhysDeaths()
+	return len(c.unacked) > 0
+}
+
+// notifyFailures relays this replica's unacknowledged virtual failures
+// to its higher-indexed siblings as failure envelopes on the wildcard
+// control channel, so followers parked on the envelope stream observe
+// the failure at the same wildcard position. Failure envelopes do not
+// consume a sequence number: the stream position they announce is the
+// one the next real envelope will fill.
+func (c *Comm) notifyFailures(mySphere []int, ctrl int, seq uint64) {
+	var failed []int
+	for v := range c.unacked {
+		failed = append(failed, v)
+	}
+	sort.Ints(failed)
+	for _, v := range failed {
+		env := encodeWire(kindEnvelope, c.me.Index, c.me.Virtual, ctrl,
+			envelopePayload(seq, failureEnvelopeSrc, v))
+		for j := c.me.Index + 1; j < len(mySphere); j++ {
+			if c.phys.Send(mySphere[j], ctrl, env) != nil {
+				return
+			}
+			c.stats.envelopes.Add(1)
+		}
+	}
+}
+
+var errFailurePendingWildcard = fmt.Errorf(
+	"redundancy: unacknowledged virtual failure: %w", mpi.ErrFailurePending)

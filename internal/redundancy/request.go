@@ -69,11 +69,6 @@ func (r *sendRequest) Test() (bool, mpi.Message, mpi.Status, error) {
 	return true, mpi.Message{}, r.st, r.err
 }
 
-// Message implements mpi.Request; sends deliver no payload.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (r *sendRequest) Message() mpi.Message { return mpi.Message{} }
-
 // recvRequest identifies a set of physical receives (paper §3: "RedMPI
 // maintains the set of request handles returned by all the non-blocking
 // MPI calls").
@@ -167,17 +162,13 @@ func (r *recvRequest) Test() (bool, mpi.Message, mpi.Status, error) {
 	return true, msg, st, err
 }
 
-// Message returns the delivered virtual message after completion.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (r *recvRequest) Message() mpi.Message { return r.msg }
-
 // deliverSpecific verifies the collected copies from a specific virtual
 // source and performs delivery bookkeeping. The winning copy's transport
 // buffer is reframed into the delivered message (its ownership passes to
 // the application); the losing copies' buffers go back to the pool.
 func (c *Comm) deliverSpecific(src int, copies []wireMsg) (mpi.Message, error) {
 	if len(copies) == 0 {
+		c.failVirtual(src)
 		return mpi.Message{}, fmt.Errorf("recv from virtual %d: %w", src, ErrSphereDead)
 	}
 	data, win, err := c.verify(copies)

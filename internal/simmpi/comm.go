@@ -78,6 +78,9 @@ type Comm struct {
 	// Per-peer message totals for the checkpoint bookmark exchange.
 	sent peerCounts
 	recv peerCounts
+
+	// fault is the ULFM-style notification state (see fault.go).
+	fault faultState
 }
 
 var (
@@ -210,6 +213,7 @@ func (c *Comm) Recv(src, tag int) (mpi.Message, error) {
 	}
 	msg, err := c.world.table.receive(c.rank, src, tag)
 	if err != nil {
+		c.fireHandler(err)
 		return mpi.Message{}, err
 	}
 	c.noteRecv(msg.Source)
@@ -229,7 +233,11 @@ func (c *Comm) Probe(src, tag int) (mpi.Status, error) {
 			return mpi.Status{}, err
 		}
 	}
-	return c.world.table.probe(c.rank, src, tag)
+	st, err := c.world.table.probe(c.rank, src, tag)
+	if err != nil {
+		c.fireHandler(err)
+	}
+	return st, err
 }
 
 // Isend starts a non-blocking send. Because sends are eager, the
@@ -330,19 +338,13 @@ func (r *request) Test() (bool, mpi.Message, mpi.Status, error) {
 	}
 	r.done = true
 	r.err = err
+	if err != nil {
+		r.comm.fireHandler(err)
+	}
 	if err == nil {
 		r.comm.noteRecv(msg.Source)
 		r.msg = msg
 		r.st = statusOf(msg)
 	}
 	return true, r.msg, r.st, r.err
-}
-
-// Message returns the received payload after completion.
-//
-// Deprecated: use the Message returned by Wait or Test directly.
-func (r *request) Message() mpi.Message {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.msg
 }

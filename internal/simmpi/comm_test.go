@@ -245,13 +245,9 @@ func TestIrecvWaitAndMessage(t *testing.T) {
 	if string(msg.Data) != "payload" {
 		t.Fatalf("message %q", msg.Data)
 	}
-	// Wait is idempotent, and the deprecated accessor still works.
+	// Wait is idempotent: repeated calls return the same delivery.
 	if again, _, err := req.Wait(); err != nil || string(again.Data) != "payload" {
 		t.Fatalf("second Wait: %q err=%v", again.Data, err)
-	}
-	//lint:ignore SA1019 the deprecated accessor must keep returning the payload
-	if got := req.Message(); string(got.Data) != "payload" {
-		t.Fatalf("message %q", got.Data)
 	}
 	msg.Release()
 }

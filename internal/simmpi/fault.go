@@ -1,0 +1,263 @@
+package simmpi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mpi"
+)
+
+// faultState is one communicator's slice of the ULFM-style notification
+// surface: the installed errhandler, the set of failures already
+// delivered to it, and the acknowledgement watermark that gates
+// wildcard operations (mpi.ErrFailurePending fires while ack lags the
+// world's death sequence).
+type faultState struct {
+	mu       sync.Mutex
+	handler  func(mpi.FailureInfo)
+	notified map[int]bool
+
+	// has mirrors handler != nil so the hot receive path can skip the
+	// whole machinery with one atomic load; ack is the world deathSeq
+	// watermark this communicator has acknowledged.
+	has atomic.Bool
+	ack atomic.Uint64
+}
+
+// SetErrhandler implements mpi.Comm.
+func (c *Comm) SetErrhandler(fn func(mpi.FailureInfo)) {
+	c.fault.mu.Lock()
+	c.fault.handler = fn
+	c.fault.mu.Unlock()
+	c.fault.has.Store(fn != nil)
+}
+
+// failurePending reports whether an unacknowledged failure should stop
+// this communicator's wildcard operations. Only handler-bearing
+// communicators opt in, so legacy code keeps the block-until-abort
+// behavior unchanged.
+func (c *Comm) failurePending() bool {
+	return c.fault.has.Load() && c.fault.ack.Load() < c.world.deathSeq.Load()
+}
+
+// fireHandler delivers not-yet-notified failures to the errhandler. It
+// is called from the communication paths that observe a failure-class
+// error; the handler runs outside the fault lock so it may call
+// FailureAck / Shrink / Agree itself.
+func (c *Comm) fireHandler(err error) {
+	if err == nil || !c.fault.has.Load() {
+		return
+	}
+	if !errors.Is(err, mpi.ErrPeerDead) && !errors.Is(err, mpi.ErrFailurePending) {
+		return
+	}
+	c.fault.mu.Lock()
+	fn := c.fault.handler
+	if fn == nil {
+		c.fault.mu.Unlock()
+		return
+	}
+	if c.fault.notified == nil {
+		c.fault.notified = make(map[int]bool)
+	}
+	var fresh []int
+	c.world.dead.forEachSet(func(r int) {
+		if !c.fault.notified[r] {
+			c.fault.notified[r] = true
+			fresh = append(fresh, r)
+		}
+	})
+	c.fault.mu.Unlock()
+	for _, r := range fresh {
+		fn(mpi.FailureInfo{Rank: r})
+	}
+}
+
+// FailureAck implements mpi.Comm: it acknowledges the failures observed
+// so far (wildcards proceed past them afterwards) and returns the
+// currently-dead ranks in ascending order.
+func (c *Comm) FailureAck() []int {
+	w := c.world
+	seq := w.deathSeq.Load()
+	c.fault.mu.Lock()
+	if c.fault.notified == nil {
+		c.fault.notified = make(map[int]bool)
+	}
+	var acked []int
+	w.dead.forEachSet(func(r int) {
+		c.fault.notified[r] = true
+		acked = append(acked, r)
+	})
+	c.fault.ack.Store(seq)
+	c.fault.mu.Unlock()
+	return acked
+}
+
+// Agree implements mpi.Comm: the fault-tolerant AND across survivors.
+// Contributions from ranks that fail during the call may or may not be
+// folded in (exactly the latitude MPI_Comm_agree allows); survivors
+// always observe the identical result.
+func (c *Comm) Agree(flag bool) (bool, error) {
+	res, err := c.world.agreeGate.run(c.rank, flag)
+	if err != nil {
+		return false, err
+	}
+	if c.world.dead.get(c.rank) {
+		return false, mpi.ErrKilled
+	}
+	return res.flag, nil
+}
+
+// Shrink implements mpi.Comm: survivors agree on the live membership
+// and each wraps its endpoint in a densely renumbered mpi.Shrunk. The
+// agreement is the gate's live-arrival barrier, so every survivor sees
+// the same membership even when ranks die during the call.
+func (c *Comm) Shrink() (mpi.Comm, error) {
+	res, err := c.world.shrinkGate.run(c.rank, true)
+	if err != nil {
+		return nil, err
+	}
+	member := false
+	for _, r := range res.survivors {
+		if r == c.rank {
+			member = true
+			break
+		}
+	}
+	if !member {
+		return nil, mpi.ErrKilled
+	}
+	c.world.flight.Emit("shrink", c.rank, -1, len(res.survivors), 0)
+	c.FailureAck() // Shrink implies failure_ack at the transport level
+	return mpi.NewShrunk(c, res.survivors)
+}
+
+// ftRound is one invocation of a fault-tolerant collective. Completion
+// requires every *live* rank to have arrived — ranks that die before or
+// during the round are excused by the kill hook, so the barrier makes
+// progress through failures, which is the whole point.
+type ftRound struct {
+	arrived []bool
+	counted []bool // arrived while still alive (contributes to liveIn)
+	liveIn  int
+	flag    bool // AND-fold of contributions
+
+	completed bool
+	survivors []int // live set at completion (ascending)
+}
+
+// ftGate serializes one kind of fault-tolerant collective (agree or
+// shrink) for a world. Waiters park on the condition variable; kills,
+// aborts, and interrupts broadcast so no waiter outlives the condition
+// it is waiting for.
+type ftGate struct {
+	w    *World
+	mu   sync.Mutex
+	cond *sync.Cond
+	cur  *ftRound
+}
+
+func newFtGate(w *World) *ftGate {
+	g := &ftGate{w: w}
+	g.cond = sync.NewCond(&g.mu)
+	g.cur = g.newRound()
+	return g
+}
+
+func (g *ftGate) newRound() *ftRound {
+	return &ftRound{
+		arrived: make([]bool, g.w.size),
+		counted: make([]bool, g.w.size),
+		flag:    true,
+	}
+}
+
+// run contributes flag for rank and blocks until the round completes or
+// the caller's world state makes completion irrelevant (own death,
+// abort, interrupt).
+func (g *ftGate) run(rank int, flag bool) (ftRound, error) {
+	w := g.w
+	if err := w.errIfDown(rank, rank); err != nil {
+		return ftRound{}, err
+	}
+	g.mu.Lock()
+	r := g.cur
+	if r.arrived[rank] {
+		g.mu.Unlock()
+		return ftRound{}, mpi.ErrInvalidRank // concurrent double arrival: protocol misuse
+	}
+	r.arrived[rank] = true
+	if !flag {
+		r.flag = false
+	}
+	if !w.dead.get(rank) {
+		r.counted[rank] = true
+		r.liveIn++
+	}
+	g.checkCompleteLocked(r)
+	for !r.completed {
+		if w.aborted.Load() {
+			g.mu.Unlock()
+			return ftRound{}, mpi.ErrAborted
+		}
+		if w.interrupted.Load() {
+			g.mu.Unlock()
+			return ftRound{}, mpi.ErrInterrupted
+		}
+		if w.dead.get(rank) {
+			g.mu.Unlock()
+			return ftRound{}, mpi.ErrKilled
+		}
+		g.cond.Wait()
+	}
+	out := *r
+	g.mu.Unlock()
+	return out, nil
+}
+
+// checkCompleteLocked completes the round when every live rank has
+// arrived. The live snapshot taken here is the round's survivor set.
+func (g *ftGate) checkCompleteLocked(r *ftRound) {
+	w := g.w
+	if r.completed || w.aborted.Load() || w.interrupted.Load() {
+		return
+	}
+	if r.liveIn == 0 || r.liveIn != int(w.alive.Load()) {
+		return
+	}
+	r.completed = true
+	w.dead.forEachClear(func(p int) { r.survivors = append(r.survivors, p) })
+	g.cur = g.newRound()
+	g.cond.Broadcast()
+}
+
+// onKill excuses a dead rank from the current round (and wakes it if it
+// was parked): the barrier must not wait for the dead.
+func (g *ftGate) onKill(rank int) {
+	g.mu.Lock()
+	r := g.cur
+	if r.counted[rank] {
+		r.counted[rank] = false
+		r.liveIn--
+	}
+	g.checkCompleteLocked(r)
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// wake unparks every waiter so it can observe an abort or interrupt.
+func (g *ftGate) wake() {
+	g.mu.Lock()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// reset discards the current round at an epoch boundary (Resume): the
+// interrupted epoch's partial arrivals must not leak into the next one.
+func (g *ftGate) reset() {
+	g.mu.Lock()
+	g.cur = g.newRound()
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}

@@ -228,5 +228,6 @@ func isFailureErr(err error) bool {
 	return errors.Is(err, mpi.ErrKilled) ||
 		errors.Is(err, mpi.ErrPeerDead) ||
 		errors.Is(err, mpi.ErrAborted) ||
-		errors.Is(err, mpi.ErrInterrupted)
+		errors.Is(err, mpi.ErrInterrupted) ||
+		errors.Is(err, mpi.ErrFailurePending)
 }

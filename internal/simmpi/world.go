@@ -46,6 +46,18 @@ type World struct {
 	aborted     atomic.Bool
 	interrupted atomic.Bool
 
+	// deathSeq increments on every kill; communicators compare it
+	// against their per-comm acknowledgement watermark to decide whether
+	// an unacknowledged failure should fail wildcard operations with
+	// mpi.ErrFailurePending (only when an errhandler is installed).
+	deathSeq atomic.Uint64
+
+	// agreeGate and shrinkGate host the two fault-tolerant collectives
+	// (mpi.Comm.Agree / Shrink): live-arrival barriers that kills excuse
+	// instead of wedging.
+	agreeGate  *ftGate
+	shrinkGate *ftGate
+
 	// livenessWakeups counts registered waiters notified by liveness
 	// broadcasts (Kill/Abort/Interrupt/Resume) — an upper bound on
 	// goroutines unparked (see LivenessWakeups). The epoch-gate
@@ -155,6 +167,8 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	}
 	w.met = newWorldMetrics(w.reg)
 	w.flight = o.Flight
+	w.agreeGate = newFtGate(w)
+	w.shrinkGate = newFtGate(w)
 	dense := n <= denseCountThreshold
 	for i := range w.comms {
 		c := &Comm{world: w, rank: i}
@@ -199,6 +213,12 @@ func (w *World) errIfDown(owner, src int) error {
 	if src != mpi.AnySource && w.dead.get(src) {
 		return mpi.ErrPeerDead
 	}
+	if src == mpi.AnySource && w.comms[owner].failurePending() {
+		// ULFM wildcard rule: with an errhandler installed, a wildcard
+		// must not block past an unacknowledged failure — the dead rank
+		// might have been the sender it was waiting for.
+		return mpi.ErrFailurePending
+	}
 	return nil
 }
 
@@ -220,9 +240,12 @@ func (w *World) Kill(rank int) {
 		return
 	}
 	w.alive.Add(-1)
+	w.deathSeq.Add(1)
 	w.met.kills.Inc()
 	w.flight.Emit("dead", rank, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
+	w.agreeGate.onKill(rank)
+	w.shrinkGate.onKill(rank)
 }
 
 // Alive reports whether the rank is still alive.
@@ -277,6 +300,8 @@ func (w *World) Abort() {
 	w.met.aborts.Inc()
 	w.flight.Emit("abort", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
+	w.agreeGate.wake()
+	w.shrinkGate.wake()
 }
 
 // Aborted reports whether the world has been aborted.
@@ -295,6 +320,8 @@ func (w *World) Interrupt() {
 	w.met.interrupts.Inc()
 	w.flight.Emit("interrupt", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
+	w.agreeGate.wake()
+	w.shrinkGate.wake()
 }
 
 // Interrupted reports whether the world is paused for recovery.
@@ -337,6 +364,8 @@ func (w *World) Resume() {
 	w.interrupted.Store(false)
 	w.flight.Emit("resume", -1, -1, 0, 0)
 	w.livenessWakeups.Add(uint64(w.table.wakeAll()))
+	w.agreeGate.reset()
+	w.shrinkGate.reset()
 }
 
 // RankError pairs a rank with the error its function returned.

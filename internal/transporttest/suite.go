@@ -31,6 +31,10 @@ func RunSuite(t *testing.T, factory Factory) {
 	t.Run("KillSemantics", func(t *testing.T) { testKillSemantics(t, factory) })
 	t.Run("AbortSemantics", func(t *testing.T) { testAbortSemantics(t, factory) })
 	t.Run("EpochRevive", func(t *testing.T) { testEpochRevive(t, factory) })
+	t.Run("Errhandler", func(t *testing.T) { testErrhandler(t, factory) })
+	t.Run("Agree", func(t *testing.T) { testAgree(t, factory) })
+	t.Run("Shrink", func(t *testing.T) { testShrink(t, factory) })
+	t.Run("ShrinkRacesCollective", func(t *testing.T) { testShrinkRacesCollective(t, factory) })
 }
 
 func endpoint(t *testing.T, tr mpi.Transport, rank int) mpi.Comm {
