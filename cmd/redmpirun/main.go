@@ -90,8 +90,10 @@ func run(args []string) error {
 		corrupt  = fs.String("corrupt", "", "physical ranks injecting silent data corruption, comma-separated")
 
 		peerRep  = fs.Int("peer-replicas", 0, "replicate each sphere's checkpoint shard to this many buddy spheres' memories (0 = peer tier off)")
-		stableEv = fs.Int("stable-every", 1, "push every Nth peer generation to the stable tier (with -peer-replicas)")
-		partialR = fs.Bool("partial-restart", false, "recover sphere deaths in place from the peer tier (requires -peer-replicas and -interval)")
+		peerSh   = fs.String("peer-shards", "", "erasure-code the peer tier as k+m Reed-Solomon shards spread across spheres (e.g. 4+2: any 2 sphere losses recoverable at ~1.5x memory); exclusive with -peer-replicas")
+		peerBudg = fs.Int64("peer-budget-bytes", 0, "cap the peer tier's resident bytes per rank, evicting whole oldest generations when exceeded (0 = unlimited)")
+		stableEv = fs.Int("stable-every", 1, "push every Nth peer generation to the stable tier (with -peer-replicas or -peer-shards)")
+		partialR = fs.Bool("partial-restart", false, "recover sphere deaths in place from the peer tier (requires -peer-replicas or -peer-shards, and -interval)")
 
 		metricsF = fs.String("metrics", "", "write the job metrics snapshot as JSON to this file and print the rendered table")
 		traceF   = fs.String("trace", "", "write the structured event trace as JSONL to this file")
@@ -122,12 +124,13 @@ func run(args []string) error {
 		// defaults are simply neutralised.
 		set := map[string]bool{}
 		fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-		for _, name := range []string{"interval", "max-restarts", "peer-replicas", "partial-restart", "async-checkpoint", "kill-once"} {
+		for _, name := range []string{"interval", "max-restarts", "peer-replicas", "peer-shards", "peer-budget-bytes", "partial-restart", "async-checkpoint", "kill-once"} {
 			if set[name] {
 				return fmt.Errorf("-%s is meaningless with -recovery shrink (the job never restarts or restores)", name)
 			}
 		}
 		*interval, *restarts, *peerRep, *partialR = 0, 0, 0, false
+		*peerSh, *peerBudg = "", 0
 	default:
 		return fmt.Errorf("unknown -recovery %q (restart | shrink)", *recovery)
 	}
@@ -155,9 +158,19 @@ func run(args []string) error {
 		mtbf:         *mtbf,
 
 		peerReplicas:   *peerRep,
+		peerShards:     *peerSh,
+		peerBudget:     *peerBudg,
 		partialRestart: *partialR,
 		asyncCkpt:      *asyncCkpt,
 		sendLatency:    *sendLat,
+	}
+	peerData, peerParity := 0, 0
+	if *peerSh != "" {
+		var perr error
+		peerData, peerParity, perr = parseShardSpec(*peerSh)
+		if perr != nil {
+			return perr
+		}
 	}
 	if *procRank >= 0 {
 		// Worker re-exec path: this process IS one physical rank.
@@ -178,9 +191,12 @@ func run(args []string) error {
 		ComputeDelay:   *compute,
 		SendDelay:      *sendLat,
 		ScheduleOnce:   *killOnce,
-		PeerReplicas:   *peerRep,
-		StableEvery:    *stableEv,
-		PartialRestart: *partialR,
+		PeerReplicas:     *peerRep,
+		PeerDataShards:   peerData,
+		PeerParityShards: peerParity,
+		PeerBudgetBytes:  *peerBudg,
+		StableEvery:      *stableEv,
+		PartialRestart:   *partialR,
 
 		AsyncCheckpoint: *asyncCkpt,
 		AsyncWorkers:    *asyncWkrs,
@@ -311,7 +327,7 @@ func run(args []string) error {
 		fmt.Printf("  attempt %d: elapsed=%v failures=%d jobFailed=%v restored=%v checkpoints=%d partials=%d\n",
 			at.Index, at.Elapsed.Round(time.Millisecond), at.Failures, at.JobFailed, at.Restored, at.Checkpoints, at.PartialRestarts)
 	}
-	if cfg.PeerReplicas > 0 {
+	if cfg.PeerTier() {
 		fmt.Printf("recovery: partial-restarts=%d full-restarts=%d recomputed-steps=%d\n",
 			res.PartialRestarts, res.Restarts, res.RecomputedSteps)
 	}
@@ -430,6 +446,23 @@ func parseStepKills(spec string) ([]core.StepKill, error) {
 		return nil, fmt.Errorf("empty -kill-at-step list %q", spec)
 	}
 	return out, nil
+}
+
+// parseShardSpec parses "k+m" into erasure data/parity shard counts.
+func parseShardSpec(spec string) (data, parity int, err error) {
+	kStr, mStr, hasPlus := strings.Cut(spec, "+")
+	if !hasPlus {
+		return 0, 0, fmt.Errorf("bad -peer-shards %q: want k+m (e.g. 4+2)", spec)
+	}
+	data, err = strconv.Atoi(strings.TrimSpace(kStr))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -peer-shards data count %q: %w", spec, err)
+	}
+	parity, err = strconv.Atoi(strings.TrimSpace(mStr))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad -peer-shards parity count %q: %w", spec, err)
+	}
+	return data, parity, nil
 }
 
 // parseRankList parses a comma-separated physical rank list.

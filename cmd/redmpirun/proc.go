@@ -45,6 +45,8 @@ type procFlags struct {
 
 	// Flags the proc transport rejects (checked in validate).
 	peerReplicas   int
+	peerShards     string
+	peerBudget     int64
 	partialRestart bool
 	asyncCkpt      bool
 	sendLatency    time.Duration
@@ -59,6 +61,10 @@ func (pf procFlags) validate() error {
 	switch {
 	case pf.peerReplicas > 0:
 		return fmt.Errorf("-peer-replicas is not supported with -transport proc (the peer tier shares memory between ranks)")
+	case pf.peerShards != "":
+		return fmt.Errorf("-peer-shards is not supported with -transport proc (the peer tier shares memory between ranks)")
+	case pf.peerBudget > 0:
+		return fmt.Errorf("-peer-budget-bytes is not supported with -transport proc (no peer tier to budget)")
 	case pf.partialRestart:
 		return fmt.Errorf("-partial-restart is not supported with -transport proc")
 	case pf.asyncCkpt:

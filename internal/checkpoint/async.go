@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/mpi"
@@ -46,8 +47,9 @@ import (
 // clients of all replicas); core.Run owns its lifecycle across restart
 // attempts.
 type Pipeline struct {
-	jobs chan asyncJob
-	wg   sync.WaitGroup
+	jobs   chan asyncJob
+	wg     sync.WaitGroup
+	active atomic.Int64 // jobs submitted and not yet finished
 
 	closeOnce sync.Once
 }
@@ -86,7 +88,22 @@ func (p *Pipeline) Close() {
 	p.wg.Wait()
 }
 
-func (p *Pipeline) submit(j asyncJob) { p.jobs <- j }
+func (p *Pipeline) submit(j asyncJob) {
+	p.active.Add(1)
+	p.jobs <- j
+}
+
+// Flush waits until every submitted job has finished, without stopping
+// the workers. The recovery path calls it after quiescing a failed
+// world: once Flush returns, every write the failed epoch enqueued has
+// either landed in its storage tier or failed, so the peer store's
+// holder registry reflects reality and a complete latest generation can
+// be promoted to committed.
+func (p *Pipeline) Flush() {
+	for p.active.Load() > 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+}
 
 func (p *Pipeline) worker() {
 	defer p.wg.Done()
@@ -106,6 +123,7 @@ func (p *Pipeline) worker() {
 		cl.met.inflight.Add(-1)
 		cl.inflightN.Add(-1)
 		cl.inflight.Done()
+		p.active.Add(-1)
 	}
 }
 
@@ -183,11 +201,17 @@ func (cl *Client) recordAsyncErr(err error) {
 // drainLocal waits for this client's own in-flight write to finish and
 // surfaces any background failure. The WaitGroup's happens-before edge
 // makes the worker's error store visible here without extra fencing.
+// Storage tiers with asynchronous sends of their own (the peer store)
+// are then settled, so the drain/commit contract covers in-flight peer
+// replication too, not just this rank's Write call.
 func (cl *Client) drainLocal() error {
 	if cl.inflightN.Load() > 0 {
 		cl.met.drainWaits.Inc()
 	}
 	cl.inflight.Wait()
+	if s, ok := cl.cfg.Storage.(Settler); ok {
+		s.Settle()
+	}
 	cl.asyncMu.Lock()
 	err := cl.asyncErr
 	cl.asyncMu.Unlock()
@@ -227,9 +251,11 @@ func (cl *Client) checkpointAsync(state []byte, writer, lead bool) error {
 	if err := mpi.Barrier(cl.comm); err != nil {
 		return fmt.Errorf("checkpoint barrier: %w", err)
 	}
-	// The bookmark exchange is still sound under async: background
-	// workers never touch the communicator, so message totals are
-	// exactly the application's.
+	// The bookmark exchange is still sound under async: the client's
+	// communicator tracks its own (virtual-level) send/receive totals,
+	// and background workers never send through it — peer replication
+	// rides the physical transport on reserved tags, invisible to these
+	// counters. So message totals are exactly the application's.
 	if !cl.cfg.SkipBookmark {
 		if err := cl.bookmarkExchange(lead); err != nil {
 			return err

@@ -63,9 +63,13 @@ func BenchmarkCompressedRoundTrip(b *testing.B) {
 // BenchmarkPeerReplicateCommit measures the peer tier's write path: every
 // sphere writer stashes locally and pushes its shard to a buddy over
 // messages, then commits — the steady-state cost of peer checkpointing.
+// The resident footprint (replicas+1 full copies per sphere, double
+// buffered) is reported for comparison with BenchmarkPeerErasureCommit.
 func BenchmarkPeerReplicateCommit(b *testing.B) {
 	state := bytes.Repeat([]byte{0xAB}, 4<<10)
 	b.SetBytes(benchGens * 4 * int64(len(state)))
+	b.ReportAllocs()
+	var resident int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -105,10 +109,15 @@ func BenchmarkPeerReplicateCommit(b *testing.B) {
 			}
 		}
 		b.StopTimer()
+		ps.Settle()
+		ps.mu.Lock()
+		resident = ps.resident
+		ps.mu.Unlock()
 		w.Interrupt()
 		wg.Wait()
 		b.StartTimer()
 	}
+	b.ReportMetric(float64(resident), "resident-bytes")
 }
 
 // benchDelayStorage emulates a stable store with a fixed per-image write
@@ -221,19 +230,87 @@ func BenchmarkShardedCompress(b *testing.B) {
 	}
 }
 
-// BenchmarkPeerCodec measures the wire codec for peer shards.
+// BenchmarkPeerCodec measures the wire codec for peer shards on the
+// pooled path production uses: encode into a size-class arena buffer,
+// decode, release — zero steady-state allocations.
 func BenchmarkPeerCodec(b *testing.B) {
 	payload := bytes.Repeat([]byte{0x5A}, 4<<10)
 	const frames = 5000
 	b.SetBytes(frames * int64(len(payload)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < frames; j++ {
-			buf := encodePeer(opReplicate, uint64(j), 3, payload)
-			op, gen, v, body, err := decodePeer(buf)
-			if err != nil || op != opReplicate || gen != uint64(j) || v != 3 || len(body) != len(payload) {
-				b.Fatalf("codec round trip broke: op=%d gen=%d v=%d err=%v", op, gen, v, err)
+			fr := peerFrame{op: opReplicate, gen: uint64(j), v: 3, idx: shardFull, size: uint32(len(payload)), payload: payload}
+			buf, pb := snapPool.acquire(peerHeaderLen + len(payload))
+			encodePeerInto(buf, fr)
+			got, err := decodePeer(buf)
+			if err != nil || got.op != opReplicate || got.gen != uint64(j) || got.v != 3 || len(got.payload) != len(payload) {
+				b.Fatalf("codec round trip broke: %+v err=%v", got, err)
+			}
+			if pb != nil {
+				pb.Release()
 			}
 		}
 	}
+}
+
+// BenchmarkPeerErasureCommit is BenchmarkPeerReplicateCommit's workload
+// on the erasure-coded layout (k=2 data + m=1 parity over the same four
+// spheres): the same snapshots cost (k+m)/k resident bytes per sphere
+// instead of replicas+1 full copies. The resident footprint is reported
+// per iteration so the scaling is visible next to the gated numbers.
+func BenchmarkPeerErasureCommit(b *testing.B) {
+	state := bytes.Repeat([]byte{0xAB}, 4<<10)
+	b.SetBytes(benchGens * 4 * int64(len(state)))
+	b.ReportAllocs()
+	var resident int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		ps, err := NewPeerStore(PeerStoreConfig{Spheres: testSpheres(), DataShards: 2, ParityShards: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := simmpi.NewWorld(8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		views := make([]Storage, 4)
+		for p := 0; p < 8; p++ {
+			c, cerr := w.Comm(p)
+			if cerr != nil {
+				b.Fatal(cerr)
+			}
+			wg.Add(1)
+			go func(c *simmpi.Comm) {
+				defer wg.Done()
+				ps.Serve(c)
+			}(c)
+			if p%2 == 0 {
+				views[p/2] = ps.View(c)
+			}
+		}
+		b.StartTimer()
+		for g := uint64(1); g <= benchGens; g++ {
+			for v := 0; v < 4; v++ {
+				if err := views[v].Write(g, v, state); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ps.Settle()
+			if err := views[0].Commit(g, 4); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		ps.mu.Lock()
+		resident = ps.resident
+		ps.mu.Unlock()
+		w.Interrupt()
+		wg.Wait()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(resident), "resident-bytes")
 }

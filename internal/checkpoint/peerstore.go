@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/erasure"
 	"repro/internal/mpi"
 	"repro/internal/obs"
 )
@@ -22,17 +24,23 @@ const (
 
 // Peer protocol opcodes.
 const (
-	opReplicate = byte(iota + 1) // writer -> buddy: store this image
-	opFetch                      // restorer -> holder: send me this image
-	opFound                      // holder -> restorer: image payload
-	opMiss                       // holder -> restorer: image not held
+	opReplicate = byte(iota + 1) // writer -> buddy: store this image/shard
+	opFetch                      // restorer -> holder: send me what you hold
+	opFound                      // holder -> restorer: image or shard payload
+	opMiss                       // holder -> restorer: nothing held
 )
 
 // ErrPeerFetchExhausted reports that every candidate holder of a rank's
-// checkpoint image was dead or empty after the configured retry rounds;
-// the orchestrator falls back to a full coordinated restart from stable
+// checkpoint image was dead or empty after the configured retry rounds
+// (in erasure mode: fewer than k distinct shards were recoverable); the
+// orchestrator falls back to a full coordinated restart from stable
 // storage.
 var ErrPeerFetchExhausted = errors.New("checkpoint: peer fetch exhausted")
+
+// maxPeerShards bounds DataShards+ParityShards so shard coverage checks
+// fit in one word. Far above any sensible configuration: each extra
+// shard costs a sphere.
+const maxPeerShards = 64
 
 // Liveness is the minimal liveness oracle the peer store needs;
 // *simmpi.World implements it.
@@ -46,9 +54,24 @@ type PeerStoreConfig struct {
 	// ranks of virtual rank v (redundancy.RankMap.Sphere order).
 	Spheres [][]int
 	// Replicas is k, the number of buddy ranks in *other* spheres that
-	// receive a copy of each rank's image (clamped to the number of
-	// other spheres).
+	// receive a full copy of each rank's image (clamped to the number of
+	// other spheres). Mutually exclusive with DataShards.
 	Replicas int
+	// DataShards and ParityShards switch the store from full-copy
+	// replication to Reed-Solomon erasure coding: each snapshot of size
+	// S is split into DataShards data shards plus ParityShards parity
+	// shards of ceil(S/DataShards) bytes each, spread across
+	// DataShards+ParityShards replica spheres, so the tier costs
+	// ~S·(k+m)/k resident bytes instead of S·(replicas+1) while any
+	// ParityShards sphere losses remain recoverable. DataShards of 0
+	// (or 1) keeps the full-copy mode.
+	DataShards   int
+	ParityShards int
+	// BudgetBytes caps the resident peer-tier bytes of any one physical
+	// rank; 0 means unlimited. A stash that pushes a rank over budget
+	// evicts the rank's oldest resident generation (never the one being
+	// written), counted by peer_store_evictions_total.
+	BudgetBytes int64
 	// StableEvery forwards every StableEvery-th generation to Slow, so
 	// peer generations can be much more frequent than stable ones (the
 	// whole point of in-memory checkpointing). Zero or one means every
@@ -67,9 +90,9 @@ type PeerStoreConfig struct {
 	// FetchBackoff is the first inter-round backoff; it doubles each
 	// round. Defaults to 500µs.
 	FetchBackoff time.Duration
-	// Obs receives the store's counters (peerstore_*, peer_fetch_*).
-	// Registration happens here, not at package init, so jobs without
-	// peer replication never see these instruments.
+	// Obs receives the store's counters (peerstore_*, peer_fetch_*,
+	// peer_store_*). Registration happens here, not at package init, so
+	// jobs without peer replication never see these instruments.
 	Obs *obs.Registry
 	// Trace, when non-nil, receives partial-restart fetch events.
 	Trace *obs.Tracer
@@ -81,42 +104,103 @@ type PeerStoreConfig struct {
 
 // PeerStore keeps checkpoint images replicated in the memory of peer
 // ranks, after ReStore (Hübner et al. 2022): each rank stashes its own
-// image locally and the writer replica pushes copies to k buddies in
-// other replica spheres over simmpi messages. Generations are
-// double-buffered — a commit publishes atomically and garbage-collects
-// everything older than the previous committed generation, so a failure
-// mid-commit can never corrupt the last good generation.
+// image (or, in erasure mode, its sphere's shard) locally and the
+// writer replica pushes copies — full images to Replicas buddies, or
+// one erasure shard to each of DataShards+ParityShards−1 neighbouring
+// spheres — over simmpi messages. Generations are double-buffered — a
+// commit publishes atomically and garbage-collects everything older
+// than the previous committed generation, so a failure mid-commit can
+// never corrupt the last good generation.
 //
 // The control plane (holder registry, commit records) lives in shared
 // memory under a mutex, standing in for ReStore's collective commit
 // metadata; the data plane (images) moves over real messages, so the
-// cost and failure surface of replication are modeled faithfully.
+// cost and failure surface of replication are modeled faithfully. The
+// data plane is slot-based and arena-backed — generation slots, holder
+// lists, and payload buffers all recycle — so steady-state replication
+// allocates nothing per generation.
 type PeerStore struct {
-	cfg   PeerStoreConfig
-	nPhys int
-	// ownerOf maps a physical rank to its sphere (virtual rank).
-	ownerOf map[int]int
+	cfg     PeerStoreConfig
+	nPhys   int
+	nVirt   int
+	ownerOf map[int]int // physical rank -> its sphere (virtual rank)
+	// codec is non-nil in erasure mode.
+	codec       *erasure.Codec
+	totalShards int
+
+	// pending counts replicate frames sent but not yet absorbed by a
+	// Serve loop; Settle waits for it so Drain covers in-flight sends.
+	pending atomic.Int64
 
 	mu sync.Mutex
-	// shards[p][gen][v] is the image of virtual rank v held in physical
-	// rank p's memory.
-	shards map[int]map[uint64]map[int][]byte
-	// holders[gen][v] is the registry of physical ranks expected to hold
-	// v's image for gen.
-	holders map[uint64]map[int][]int
-	// committed[gen] is the rank count of a published generation.
-	committed map[uint64]int
+	// floor is the oldest generation worth keeping (the committed
+	// predecessor of the newest commit); replicate frames that arrive
+	// after their generation was garbage-collected are dropped instead
+	// of resurrecting dead slots.
+	floor uint64
+	// ranks[p] is physical rank p's resident slice of the store.
+	ranks []rankShard
+	// ctrls is the control plane, one entry per live generation,
+	// ascending by generation.
+	ctrls    []*genCtrl
+	freeCtrl []*genCtrl
+	resident int64 // total payload bytes resident across all ranks
 
 	met peerMetrics
 }
 
 type peerMetrics struct {
-	replicas   *obs.Counter // buddy copies pushed
+	replicas   *obs.Counter // buddy copies/shards pushed
 	bytes      *obs.Counter // payload bytes replicated to buddies
-	localHits  *obs.Counter // restores served from the rank's own shard
+	localHits  *obs.Counter // restores served from the rank's own memory
 	remoteHits *obs.Counter // restores served by a peer fetch
 	retries    *obs.Counter // fetch retry rounds
 	exhausted  *obs.Counter // fetches that ran out of candidates
+	evictions  *obs.Counter // generation slots evicted by the budget
+	resident   *obs.Gauge   // resident payload bytes, store-wide
+}
+
+// rankShard is one physical rank's resident generations, ascending by
+// generation. Dropped slots move to a free list so steady-state stash
+// traffic reuses them.
+type rankShard struct {
+	gens     []*rankGen
+	free     []*rankGen
+	resident int64
+}
+
+// rankGen is the set of images one physical rank holds for one
+// generation. imgs is sorted by virtual rank and stays small: a rank
+// holds its own sphere's entry plus whatever shards its buddies pushed.
+type rankGen struct {
+	gen   uint64
+	imgs  []image
+	bytes int64
+}
+
+// image is one resident payload: a full snapshot (idx == shardFull) or
+// one erasure shard. data aliases a pooled buffer when pb is non-nil.
+type image struct {
+	v    int32
+	idx  int16
+	size uint32 // original snapshot size (== len(data) for full images)
+	data []byte
+	pb   *mpi.PooledBuf
+}
+
+// genCtrl is the shared-memory control record of one generation.
+type genCtrl struct {
+	gen uint64
+	// committedN is the published rank count; 0 means uncommitted.
+	committedN int
+	// holders[v] is the registry of physical ranks expected to hold
+	// v's image or shards for this generation.
+	holders [][]holderRef
+}
+
+type holderRef struct {
+	phys int32
+	idx  int16
 }
 
 // NewPeerStore builds a peer store over the given sphere topology.
@@ -137,11 +221,9 @@ func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) {
 		cfg.FetchBackoff = 500 * time.Microsecond
 	}
 	ps := &PeerStore{
-		cfg:       cfg,
-		ownerOf:   make(map[int]int),
-		shards:    make(map[int]map[uint64]map[int][]byte),
-		holders:   make(map[uint64]map[int][]int),
-		committed: make(map[uint64]int),
+		cfg:     cfg,
+		nVirt:   len(cfg.Spheres),
+		ownerOf: make(map[int]int),
 	}
 	for v, sphere := range cfg.Spheres {
 		if len(sphere) == 0 {
@@ -157,6 +239,32 @@ func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) {
 			}
 		}
 	}
+	if cfg.DataShards != 0 || cfg.ParityShards != 0 {
+		switch {
+		case cfg.Replicas > 0:
+			return nil, fmt.Errorf("checkpoint: Replicas and DataShards are mutually exclusive")
+		case cfg.DataShards < 2:
+			return nil, fmt.Errorf("checkpoint: erasure coding needs DataShards >= 2, got %d", cfg.DataShards)
+		case cfg.ParityShards < 1:
+			return nil, fmt.Errorf("checkpoint: erasure coding needs ParityShards >= 1, got %d", cfg.ParityShards)
+		case cfg.DataShards+cfg.ParityShards > maxPeerShards:
+			return nil, fmt.Errorf("checkpoint: DataShards+ParityShards = %d exceeds %d",
+				cfg.DataShards+cfg.ParityShards, maxPeerShards)
+		case cfg.DataShards+cfg.ParityShards > len(cfg.Spheres):
+			return nil, fmt.Errorf("checkpoint: DataShards+ParityShards = %d needs that many spheres, have %d",
+				cfg.DataShards+cfg.ParityShards, len(cfg.Spheres))
+		}
+		codec, err := erasure.New(cfg.DataShards, cfg.ParityShards)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		ps.codec = codec
+		ps.totalShards = cfg.DataShards + cfg.ParityShards
+	}
+	if cfg.BudgetBytes < 0 {
+		return nil, fmt.Errorf("checkpoint: peer budget = %d bytes", cfg.BudgetBytes)
+	}
+	ps.ranks = make([]rankShard, ps.nPhys)
 	ps.met = peerMetrics{
 		replicas:   cfg.Obs.Counter("peerstore_replicas_total"),
 		bytes:      cfg.Obs.Counter("peerstore_bytes_replicated_total"),
@@ -164,18 +272,28 @@ func NewPeerStore(cfg PeerStoreConfig) (*PeerStore, error) {
 		remoteHits: cfg.Obs.Counter("peer_fetch_remote_total"),
 		retries:    cfg.Obs.Counter("peer_fetch_retries_total"),
 		exhausted:  cfg.Obs.Counter("peer_fetch_exhausted_total"),
+		evictions:  cfg.Obs.Counter("peer_store_evictions_total"),
+		resident:   cfg.Obs.Gauge("peer_store_resident_bytes"),
 	}
 	return ps, nil
 }
 
-// Buddies returns the physical ranks that receive copies of virtual rank
-// v's image: the writer replica of the next k spheres (wrapping, own
-// sphere excluded). The set is a function of the sphere alone, so every
-// replica of v pushes to the same buddies and tests can predict exactly
-// which deaths exhaust a fetch.
+// Erasure reports whether the store runs in erasure-coded mode.
+func (ps *PeerStore) Erasure() bool { return ps.codec != nil }
+
+// Buddies returns the physical ranks that receive copies of virtual
+// rank v's image: the writer replica of each of the next spheres
+// (wrapping, own sphere excluded) — Replicas of them in full-copy mode,
+// DataShards+ParityShards−1 in erasure mode (one shard each; shard 0
+// stays in v's own sphere). The set is a function of the sphere alone,
+// so every replica of v pushes to the same buddies and tests can
+// predict exactly which deaths exhaust a fetch.
 func (ps *PeerStore) Buddies(v int) []int {
 	n := len(ps.cfg.Spheres)
 	k := ps.cfg.Replicas
+	if ps.codec != nil {
+		k = ps.totalShards - 1
+	}
 	if k > n-1 {
 		k = n - 1
 	}
@@ -190,79 +308,283 @@ func (ps *PeerStore) alive(p int) bool {
 	return ps.cfg.Live == nil || ps.cfg.Live.Alive(p)
 }
 
-// stash records an image into a physical rank's shard and registers the
-// rank as a holder.
-func (ps *PeerStore) stash(phys int, gen uint64, v int, state []byte) {
-	buf := make([]byte, len(state))
-	copy(buf, state)
-	ps.mu.Lock()
-	defer ps.mu.Unlock()
-	shard := ps.shards[phys]
-	if shard == nil {
-		shard = make(map[uint64]map[int][]byte)
-		ps.shards[phys] = shard
+// --- control plane -----------------------------------------------------
+
+// ctrlLocked finds the control record of gen, inserting one (recycled
+// from the free list when possible) if create is set.
+func (ps *PeerStore) ctrlLocked(gen uint64, create bool) *genCtrl {
+	i := len(ps.ctrls)
+	for i > 0 && ps.ctrls[i-1].gen > gen {
+		i--
 	}
-	g := shard[gen]
-	if g == nil {
-		g = make(map[int][]byte)
-		shard[gen] = g
+	if i > 0 && ps.ctrls[i-1].gen == gen {
+		return ps.ctrls[i-1]
 	}
-	g[v] = buf
-	ps.registerHolderLocked(gen, v, phys)
+	if !create {
+		return nil
+	}
+	var c *genCtrl
+	if n := len(ps.freeCtrl); n > 0 {
+		c = ps.freeCtrl[n-1]
+		ps.freeCtrl = ps.freeCtrl[:n-1]
+	} else {
+		c = &genCtrl{holders: make([][]holderRef, ps.nVirt)}
+	}
+	c.gen = gen
+	c.committedN = 0
+	ps.ctrls = append(ps.ctrls, nil)
+	copy(ps.ctrls[i+1:], ps.ctrls[i:])
+	ps.ctrls[i] = c
+	return c
 }
 
-func (ps *PeerStore) registerHolderLocked(gen uint64, v, phys int) {
-	hg := ps.holders[gen]
-	if hg == nil {
-		hg = make(map[int][]int)
-		ps.holders[gen] = hg
+// releaseCtrlLocked recycles a control record, keeping the holder
+// slices' capacity.
+func (ps *PeerStore) releaseCtrlLocked(c *genCtrl) {
+	for v := range c.holders {
+		c.holders[v] = c.holders[v][:0]
 	}
-	for _, h := range hg[v] {
-		if h == phys {
+	ps.freeCtrl = append(ps.freeCtrl, c)
+}
+
+// registerHolderLocked records that phys holds shard idx (or the full
+// image) of v for gen. A full image upgrades a previous shard record
+// for the same rank.
+func (ps *PeerStore) registerHolderLocked(gen uint64, v, phys int, idx int16) {
+	c := ps.ctrlLocked(gen, true)
+	hs := c.holders[v]
+	for i := range hs {
+		if int(hs[i].phys) == phys {
+			if idx == shardFull {
+				hs[i].idx = shardFull
+			}
 			return
 		}
 	}
-	hg[v] = append(hg[v], phys)
+	c.holders[v] = append(hs, holderRef{phys: int32(phys), idx: idx})
 }
 
-// lookup reads an image from a physical rank's shard.
+func (ps *PeerStore) deregisterHolderLocked(gen uint64, v, phys int) {
+	c := ps.ctrlLocked(gen, false)
+	if c == nil {
+		return
+	}
+	hs := c.holders[v]
+	kept := hs[:0]
+	for _, h := range hs {
+		if int(h.phys) != phys {
+			kept = append(kept, h)
+		}
+	}
+	c.holders[v] = kept
+}
+
+// --- data plane --------------------------------------------------------
+
+// rankGenLocked finds rank p's slot for gen, inserting one (recycled
+// when possible) if create is set.
+func (ps *PeerStore) rankGenLocked(phys int, gen uint64, create bool) *rankGen {
+	rs := &ps.ranks[phys]
+	i := len(rs.gens)
+	for i > 0 && rs.gens[i-1].gen > gen {
+		i--
+	}
+	if i > 0 && rs.gens[i-1].gen == gen {
+		return rs.gens[i-1]
+	}
+	if !create {
+		return nil
+	}
+	var rg *rankGen
+	if n := len(rs.free); n > 0 {
+		rg = rs.free[n-1]
+		rs.free = rs.free[:n-1]
+	} else {
+		rg = &rankGen{}
+	}
+	rg.gen = gen
+	rs.gens = append(rs.gens, nil)
+	copy(rs.gens[i+1:], rs.gens[i:])
+	rs.gens[i] = rg
+	return rg
+}
+
+// dropRankGenLocked releases slot i of rank p: payload buffers return
+// to their arena, holder registrations are withdrawn, and the slot
+// moves to the rank's free list.
+func (ps *PeerStore) dropRankGenLocked(phys, i int) {
+	rs := &ps.ranks[phys]
+	rg := rs.gens[i]
+	for j := range rg.imgs {
+		img := &rg.imgs[j]
+		ps.deregisterHolderLocked(rg.gen, int(img.v), phys)
+		if img.pb != nil {
+			img.pb.Release()
+		}
+		*img = image{}
+	}
+	rs.resident -= rg.bytes
+	ps.resident -= rg.bytes
+	rg.imgs = rg.imgs[:0]
+	rg.bytes = 0
+	copy(rs.gens[i:], rs.gens[i+1:])
+	rs.gens = rs.gens[:len(rs.gens)-1]
+	rs.free = append(rs.free, rg)
+}
+
+func (rg *rankGen) find(v int) *image {
+	for i := range rg.imgs {
+		if int(rg.imgs[i].v) == v {
+			return &rg.imgs[i]
+		}
+	}
+	return nil
+}
+
+// stashImage copies payload into a pooled buffer and records it as
+// phys's image (idx == shardFull) or shard of (gen, v), registering the
+// holder and enforcing the memory budget.
+func (ps *PeerStore) stashImage(phys int, gen uint64, v int, idx int16, size uint32, payload []byte) {
+	if phys < 0 || phys >= ps.nPhys || v < 0 || v >= ps.nVirt {
+		return
+	}
+	buf, pb := snapPool.acquire(len(payload))
+	copy(buf, payload)
+	ps.mu.Lock()
+	if gen < ps.floor {
+		// A straggler frame for a garbage-collected generation: it can
+		// never become the restore point again, so stashing it would only
+		// churn slots until the next gc sweep.
+		ps.mu.Unlock()
+		if pb != nil {
+			pb.Release()
+		}
+		return
+	}
+	rg := ps.rankGenLocked(phys, gen, true)
+	rs := &ps.ranks[phys]
+	if img := rg.find(v); img != nil {
+		// Re-stash (e.g. a fetched full image replacing the local
+		// shard): swap payloads and adjust the accounting.
+		delta := int64(len(buf)) - int64(len(img.data))
+		if img.pb != nil {
+			img.pb.Release()
+		}
+		if idx == shardFull || img.idx != shardFull {
+			img.idx, img.size, img.data, img.pb = idx, size, buf, pb
+			rg.bytes += delta
+			rs.resident += delta
+			ps.resident += delta
+		} else if pb != nil {
+			// Never downgrade a full image to a shard.
+			pb.Release()
+		}
+	} else {
+		rg.imgs = append(rg.imgs, image{v: int32(v), idx: idx, size: size, data: buf, pb: pb})
+		rg.bytes += int64(len(buf))
+		rs.resident += int64(len(buf))
+		ps.resident += int64(len(buf))
+	}
+	ps.registerHolderLocked(gen, v, phys, idx)
+	ps.evictOverBudgetLocked(phys, gen)
+	ps.met.resident.Set(ps.resident)
+	ps.mu.Unlock()
+}
+
+// evictOverBudgetLocked drops rank p's oldest resident generations
+// until the rank is back under BudgetBytes, never touching the
+// generation currently being written. The specpriv checkpoint manager's
+// saturation check: bound the resident set, sacrifice the oldest.
+func (ps *PeerStore) evictOverBudgetLocked(phys int, keep uint64) {
+	if ps.cfg.BudgetBytes <= 0 {
+		return
+	}
+	rs := &ps.ranks[phys]
+	for rs.resident > ps.cfg.BudgetBytes && len(rs.gens) > 0 {
+		if rs.gens[0].gen == keep {
+			break
+		}
+		ps.dropRankGenLocked(phys, 0)
+		ps.met.evictions.Inc()
+	}
+}
+
+// stash records a full image into a physical rank's slice of the store
+// (the replicate-receive path and a test seam).
+func (ps *PeerStore) stash(phys int, gen uint64, v int, state []byte) {
+	ps.stashImage(phys, gen, v, shardFull, uint32(len(state)), state)
+}
+
+// lookup returns a copy of the full image phys holds for (gen, v), if
+// any. Shards don't count: a single shard cannot restore a rank.
 func (ps *PeerStore) lookup(phys int, gen uint64, v int) ([]byte, bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	state, ok := ps.shards[phys][gen][v]
-	if !ok {
+	if phys < 0 || phys >= ps.nPhys {
 		return nil, false
 	}
-	out := make([]byte, len(state))
-	copy(out, state)
+	rg := ps.rankGenLocked(phys, gen, false)
+	if rg == nil {
+		return nil, false
+	}
+	img := rg.find(v)
+	if img == nil || img.idx != shardFull {
+		return nil, false
+	}
+	out := make([]byte, len(img.data))
+	copy(out, img.data)
 	return out, true
 }
 
-// InvalidateRank wipes a physical rank's shard and holder registrations:
-// the rank's memory is gone (it was killed), so fetches must not be
-// routed to its revived incarnation until it re-stashes at the next
-// checkpoint.
+// lookupAny returns a copy of whatever phys holds for (gen, v) — a full
+// image or a shard — for the fetch-reply path.
+func (ps *PeerStore) lookupAny(phys int, gen uint64, v int) (data []byte, idx int16, size uint32, ok bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if phys < 0 || phys >= ps.nPhys {
+		return nil, 0, 0, false
+	}
+	rg := ps.rankGenLocked(phys, gen, false)
+	if rg == nil {
+		return nil, 0, 0, false
+	}
+	img := rg.find(v)
+	if img == nil {
+		return nil, 0, 0, false
+	}
+	out := make([]byte, len(img.data))
+	copy(out, img.data)
+	return out, img.idx, img.size, true
+}
+
+// InvalidateRank wipes a physical rank's slice of the store and its
+// holder registrations: the rank's memory is gone (it was killed), so
+// fetches must not be routed to its revived incarnation until it
+// re-stashes at the next checkpoint.
 func (ps *PeerStore) InvalidateRank(phys int) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
-	delete(ps.shards, phys)
-	for _, hg := range ps.holders {
-		for v, hs := range hg {
-			kept := hs[:0]
-			for _, h := range hs {
-				if h != phys {
-					kept = append(kept, h)
-				}
-			}
-			hg[v] = kept
+	if phys < 0 || phys >= ps.nPhys {
+		return
+	}
+	for len(ps.ranks[phys].gens) > 0 {
+		ps.dropRankGenLocked(phys, 0)
+	}
+	// Withdraw registrations with no resident payload behind them
+	// (frames lost in flight when the rank died).
+	for _, c := range ps.ctrls {
+		for v := range c.holders {
+			ps.deregisterHolderLocked(c.gen, v, phys)
 		}
 	}
+	ps.met.resident.Set(ps.resident)
 }
 
-// UsableGeneration returns the newest committed generation every virtual
-// rank of which has at least one live holder — the generation a partial
-// restart would restore. ok is false when no generation qualifies, which
-// tells the orchestrator to fall back to a full restart.
+// UsableGeneration returns the newest committed generation every
+// virtual rank of which is still recoverable from live holders — at
+// least one full image, or (erasure mode) at least DataShards distinct
+// shards. ok is false when no generation qualifies, which tells the
+// orchestrator to fall back to a full restart.
 func (ps *PeerStore) UsableGeneration() (gen uint64, n int, ok bool) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
@@ -270,35 +592,122 @@ func (ps *PeerStore) UsableGeneration() (gen uint64, n int, ok bool) {
 }
 
 func (ps *PeerStore) usableLocked() (uint64, int, bool) {
-	gens := make([]uint64, 0, len(ps.committed))
-	for g := range ps.committed {
-		gens = append(gens, g)
-	}
-	sort.Slice(gens, func(i, j int) bool { return gens[i] > gens[j] })
-	for _, g := range gens {
-		if ps.coveredLocked(g, ps.committed[g]) {
-			return g, ps.committed[g], true
+	for i := len(ps.ctrls) - 1; i >= 0; i-- {
+		c := ps.ctrls[i]
+		if c.committedN == 0 {
+			continue
+		}
+		if ps.coveredLocked(c, c.committedN, true, false) {
+			return c.gen, c.committedN, true
 		}
 	}
 	return 0, 0, false
 }
 
-func (ps *PeerStore) coveredLocked(gen uint64, n int) bool {
-	hg := ps.holders[gen]
+// coveredLocked reports whether every virtual rank below n is
+// recoverable for c's generation. liveOnly restricts the holder set to
+// live ranks; stashed additionally requires the payload to actually be
+// resident (the recovery-time promotion check, which must not trust
+// registrations whose frames died in a mailbox).
+func (ps *PeerStore) coveredLocked(c *genCtrl, n int, liveOnly, stashed bool) bool {
 	for v := 0; v < n; v++ {
-		live := false
-		for _, h := range hg[v] {
-			if ps.alive(h) {
-				live = true
+		var shardSet uint64
+		shardCount, full := 0, false
+		for _, h := range c.holders[v] {
+			phys := int(h.phys)
+			if liveOnly && !ps.alive(phys) {
+				continue
+			}
+			idx := h.idx
+			if stashed {
+				rg := ps.rankGenLocked(phys, c.gen, false)
+				if rg == nil {
+					continue
+				}
+				img := rg.find(v)
+				if img == nil {
+					continue
+				}
+				idx = img.idx
+			}
+			if idx == shardFull {
+				full = true
 				break
 			}
+			if bit := uint64(1) << uint(idx); shardSet&bit == 0 {
+				shardSet |= bit
+				shardCount++
+			}
 		}
-		if !live {
+		if full {
+			continue
+		}
+		if ps.codec == nil || shardCount < ps.cfg.DataShards {
 			return false
 		}
 	}
 	return true
 }
+
+// PromoteComplete commits the newest uncommitted generation whose
+// payloads are fully resident on live ranks. The recovery path calls it
+// after flushing the async pipeline: under the commit-lags-one
+// protocol the latest generation's writes may have drained without any
+// rank reaching the next checkpoint line to commit them — promoting it
+// makes the partial restart as cheap as the synchronous tier's. The
+// slow tier is left alone: its own commit record still comes from the
+// regular cadence.
+func (ps *PeerStore) PromoteComplete() (uint64, int, bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	for i := len(ps.ctrls) - 1; i >= 0; i-- {
+		c := ps.ctrls[i]
+		if c.committedN > 0 {
+			break // everything older is committed or superseded
+		}
+		if ps.coveredLocked(c, ps.nVirt, true, true) {
+			c.committedN = ps.nVirt
+			ps.gcLocked(c.gen)
+			return c.gen, ps.nVirt, true
+		}
+	}
+	return 0, 0, false
+}
+
+// settleTimeout bounds how long Settle waits for in-flight replicate
+// frames; frames addressed to a rank that died mid-send never arrive,
+// so the wait also gives up once the pending count stops moving.
+const settleTimeout = 50 * time.Millisecond
+
+// Settle waits (bounded) until every replicate frame sent so far has
+// been absorbed by a Serve loop, extending the checkpoint client's
+// Drain to cover in-flight peer sends: after Drain+Settle, the latest
+// generation's shards are resident at their holders, not just in
+// flight.
+func (ps *PeerStore) Settle() {
+	deadline := time.Now().Add(settleTimeout)
+	last := ps.pending.Load()
+	stable := 0
+	for last > 0 {
+		if time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(50 * time.Microsecond)
+		cur := ps.pending.Load()
+		if cur == last {
+			if stable++; stable >= 40 {
+				return // no progress: frames were dropped at a dead rank's door
+			}
+		} else {
+			stable, last = 0, cur
+		}
+	}
+}
+
+// ResetPending clears the in-flight send count. The recovery path calls
+// it after quiescing the world: undelivered frames from the failed
+// epoch are purged with the epoch's traffic and will never arrive.
+func (ps *PeerStore) ResetPending() { ps.pending.Store(0) }
 
 // Serve runs the replication/fetch server for one physical rank until
 // its communicator errors (kill, interrupt, or abort). The orchestrator
@@ -312,25 +721,29 @@ func (ps *PeerStore) Serve(comm mpi.Comm) {
 		if err != nil {
 			return
 		}
-		op, gen, v, payload, derr := decodePeer(msg.Data)
+		fr, derr := decodePeer(msg.Data)
 		if derr != nil {
 			msg.Release()
 			continue
 		}
-		switch op {
+		switch fr.op {
 		case opReplicate:
-			// stash copies the image, so the transport buffer can recycle.
-			ps.stash(me, gen, v, payload)
+			// stashImage copies the payload, so the transport buffer can
+			// recycle immediately.
+			ps.stashImage(me, fr.gen, fr.v, fr.idx, fr.size, fr.payload)
+			ps.pending.Add(-1)
 			msg.Release()
 		case opFetch:
 			msg.Release()
-			reply := encodePeer(opMiss, gen, v, nil)
-			if state, ok := ps.lookup(me, gen, v); ok {
-				reply = encodePeer(opFound, gen, v, state)
+			reply := peerFrame{op: opMiss, gen: fr.gen, v: fr.v}
+			if data, idx, size, ok := ps.lookupAny(me, fr.gen, fr.v); ok {
+				reply = peerFrame{op: opFound, gen: fr.gen, v: fr.v, idx: idx, size: size, payload: data}
 			}
-			if err := comm.Send(msg.Source, tagPeerReply, reply); err != nil {
+			if err := sendPeerFrame(comm, msg.Source, tagPeerReply, reply); err != nil {
 				return
 			}
+		default:
+			msg.Release()
 		}
 	}
 }
@@ -351,11 +764,19 @@ type peerView struct {
 	comm mpi.Comm
 }
 
-var _ Storage = (*peerView)(nil)
+var (
+	_ Storage = (*peerView)(nil)
+	_ Settler = (*peerView)(nil)
+)
+
+// Settle implements Settler: Drain waits for this view's store to
+// absorb in-flight replicate frames.
+func (pv *peerView) Settle() { pv.ps.Settle() }
 
 // isSphereWriter reports whether this view's physical rank is the lowest
-// live replica of sphere v — the one that pushes buddy copies and writes
-// the stable tier (every replica stashes its own copy locally).
+// live replica of sphere v — the one that pushes buddy copies/shards
+// and writes the stable tier (every replica stashes its own slice of
+// the image locally).
 func (pv *peerView) isSphereWriter(v int) bool {
 	for _, p := range pv.ps.cfg.Spheres[v] {
 		if pv.ps.alive(p) {
@@ -366,33 +787,23 @@ func (pv *peerView) isSphereWriter(v int) bool {
 }
 
 // Write implements Storage: stash locally, and — as the sphere's writer
-// replica — push copies to the buddies and to the stable tier at its
-// cadence.
+// replica — push copies (full-copy mode) or erasure shards to the
+// buddies and the full image to the stable tier at its cadence. Under
+// an async Pipeline this whole method runs on a background worker; the
+// pending counter plus Settle keep the drain/commit contract honest.
 func (pv *peerView) Write(gen uint64, rank int, state []byte) error {
 	ps := pv.ps
 	if rank < 0 || rank >= len(ps.cfg.Spheres) {
 		return fmt.Errorf("checkpoint: peer write rank %d of %d", rank, len(ps.cfg.Spheres))
 	}
-	ps.stash(pv.comm.Rank(), gen, rank, state)
-	if !pv.isSphereWriter(rank) {
-		return nil
-	}
-	payload := encodePeer(opReplicate, gen, rank, state)
-	for _, buddy := range ps.Buddies(rank) {
-		if !ps.alive(buddy) {
-			continue
+	if ps.codec != nil {
+		if err := pv.writeErasure(gen, rank, state); err != nil {
+			return err
 		}
-		if err := pv.comm.Send(buddy, tagPeerService, payload); err != nil {
-			return fmt.Errorf("checkpoint: replicating gen %d rank %d to %d: %w",
-				gen, rank, buddy, err)
-		}
-		ps.mu.Lock()
-		ps.registerHolderLocked(gen, rank, buddy)
-		ps.mu.Unlock()
-		ps.met.replicas.Inc()
-		ps.met.bytes.Add(uint64(len(state)))
+	} else if err := pv.writeFullCopy(gen, rank, state); err != nil {
+		return err
 	}
-	if ps.cfg.Slow != nil && gen%uint64(ps.cfg.StableEvery) == 0 {
+	if pv.isSphereWriter(rank) && ps.cfg.Slow != nil && gen%uint64(ps.cfg.StableEvery) == 0 {
 		if err := ps.cfg.Slow.Write(gen, rank, state); err != nil {
 			return err
 		}
@@ -400,23 +811,127 @@ func (pv *peerView) Write(gen uint64, rank int, state []byte) error {
 	return nil
 }
 
+// writeFullCopy is the classic ReStore layout: every replica stashes
+// the whole image, the writer pushes whole-image copies to Replicas
+// buddies — one pooled encode shared across the fan-out.
+func (pv *peerView) writeFullCopy(gen uint64, rank int, state []byte) error {
+	ps := pv.ps
+	me := pv.comm.Rank()
+	ps.stash(me, gen, rank, state)
+	if !pv.isSphereWriter(rank) {
+		return nil
+	}
+	fr := peerFrame{op: opReplicate, gen: gen, v: rank, idx: shardFull, size: uint32(len(state)), payload: state}
+	ss, shared := pv.comm.(mpi.SharedSender)
+	var buf []byte
+	var pb *mpi.PooledBuf
+	if shared {
+		buf, pb = ss.AcquireBuffer(peerHeaderLen + len(state))
+		encodePeerInto(buf, fr)
+	} else {
+		buf = encodePeer(fr)
+	}
+	defer func() {
+		if pb != nil {
+			pb.Release()
+		}
+	}()
+	// Same walk as Buddies(rank), without materialising the slice — this
+	// runs once per rank per generation on the hot write path.
+	n := len(ps.cfg.Spheres)
+	k := ps.cfg.Replicas
+	if k > n-1 {
+		k = n - 1
+	}
+	for i := 1; i <= k; i++ {
+		buddy := ps.cfg.Spheres[(rank+i)%n][0]
+		if !ps.alive(buddy) {
+			continue
+		}
+		ps.pending.Add(1)
+		var err error
+		if shared {
+			err = ss.SendPooled(buddy, tagPeerService, buf, pb)
+		} else {
+			err = pv.comm.Send(buddy, tagPeerService, buf)
+		}
+		if err != nil {
+			ps.pending.Add(-1)
+			return fmt.Errorf("checkpoint: replicating gen %d rank %d to %d: %w", gen, rank, buddy, err)
+		}
+		ps.mu.Lock()
+		ps.registerHolderLocked(gen, rank, buddy, shardFull)
+		ps.mu.Unlock()
+		ps.met.replicas.Inc()
+		ps.met.bytes.Add(uint64(len(state)))
+	}
+	return nil
+}
+
+// writeErasure is the erasure-coded layout: every replica stashes shard
+// 0 (a plain slice of the image — the code is systematic), and the
+// writer encodes the remaining DataShards+ParityShards−1 shards into
+// one pooled scratch buffer and sends shard i to the writer replica of
+// sphere (rank+i) mod n. Losing any ParityShards spheres therefore
+// loses at most ParityShards distinct shards.
+func (pv *peerView) writeErasure(gen uint64, rank int, state []byte) error {
+	ps := pv.ps
+	me := pv.comm.Rank()
+	k, t := ps.cfg.DataShards, ps.totalShards
+	sl := erasure.ShardLen(k, len(state))
+	ps.stashImage(me, gen, rank, 0, uint32(len(state)), state[:sl])
+	if !pv.isSphereWriter(rank) {
+		return nil
+	}
+	buf, pb := snapPool.acquire(t * sl)
+	var arr [maxPeerShards][]byte
+	scratch := arr[:t]
+	for i := 0; i < t; i++ {
+		scratch[i] = buf[i*sl : i*sl : (i+1)*sl]
+	}
+	shards := ps.codec.Encode(state, scratch)
+	n := len(ps.cfg.Spheres)
+	for i := 1; i < t; i++ {
+		dst := ps.cfg.Spheres[(rank+i)%n][0]
+		if !ps.alive(dst) {
+			continue // shard lost; parity absorbs up to ParityShards of these
+		}
+		fr := peerFrame{op: opReplicate, gen: gen, v: rank, idx: int16(i), size: uint32(len(state)), payload: shards[i]}
+		ps.pending.Add(1)
+		if err := sendPeerFrame(pv.comm, dst, tagPeerService, fr); err != nil {
+			ps.pending.Add(-1)
+			if pb != nil {
+				pb.Release()
+			}
+			return fmt.Errorf("checkpoint: replicating gen %d rank %d shard %d to %d: %w", gen, rank, i, dst, err)
+		}
+		ps.mu.Lock()
+		ps.registerHolderLocked(gen, rank, dst, int16(i))
+		ps.mu.Unlock()
+		ps.met.replicas.Inc()
+		ps.met.bytes.Add(uint64(sl))
+	}
+	if pb != nil {
+		pb.Release()
+	}
+	return nil
+}
+
 // Commit implements Storage: publish the generation in the peer control
-// plane (requiring a registered holder for every rank — the mid-commit
-// double-buffer guarantee), forward stable-cadence generations to the
-// slow tier, and garbage-collect everything older than the previous
-// committed generation.
+// plane (requiring registered holders able to restore every rank — the
+// mid-commit double-buffer guarantee), forward stable-cadence
+// generations to the slow tier, and garbage-collect everything older
+// than the previous committed generation.
 func (pv *peerView) Commit(gen uint64, n int) error {
 	ps := pv.ps
 	ps.mu.Lock()
-	if _, done := ps.committed[gen]; !done {
-		hg := ps.holders[gen]
-		for v := 0; v < n; v++ {
-			if len(hg[v]) == 0 {
-				ps.mu.Unlock()
-				return fmt.Errorf("commit gen %d: rank %d: %w", gen, v, ErrIncomplete)
-			}
+	c := ps.ctrlLocked(gen, true)
+	if c.committedN == 0 {
+		if !ps.coveredLocked(c, n, false, false) {
+			ps.mu.Unlock()
+			return fmt.Errorf("commit gen %d: %w", gen, ErrIncomplete)
 		}
-		ps.committed[gen] = n
+		c.committedN = n
 		ps.gcLocked(gen)
 	}
 	ps.mu.Unlock()
@@ -432,9 +947,9 @@ func (pv *peerView) Commit(gen uint64, n int) error {
 func (ps *PeerStore) gcLocked(justCommitted uint64) {
 	var prev uint64
 	hasPrev := false
-	for g := range ps.committed {
-		if g < justCommitted && (!hasPrev || g > prev) {
-			prev = g
+	for _, c := range ps.ctrls {
+		if c.committedN > 0 && c.gen < justCommitted && (!hasPrev || c.gen > prev) {
+			prev = c.gen
 			hasPrev = true
 		}
 	}
@@ -442,15 +957,27 @@ func (ps *PeerStore) gcLocked(justCommitted uint64) {
 	if hasPrev {
 		floor = prev
 	}
-	for g := range ps.holders {
-		if g < floor {
-			delete(ps.holders, g)
-			delete(ps.committed, g)
-			for _, shard := range ps.shards {
-				delete(shard, g)
-			}
+	if floor > ps.floor {
+		ps.floor = floor
+	}
+	kept := ps.ctrls[:0]
+	for _, c := range ps.ctrls {
+		if c.gen < floor {
+			ps.releaseCtrlLocked(c)
+		} else {
+			kept = append(kept, c)
 		}
 	}
+	for i := len(kept); i < len(ps.ctrls); i++ {
+		ps.ctrls[i] = nil
+	}
+	ps.ctrls = kept
+	for p := range ps.ranks {
+		for len(ps.ranks[p].gens) > 0 && ps.ranks[p].gens[0].gen < floor {
+			ps.dropRankGenLocked(p, 0)
+		}
+	}
+	ps.met.resident.Set(ps.resident)
 }
 
 // Latest implements Storage: the newest generation restorable right now,
@@ -473,13 +1000,16 @@ func (pv *peerView) Latest() (uint64, int, bool, error) {
 	return fastGen, fastN, fastOK, nil
 }
 
-// Read implements Storage: own shard first (survivors restore with zero
-// traffic), then bounded-retry fetch over the live holders, then — for
-// generations stable storage also has — the slow tier.
+// Read implements Storage: own full image first (survivors in full-copy
+// mode restore with zero traffic), then bounded-retry fetch over the
+// live holders — reconstructing from any DataShards surviving shards in
+// erasure mode — then, for generations stable storage also has, the
+// slow tier.
 func (pv *peerView) Read(gen uint64, rank int) ([]byte, error) {
 	ps := pv.ps
 	ps.mu.Lock()
-	_, fastCommitted := ps.committed[gen]
+	c := ps.ctrlLocked(gen, false)
+	fastCommitted := c != nil && c.committedN > 0
 	ps.mu.Unlock()
 	if !fastCommitted {
 		if ps.cfg.Slow != nil {
@@ -493,8 +1023,9 @@ func (pv *peerView) Read(gen uint64, rank int) ([]byte, error) {
 	}
 	state, err := pv.fetch(gen, rank)
 	if err == nil {
-		// Cache the image: this rank is now a holder too, which both
-		// localises its future restores and thickens the holder set.
+		// Cache the full image: this rank is now a holder too, which
+		// both localises its future restores and thickens the holder
+		// set.
 		ps.stash(pv.comm.Rank(), gen, rank, state)
 		return state, nil
 	}
@@ -509,11 +1040,37 @@ func (pv *peerView) Read(gen uint64, rank int) ([]byte, error) {
 // fetch asks live holders for the image, FetchRetries rounds over the
 // candidate set with exponentially backed-off pauses between rounds (a
 // replicate may still be in a buddy's mailbox when the fetch starts).
+// In erasure mode it accumulates distinct shards — seeded with this
+// rank's own, if any — and reconstructs as soon as DataShards are in
+// hand; a full image from any holder short-circuits either mode.
 func (pv *peerView) fetch(gen uint64, rank int) ([]byte, error) {
 	ps := pv.ps
 	me := pv.comm.Rank()
 	sp := ps.cfg.Flight.StartSpan("peer_fetch", me, rank, int(gen))
 	defer sp.End()
+
+	var shards [][]byte
+	var size uint32
+	have := 0
+	if ps.codec != nil {
+		shards = make([][]byte, ps.totalShards)
+		if data, idx, sz, ok := ps.lookupAny(me, gen, rank); ok && idx >= 0 && int(idx) < ps.totalShards {
+			shards[idx] = data
+			size = sz
+			have = 1
+		}
+	}
+	finish := func(c, round int) ([]byte, error) {
+		state, err := ps.codec.Reconstruct(shards, int(size))
+		if err != nil {
+			return nil, fmt.Errorf("gen %d rank %d: %w", gen, rank, err)
+		}
+		ps.met.remoteHits.Inc()
+		ps.cfg.Trace.Emit("peer_fetch", me, rank, int(gen), map[string]any{
+			"holder": c, "bytes": len(state), "round": round, "shards": have,
+		})
+		return state, nil
+	}
 	backoff := ps.cfg.FetchBackoff
 	for round := 0; round < ps.cfg.FetchRetries; round++ {
 		if round > 0 {
@@ -522,14 +1079,19 @@ func (pv *peerView) fetch(gen uint64, rank int) ([]byte, error) {
 			backoff *= 2
 		}
 		ps.mu.Lock()
-		candidates := append([]int(nil), ps.holders[gen][rank]...)
+		var candidates []int
+		if c := ps.ctrlLocked(gen, false); c != nil {
+			for _, h := range c.holders[rank] {
+				candidates = append(candidates, int(h.phys))
+			}
+		}
 		ps.mu.Unlock()
 		sort.Ints(candidates)
 		for _, c := range candidates {
 			if c == me || !ps.alive(c) {
 				continue
 			}
-			if err := pv.comm.Send(c, tagPeerService, encodePeer(opFetch, gen, rank, nil)); err != nil {
+			if err := sendPeerFrame(pv.comm, c, tagPeerService, peerFrame{op: opFetch, gen: gen, v: rank}); err != nil {
 				return nil, err
 			}
 			msg, err := pv.comm.Recv(c, tagPeerReply)
@@ -539,64 +1101,70 @@ func (pv *peerView) fetch(gen uint64, rank int) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			op, rgen, rv, payload, derr := decodePeer(msg.Data)
-			if derr != nil || rgen != gen || rv != rank {
+			fr, derr := decodePeer(msg.Data)
+			if derr != nil || fr.gen != gen || fr.v != rank || fr.op != opFound {
+				msg.Release()
 				continue
 			}
-			if op == opFound {
+			if fr.idx == shardFull {
+				state := make([]byte, len(fr.payload))
+				copy(state, fr.payload)
+				msg.Release()
 				ps.met.remoteHits.Inc()
 				ps.cfg.Trace.Emit("peer_fetch", me, rank, int(gen), map[string]any{
-					"holder": c, "bytes": len(payload), "round": round,
+					"holder": c, "bytes": len(state), "round": round,
 				})
-				return payload, nil
+				return state, nil
 			}
+			if ps.codec != nil && fr.idx >= 0 && int(fr.idx) < ps.totalShards && shards[fr.idx] == nil {
+				shard := make([]byte, len(fr.payload))
+				copy(shard, fr.payload)
+				shards[fr.idx] = shard
+				size = fr.size
+				have++
+				msg.Release()
+				if have >= ps.cfg.DataShards {
+					return finish(c, round)
+				}
+				continue
+			}
+			msg.Release()
 		}
 	}
 	ps.met.exhausted.Inc()
-	return nil, fmt.Errorf("gen %d rank %d after %d rounds: %w",
-		gen, rank, ps.cfg.FetchRetries, ErrPeerFetchExhausted)
+	return nil, fmt.Errorf("gen %d rank %d after %d rounds (%d shards in hand): %w",
+		gen, rank, ps.cfg.FetchRetries, have, ErrPeerFetchExhausted)
 }
 
 // Drop implements Storage.
 func (pv *peerView) Drop(gen uint64) error {
 	ps := pv.ps
 	ps.mu.Lock()
-	delete(ps.holders, gen)
-	delete(ps.committed, gen)
-	for _, shard := range ps.shards {
-		delete(shard, gen)
+	for p := range ps.ranks {
+		for i := 0; i < len(ps.ranks[p].gens); {
+			if ps.ranks[p].gens[i].gen == gen {
+				ps.dropRankGenLocked(p, i)
+			} else {
+				i++
+			}
+		}
 	}
+	kept := ps.ctrls[:0]
+	for _, c := range ps.ctrls {
+		if c.gen == gen {
+			ps.releaseCtrlLocked(c)
+		} else {
+			kept = append(kept, c)
+		}
+	}
+	for i := len(kept); i < len(ps.ctrls); i++ {
+		ps.ctrls[i] = nil
+	}
+	ps.ctrls = kept
+	ps.met.resident.Set(ps.resident)
 	ps.mu.Unlock()
 	if ps.cfg.Slow != nil {
 		return ps.cfg.Slow.Drop(gen)
 	}
 	return nil
-}
-
-// --- wire codec: op byte | gen (8 bytes LE) | vrank (8 bytes LE) | payload ---
-
-const peerHeaderLen = 17
-
-func encodePeer(op byte, gen uint64, v int, payload []byte) []byte {
-	buf := make([]byte, peerHeaderLen+len(payload))
-	buf[0] = op
-	for b := 0; b < 8; b++ {
-		buf[1+b] = byte(gen >> (8 * b))
-		buf[9+b] = byte(uint64(v) >> (8 * b))
-	}
-	copy(buf[peerHeaderLen:], payload)
-	return buf
-}
-
-func decodePeer(buf []byte) (op byte, gen uint64, v int, payload []byte, err error) {
-	if len(buf) < peerHeaderLen {
-		return 0, 0, 0, nil, fmt.Errorf("checkpoint: peer frame of %d bytes", len(buf))
-	}
-	op = buf[0]
-	var vu uint64
-	for b := 0; b < 8; b++ {
-		gen |= uint64(buf[1+b]) << (8 * b)
-		vu |= uint64(buf[9+b]) << (8 * b)
-	}
-	return op, gen, int(int64(vu)), buf[peerHeaderLen:], nil
 }

@@ -313,7 +313,7 @@ func TestPeerFetchExhaustedWithoutSlowTier(t *testing.T) {
 	ps.stash(0, 1, 0, []byte("a"))
 	ps.stash(1, 1, 1, []byte("b"))
 	ps.mu.Lock()
-	ps.committed[1] = 2 // force-publish despite the dead holder
+	ps.ctrlLocked(1, true).committedN = 2 // force-publish despite the dead holder
 	ps.mu.Unlock()
 	w, _ := simmpi.NewWorld(2)
 	c0, _ := w.Comm(0)
@@ -383,7 +383,7 @@ func TestPeerLatestPrefersNewerStable(t *testing.T) {
 	c0, _ := w.Comm(0)
 	view := ps.View(c0)
 	ps.mu.Lock()
-	ps.committed[1] = 2
+	ps.ctrlLocked(1, true).committedN = 2
 	ps.mu.Unlock()
 	gen, _, ok, err := view.Latest()
 	if err != nil || !ok || gen != 2 {
@@ -397,12 +397,19 @@ func TestPeerLatestPrefersNewerStable(t *testing.T) {
 }
 
 func TestPeerCodecRoundTripAndTruncation(t *testing.T) {
-	frame := encodePeer(opFound, 42, 3, []byte("payload"))
-	op, gen, v, payload, err := decodePeer(frame)
-	if err != nil || op != opFound || gen != 42 || v != 3 || !bytes.Equal(payload, []byte("payload")) {
-		t.Fatalf("decode = (%d,%d,%d,%q,%v)", op, gen, v, payload, err)
+	in := peerFrame{op: opFound, gen: 42, v: 3, idx: 5, size: 4096, payload: []byte("payload")}
+	frame := encodePeer(in)
+	got, err := decodePeer(frame)
+	if err != nil || got.op != opFound || got.gen != 42 || got.v != 3 ||
+		got.idx != 5 || got.size != 4096 || !bytes.Equal(got.payload, []byte("payload")) {
+		t.Fatalf("decode = %+v, %v", got, err)
 	}
-	if _, _, _, _, err := decodePeer(frame[:peerHeaderLen-1]); err == nil {
+	full := peerFrame{op: opReplicate, gen: 1, v: 0, idx: shardFull, size: 7, payload: []byte("fullimg")}
+	rt, err := decodePeer(encodePeer(full))
+	if err != nil || rt.idx != shardFull {
+		t.Fatalf("shardFull did not round-trip: %+v, %v", rt, err)
+	}
+	if _, err := decodePeer(frame[:peerHeaderLen-1]); err == nil {
 		t.Fatal("truncated frame decoded")
 	}
 }

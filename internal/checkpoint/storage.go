@@ -42,6 +42,16 @@ type Storage interface {
 	Drop(gen uint64) error
 }
 
+// Settler is the optional capability of storage tiers whose writes send
+// asynchronous traffic of their own (the peer store's replicate
+// frames). The checkpoint client's drain path calls Settle after waiting
+// for its in-flight writes, so "drained" also means the tier's sends
+// have landed, not just been issued. Settle must bound its wait: frames
+// addressed to ranks that died mid-send never arrive.
+type Settler interface {
+	Settle()
+}
+
 // Errors returned by storage implementations.
 var (
 	// ErrNoCheckpoint reports that no committed generation exists.

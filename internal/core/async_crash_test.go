@@ -1,7 +1,6 @@
 package core
 
 import (
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -189,10 +188,19 @@ func TestAsyncUnderRedundancyCompletes(t *testing.T) {
 
 func TestAsyncConfigValidation(t *testing.T) {
 	factory := func() apps.App { return &apps.TaskFarm{Tasks: 1} }
-	if _, err := Run(Config{
+	// Async + peer tier is a supported combination since the erasure PR:
+	// peer replication rides the physical transport on reserved tags, so
+	// background sends never touch the bookmark counts.
+	if err := (Config{
 		Ranks: 2, Degree: 2, StepInterval: 5, PeerReplicas: 1, AsyncCheckpoint: true,
-	}, factory); err == nil || !strings.Contains(err.Error(), "incompatible") {
-		t.Fatalf("AsyncCheckpoint+PeerReplicas accepted: %v", err)
+	}).Validate(); err != nil {
+		t.Fatalf("AsyncCheckpoint+PeerReplicas rejected: %v", err)
+	}
+	if err := (Config{
+		Ranks: 2, Degree: 2, StepInterval: 5, AsyncCheckpoint: true,
+		PeerDataShards: 2, PeerParityShards: 1,
+	}).Validate(); err != nil {
+		t.Fatalf("AsyncCheckpoint+erasure peer tier rejected: %v", err)
 	}
 	if _, err := Run(Config{
 		Ranks: 2, Degree: 1, StepInterval: 5, AsyncCheckpoint: true, AsyncWorkers: -1,

@@ -492,6 +492,18 @@ func (g *partialGate) tryRecover(sphere int) bool {
 	g.serverWG.Wait()
 	drain.End()
 
+	// Under async checkpointing the newest generation may be fully
+	// stashed but not yet committed (the commit-lags-one window). Flush
+	// the pipeline so every enqueued peer write has run, discard the
+	// settle debt of frames addressed to the dead ranks, then promote
+	// the newest complete generation — recovery then rolls back exactly
+	// as far as the synchronous tier would.
+	if g.pipe != nil {
+		g.pipe.Flush()
+	}
+	g.peer.ResetPending()
+	g.peer.PromoteComplete()
+
 	// Re-check under quiesced state: more deaths may have landed while
 	// draining, and they may have taken the last holder with them.
 	gen, _, ok := g.peer.UsableGeneration()

@@ -205,10 +205,27 @@ func TestPartialRestartConfigValidation(t *testing.T) {
 		{Ranks: 2, Degree: 1, StepKills: []StepKill{{Step: 0, Rank: 0}}},         // step kills are 1-based
 		{Ranks: 2, Degree: 1, StepKills: []StepKill{{Step: 1, Rank: -1}}},        // negative rank
 		{Ranks: 2, Degree: 1, StepInterval: 5, PeerReplicas: 1, StableEvery: -2}, // negative cadence
+		{Ranks: 2, Degree: 1, PeerDataShards: -1},                                // negative shard counts
+		{Ranks: 2, Degree: 1, PeerParityShards: -1},
+		{Ranks: 2, Degree: 2, StepInterval: 5, PeerDataShards: 2},                    // data shards without parity
+		{Ranks: 2, Degree: 2, StepInterval: 5, PeerParityShards: 1},                  // parity without data shards
+		{Ranks: 2, Degree: 2, StepInterval: 5, PeerDataShards: 1, PeerParityShards: 1}, // k=1 is a full copy, not a code
+		{Ranks: 2, Degree: 2, StepInterval: 5, PeerReplicas: 1, PeerDataShards: 2, PeerParityShards: 1}, // both tiers at once
+		{Ranks: 2, Degree: 1, StepInterval: 5, PeerBudgetBytes: 1 << 20},         // budget without a peer tier
+		{Ranks: 2, Degree: 2, StepInterval: 5, PeerDataShards: 2, PeerParityShards: 1, PeerBudgetBytes: -1}, // negative budget
 	}
 	for i, cfg := range bad {
 		if _, err := Run(cfg, factory); err == nil {
 			t.Errorf("bad config %d accepted: %+v", i, cfg)
 		}
+	}
+	// The erasure tier is a peer tier: PartialRestart and StableEvery
+	// gate on it exactly as they do on full copies.
+	good := Config{
+		Ranks: 4, Degree: 2, StepInterval: 5, StableEvery: 4, PartialRestart: true,
+		PeerDataShards: 2, PeerParityShards: 1, PeerBudgetBytes: 1 << 20,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("erasure peer tier config rejected: %v", err)
 	}
 }

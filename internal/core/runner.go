@@ -65,9 +65,10 @@ type Config struct {
 	// compute while the write drains; the generation commits at the
 	// next checkpoint (or the end-of-run drain). Effective δ — the
 	// stall the application observes — shrinks to the snapshot copy
-	// plus coordination. Incompatible with PeerReplicas: the peer tier
-	// replicates over application messages, and background sends would
-	// corrupt the bookmark quiescence counts.
+	// plus coordination. Composes with the peer tier: peer replication
+	// rides the physical transport on reserved tags, invisible to the
+	// bookmark quiescence counts, so background sends cannot corrupt
+	// them.
 	AsyncCheckpoint bool
 	// AsyncWorkers sizes the background write pool; zero means
 	// GOMAXPROCS. Only meaningful with AsyncCheckpoint.
@@ -78,7 +79,26 @@ type Config struct {
 	// held by PeerReplicas buddy ranks in other replica spheres, and
 	// Storage becomes the slow tier written only every StableEvery-th
 	// generation. Zero keeps the original Storage-only behaviour.
+	// Mutually exclusive with PeerDataShards (pick full copies or
+	// erasure coding, not both).
 	PeerReplicas int
+	// PeerDataShards, when positive, enables the erasure-coded peer
+	// tier instead of full copies: each snapshot is Reed-Solomon
+	// encoded into PeerDataShards data + PeerParityShards parity
+	// shards spread across replica spheres, so a snapshot of size S
+	// costs ~S·(k+m)/k resident bytes instead of S·(replicas+1), and
+	// any PeerParityShards sphere losses remain recoverable. Requires
+	// PeerDataShards >= 2 and PeerParityShards >= 1, and
+	// PeerDataShards+PeerParityShards <= number of spheres.
+	PeerDataShards int
+	// PeerParityShards is the parity shard count for the erasure-coded
+	// peer tier; meaningful only with PeerDataShards.
+	PeerParityShards int
+	// PeerBudgetBytes caps the peer tier's resident bytes per rank;
+	// when the cap is exceeded the store evicts whole oldest
+	// generations (never the one being written) and counts them in
+	// peer_store_evictions_total. Zero means unlimited.
+	PeerBudgetBytes int64
 	// StableEvery writes only every StableEvery-th checkpoint generation
 	// to Storage when the peer tier is enabled (the cadence differential
 	// is where partial restart wins). Zero or one means every generation.
@@ -87,7 +107,8 @@ type Config struct {
 	// but the peer tier still holds a usable generation, the dead ranks
 	// are revived in place and the job resumes from the peer generation
 	// instead of tearing the world down for a full coordinated restart.
-	// Requires PeerReplicas > 0 and StepInterval > 0.
+	// Requires a peer tier (PeerReplicas or PeerDataShards) and
+	// StepInterval > 0.
 	PartialRestart bool
 	// PartialRestartLimit bounds in-place recoveries per attempt before
 	// falling back to full restarts; zero means 3.
@@ -169,6 +190,12 @@ type Config struct {
 	Transport func(physical int, opts ...mpi.Option) (mpi.Transport, error)
 }
 
+// PeerTier reports whether any peer checkpoint tier is configured —
+// full copies (PeerReplicas) or erasure-coded (PeerDataShards).
+func (cfg Config) PeerTier() bool {
+	return cfg.PeerReplicas > 0 || cfg.PeerDataShards > 0
+}
+
 // Validate checks the configuration.
 func (cfg Config) Validate() error {
 	switch {
@@ -182,18 +209,35 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: MaxRestarts = %d", cfg.MaxRestarts)
 	case cfg.PeerReplicas < 0:
 		return fmt.Errorf("core: PeerReplicas = %d", cfg.PeerReplicas)
+	case cfg.PeerDataShards < 0:
+		return fmt.Errorf("core: PeerDataShards = %d", cfg.PeerDataShards)
+	case cfg.PeerParityShards < 0:
+		return fmt.Errorf("core: PeerParityShards = %d", cfg.PeerParityShards)
+	case cfg.PeerBudgetBytes < 0:
+		return fmt.Errorf("core: PeerBudgetBytes = %d", cfg.PeerBudgetBytes)
+	case cfg.PeerReplicas > 0 && cfg.PeerDataShards > 0:
+		return fmt.Errorf("core: PeerReplicas and PeerDataShards are mutually exclusive " +
+			"(full-copy and erasure-coded peer tiers cannot be combined)")
+	case cfg.PeerDataShards == 1:
+		return fmt.Errorf("core: PeerDataShards = 1 (erasure coding needs >= 2 data shards; " +
+			"use PeerReplicas for full copies)")
+	case cfg.PeerDataShards > 0 && cfg.PeerParityShards == 0:
+		return fmt.Errorf("core: PeerDataShards = %d requires PeerParityShards > 0", cfg.PeerDataShards)
+	case cfg.PeerParityShards > 0 && cfg.PeerDataShards == 0:
+		return fmt.Errorf("core: PeerParityShards = %d requires PeerDataShards > 0", cfg.PeerParityShards)
+	case cfg.PeerBudgetBytes > 0 && !cfg.PeerTier():
+		return fmt.Errorf("core: PeerBudgetBytes requires a peer tier " +
+			"(PeerReplicas or PeerDataShards)")
 	case cfg.StableEvery < 0:
 		return fmt.Errorf("core: StableEvery = %d", cfg.StableEvery)
-	case cfg.StableEvery > 1 && cfg.PeerReplicas == 0:
-		return fmt.Errorf("core: StableEvery = %d requires PeerReplicas > 0", cfg.StableEvery)
-	case cfg.PartialRestart && cfg.PeerReplicas == 0:
-		return fmt.Errorf("core: PartialRestart requires PeerReplicas > 0")
+	case cfg.StableEvery > 1 && !cfg.PeerTier():
+		return fmt.Errorf("core: StableEvery = %d requires a peer tier "+
+			"(PeerReplicas or PeerDataShards)", cfg.StableEvery)
+	case cfg.PartialRestart && !cfg.PeerTier():
+		return fmt.Errorf("core: PartialRestart requires a peer tier " +
+			"(PeerReplicas or PeerDataShards)")
 	case cfg.PartialRestart && cfg.StepInterval == 0:
 		return fmt.Errorf("core: PartialRestart requires StepInterval > 0")
-	case cfg.AsyncCheckpoint && cfg.PeerReplicas > 0:
-		return fmt.Errorf("core: AsyncCheckpoint is incompatible with PeerReplicas " +
-			"(peer replication sends application messages from background goroutines, " +
-			"which would corrupt the bookmark quiescence counts)")
 	case cfg.AsyncWorkers < 0:
 		return fmt.Errorf("core: AsyncWorkers = %d", cfg.AsyncWorkers)
 	case cfg.RecoveryPolicy != "" && cfg.RecoveryPolicy != RecoverRestart &&
@@ -201,8 +245,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: unknown RecoveryPolicy %q", cfg.RecoveryPolicy)
 	case cfg.RecoveryPolicy == RecoverShrink && cfg.PartialRestart:
 		return fmt.Errorf("core: shrink recovery is incompatible with PartialRestart")
-	case cfg.RecoveryPolicy == RecoverShrink && cfg.PeerReplicas > 0:
-		return fmt.Errorf("core: shrink recovery is incompatible with PeerReplicas")
+	case cfg.RecoveryPolicy == RecoverShrink && cfg.PeerTier():
+		return fmt.Errorf("core: shrink recovery is incompatible with a peer tier")
 	case cfg.RecoveryPolicy == RecoverShrink && cfg.StepInterval > 0:
 		return fmt.Errorf("core: shrink recovery never restores, so StepInterval " +
 			"(checkpointing) must be 0")
@@ -529,20 +573,23 @@ func runAttempt(cfg Config, rankMap *redundancy.RankMap, store checkpoint.Storag
 	// A fresh peer store per attempt: a full restart means the fast tier
 	// died with the job, so Latest falls through to the stable tier.
 	var peer *checkpoint.PeerStore
-	if cfg.PeerReplicas > 0 {
+	if cfg.PeerTier() {
 		stableEvery := cfg.StableEvery
 		if stableEvery <= 0 {
 			stableEvery = 1
 		}
 		peer, err = checkpoint.NewPeerStore(checkpoint.PeerStoreConfig{
-			Spheres:     spheres,
-			Replicas:    cfg.PeerReplicas,
-			StableEvery: stableEvery,
-			Slow:        store,
-			Live:        world,
-			Obs:         jobReg,
-			Trace:       cfg.Tracer,
-			Flight:      cfg.Recorder,
+			Spheres:      spheres,
+			Replicas:     cfg.PeerReplicas,
+			DataShards:   cfg.PeerDataShards,
+			ParityShards: cfg.PeerParityShards,
+			BudgetBytes:  cfg.PeerBudgetBytes,
+			StableEvery:  stableEvery,
+			Slow:         store,
+			Live:         world,
+			Obs:          jobReg,
+			Trace:        cfg.Tracer,
+			Flight:       cfg.Recorder,
 		})
 		if err != nil {
 			return at, nil, redundancy.Stats{}, obs.Snapshot{}, err

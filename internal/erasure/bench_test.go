@@ -1,0 +1,53 @@
+package erasure
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkErasureEncode measures the steady-state cost of encoding one
+// 4 KiB snapshot into 4+2 shards with reused scratch — the shape the
+// peer store's writer replica pays per generation. Gated in benchgate.
+func BenchmarkErasureEncode(b *testing.B) {
+	c, err := New(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(1)).Read(data)
+	sl := ShardLen(4, len(data))
+	backing := make([]byte, 6*sl)
+	scratch := make([][]byte, 6)
+	for i := range scratch {
+		scratch[i] = backing[i*sl : i*sl : (i+1)*sl]
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(data, scratch)
+	}
+}
+
+// BenchmarkErasureReconstruct measures degraded-mode decode: m=2 data
+// shards missing, worst case for the matrix-inversion path.
+func BenchmarkErasureReconstruct(b *testing.B) {
+	c, err := New(4, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	rand.New(rand.NewSource(2)).Read(data)
+	base := c.Encode(data, nil)
+	shards := make([][]byte, 6)
+	copy(shards, base)
+	shards[0], shards[2] = nil, nil
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Reconstruct(shards, len(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
